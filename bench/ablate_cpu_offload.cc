@@ -1,0 +1,58 @@
+// Ablation: CPU parameter offload (FSDP's CPUOffload; the paper's Sec 6
+// situates CPU-offloading among orthogonal memory-saving techniques that
+// "incur overhead in host-to-device copies"). Shards + optimizer state move
+// to host memory: every unshard pays an H2D copy, every reduced gradient a
+// D2H copy, and Adam steps at host-memory bandwidth — buying memory headroom
+// with iteration latency.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fsdp;
+  using namespace fsdp::bench;
+  using namespace fsdp::simfsdp;
+  sim::SimConstants c;
+
+  Header("Ablation", "CPU offload, T5-11B, batch 8, BF16 + ckpt");
+  Row("%-6s %-9s | %12s %12s %16s %8s", "GPUs", "offload", "iter(ms)",
+      "TFLOPS/GPU", "mem alloc(GiB)", "status");
+  for (int gpus : {8, 16, 64}) {
+    for (bool offload : {false, true}) {
+      FsdpSimConfig cfg;
+      cfg.batch_per_gpu = 8;
+      cfg.cpu_offload_params = offload;
+      auto m = FsdpSimulator(T5_11B(), TopoFor(gpus), c, cfg).Run();
+      if (m.oom) {
+        Row("%-6d %-9s | %12s %12s %16s %8s", gpus, offload ? "on" : "off",
+            "-", "-", "-", "OOM");
+        continue;
+      }
+      Row("%-6d %-9s | %10.1fms %12.1f %16.1f %8s", gpus,
+          offload ? "on" : "off", m.iter_time_us / 1e3, m.tflops_per_gpu,
+          GiB(m.peak_allocated), "ok");
+    }
+  }
+
+  // The capability case: a configuration that OOMs device-resident but fits
+  // with offloaded shards (FP32 + no checkpointing on few GPUs).
+  Header("Ablation", "CPU offload as an OOM escape hatch (T5-11B FP32, "
+                     "no ckpt, batch 4, 8 GPUs)");
+  for (bool offload : {false, true}) {
+    FsdpSimConfig cfg;
+    cfg.batch_per_gpu = 4;
+    cfg.param_dtype = DType::kF32;
+    cfg.reduce_dtype = DType::kF32;
+    cfg.activation_checkpointing = false;
+    cfg.cpu_offload_params = offload;
+    auto m = FsdpSimulator(T5_11B(), TopoFor(8), c, cfg).Run();
+    if (m.oom) {
+      Row("offload %-3s: OOM", offload ? "on" : "off");
+    } else {
+      Row("offload %-3s: %.1f ms/iter, %.1f GiB allocated",
+          offload ? "on" : "off", m.iter_time_us / 1e3,
+          GiB(m.peak_allocated));
+    }
+  }
+  Row("\nexpected: offload frees ~2 GiB/GPU per 1B params at 8-way sharding "
+      "and rescues OOM configs, at a latency cost from PCIe + host Adam.");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Each fig*_ binary regenerates one table/figure of the paper's evaluation:
+// it runs the simulator (or the real functional layer) at the paper's
+// configuration, prints the series the figure plots, and annotates the
+// paper-reported numbers where the paper states them, so paper-vs-measured
+// is visible directly in the output (EXPERIMENTS.md aggregates these).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/topology.h"
+#include "simfsdp/schedule.h"
+#include "simfsdp/workload.h"
+
+namespace fsdp::bench {
+
+inline void Header(const std::string& fig, const std::string& caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", fig.c_str(), caption.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline sim::Topology TopoFor(int gpus) {
+  FSDP_CHECK(gpus % 8 == 0 || gpus < 8);
+  if (gpus <= 8) return sim::Topology{1, gpus};
+  return sim::Topology{gpus / 8, 8};
+}
+
+inline const char* Mark(bool oom) { return oom ? "OOM" : "ok"; }
+
+inline double GiB(int64_t bytes) { return static_cast<double>(bytes) / (1ULL << 30); }
+
+}  // namespace fsdp::bench

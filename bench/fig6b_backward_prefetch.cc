@@ -1,0 +1,29 @@
+// Figure 6(b): backward prefetching on GPT-175B across cluster sizes.
+//
+// Paper observation: issuing the next AllGather before the current
+// ReduceScatter yields ~18% TFLOPS gain, persisting from 128 to 512 GPUs.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fsdp;
+  using namespace fsdp::bench;
+  using namespace fsdp::simfsdp;
+  sim::SimConstants c;
+
+  Header("Figure 6(b)", "backward prefetch on minGPT-175B (batch 2)");
+  Row("%-8s %18s %18s %10s", "GPUs", "no prefetch", "prefetch", "speedup");
+  for (int gpus : {128, 192, 256, 384, 512}) {
+    FsdpSimConfig on;
+    on.batch_per_gpu = 2;
+    on.backward_prefetch = true;
+    FsdpSimConfig off = on;
+    off.backward_prefetch = false;
+    auto m_on = FsdpSimulator(GPT_175B(), TopoFor(gpus), c, on).Run();
+    auto m_off = FsdpSimulator(GPT_175B(), TopoFor(gpus), c, off).Run();
+    Row("%-8d %12.1f TFLOPS %12.1f TFLOPS %9.1f%%", gpus,
+        m_off.tflops_per_gpu, m_on.tflops_per_gpu,
+        100.0 * (m_on.tflops_per_gpu / m_off.tflops_per_gpu - 1.0));
+  }
+  Row("\npaper: ~18%% gain, persisting across cluster sizes.");
+  return 0;
+}

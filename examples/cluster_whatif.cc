@@ -1,0 +1,74 @@
+// Cluster what-if analysis with the performance simulator: given a model,
+// cluster size, and FSDP configuration, predict throughput, memory, and
+// cross-host traffic before renting the GPUs.
+//
+// Usage: cluster_whatif [model] [gpus] [batch] [factor] [raf|nraf]
+//   model  : t5-611m | t5-2b | t5-11b | gpt-175b | dhen (default t5-11b)
+//   gpus   : multiple of 8 (default 64)
+//   batch  : per-GPU batch (default 8)
+//   factor : sharding factor, 0 = full shard (default 0)
+//   raf    : reshard-after-forward on/off (default raf)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "simfsdp/schedule.h"
+#include "simfsdp/workload.h"
+
+using namespace fsdp;
+using namespace fsdp::simfsdp;
+
+int main(int argc, char** argv) {
+  std::string model = argc > 1 ? argv[1] : "t5-11b";
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 64;
+  const int batch = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int factor = argc > 4 ? std::atoi(argv[4]) : 0;
+  const bool raf = argc > 5 ? std::strcmp(argv[5], "nraf") != 0 : true;
+
+  Workload w;
+  if (model == "t5-611m") w = T5_611M();
+  else if (model == "t5-2b") w = T5_2_28B();
+  else if (model == "t5-11b") w = T5_11B();
+  else if (model == "gpt-175b") w = GPT_175B();
+  else if (model == "dhen") w = DHEN(gpus);
+  else {
+    std::fprintf(stderr, "unknown model '%s'\n", model.c_str());
+    return 1;
+  }
+
+  sim::SimConstants c;
+  sim::Topology topo{gpus <= 8 ? 1 : gpus / 8, gpus <= 8 ? gpus : 8};
+  FsdpSimConfig cfg;
+  cfg.batch_per_gpu = batch;
+  cfg.sharding_factor = factor;
+  cfg.reshard_after_forward = raf;
+  auto m = FsdpSimulator(w, topo, c, cfg).Run();
+
+  std::printf("what-if: %s on %d GPUs (%d hosts x %d), batch %d, F=%s, %s\n",
+              w.name.c_str(), topo.world(), topo.num_hosts,
+              topo.gpus_per_host, batch,
+              factor == 0 ? "world" : std::to_string(factor).c_str(),
+              raf ? "reshard-after-forward" : "keep-unsharded");
+  if (m.oom) {
+    std::printf("  -> OUT OF MEMORY on the simulated A100-80GB\n");
+    return 0;
+  }
+  std::printf("  iteration latency : %10.1f ms\n", m.iter_time_us / 1e3);
+  std::printf("  throughput        : %10.1f TFLOPS/GPU (%.0f%% of BF16 peak)\n",
+              m.tflops_per_gpu, 100 * m.tflops_per_gpu / c.peak_bf16_tflops);
+  std::printf("  samples/GPU/s     : %10.1f\n", m.qps_per_gpu);
+  std::printf("  peak memory       : %10.1f GiB allocated / %.1f active / "
+              "%.1f reserved\n",
+              m.peak_allocated / double(1ULL << 30),
+              m.peak_active / double(1ULL << 30),
+              m.peak_reserved / double(1ULL << 30));
+  std::printf("  cudaMalloc retries: %10lld%s\n",
+              static_cast<long long>(m.num_alloc_retries),
+              m.num_alloc_retries ? "  (!) consider the rate limiter" : "");
+  std::printf("  cross-host bytes  : %10.2f GiB per GPU per iteration\n",
+              m.cross_host_bytes_per_gpu / double(1ULL << 30));
+  std::printf("  exposed comm      : %10.1f ms (iter - compute busy)\n",
+              m.exposed_comm_us / 1e3);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Deferred initialization (paper Sec 3.1): construct a model too large to
+// materialize comfortably on one device — on the *fake* device it costs zero
+// bytes — then let FSDP materialize and shard it one unit at a time by
+// replaying the recorded init ops. The real-memory high-watermark stays near
+// the sharded footprint instead of the full model size.
+#include <cstdio>
+
+#include "autograd/engine.h"
+#include "core/fsdp.h"
+#include "nn/transformer.h"
+#include "optim/optimizer.h"
+
+using namespace fsdp;
+
+int main() {
+  const int world = 8;
+  comm::DeviceMesh mesh(world, world);
+
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 512;
+  cfg.max_seq = 16;
+  cfg.dim = 128;
+  cfg.num_heads = 8;
+  cfg.num_layers = 12;
+
+  int64_t model_bytes = 0;
+  {
+    nn::InitCtx probe(Device::kFake, 5);
+    nn::TransformerModel probe_model(cfg, probe);
+    model_bytes = probe_model.NumParameters() * 4;
+  }
+  std::printf("model size: %.1f MB (x%d ranks = %.1f MB if replicated)\n",
+              model_bytes / 1e6, world, model_bytes * world / 1e6);
+
+  const int64_t before = Storage::live_bytes();
+  Storage::ResetPeakBytes();
+
+  std::vector<std::unique_ptr<core::FullyShardedDataParallel>> fsdps(world);
+  RunOnRanks(world, [&](int rank) {
+    // Construction on the fake device allocates NOTHING.
+    nn::InitCtx fake(Device::kFake, 5);
+    auto model = std::make_shared<nn::TransformerModel>(cfg, fake);
+    FSDP_CHECK(model->HasFakeParameters());
+
+    core::FsdpOptions opts;
+    opts.auto_wrap_policy = core::ModuleTypePolicy({"TransformerBlock"});
+    opts.sync_module_states = false;  // replay is deterministic per seed
+    fsdps[rank] = std::make_unique<core::FullyShardedDataParallel>(
+        model, mesh, rank, opts);
+  });
+
+  const int64_t after = Storage::live_bytes() - before;
+  const int64_t peak = Storage::peak_bytes() - before;
+  std::printf("persistent bytes, all %d ranks together: %.1f MB "
+              "(~1x model, not %dx)\n",
+              world, after / 1e6, world);
+  std::printf("materialization high-watermark: %.1f MB "
+              "(sharded footprint + one unit at a time)\n",
+              peak / 1e6);
+
+  // The sharded model trains normally.
+  std::vector<float> loss_first(world), loss_last(world);
+  RunOnRanks(world, [&](int rank) {
+    auto& fsdp = *fsdps[rank];
+    optim::Adam adam(fsdp.Parameters(), {.lr = 1e-3f});
+    std::vector<int64_t> toks(16), tgts(16);
+    for (int i = 0; i < 16; ++i) {
+      toks[i] = (rank * 31 + i * 7) % 512;
+      tgts[i] = (toks[i] + 1) % 512;
+    }
+    Tensor tokens = ops::IndexTensor(toks, {1, 16});
+    Tensor targets = ops::IndexTensor(tgts, {16});
+    for (int step = 0; step < 5; ++step) {
+      adam.ZeroGrad();
+      Tensor loss = ops::CrossEntropy(fsdp.Forward(tokens), targets);
+      if (step == 0) loss_first[rank] = loss.item();
+      loss_last[rank] = loss.item();
+      autograd::RunBackward(loss);
+      adam.Step();
+    }
+  });
+  std::printf("rank 0 loss: %.4f -> %.4f over 5 steps\n", loss_first[0],
+              loss_last[0]);
+  std::printf("deferred-init example done.\n");
+  return 0;
+}

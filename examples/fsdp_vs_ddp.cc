@@ -1,0 +1,143 @@
+// FSDP vs DDP vs local training: demonstrates (1) mathematical equivalence —
+// after the same steps on the same data all three produce the same
+// parameters — and (2) the communication/memory trade-offs via the built-in
+// counters (paper Sec 2, 3.2).
+#include <cstdio>
+#include <map>
+
+#include "autograd/engine.h"
+#include "core/fsdp.h"
+#include "ddp/ddp.h"
+#include "nn/transformer.h"
+#include "optim/optimizer.h"
+
+using namespace fsdp;
+
+namespace {
+
+nn::ModulePtr MakeModel() {
+  nn::InitCtx ctx(Device::kCpu, 7);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 53;
+  cfg.max_seq = 8;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 3;
+  return std::make_shared<nn::TransformerModel>(cfg, ctx);
+}
+
+Tensor Tokens(int rank) {
+  std::vector<int64_t> t(8);
+  for (int i = 0; i < 8; ++i) t[i] = (rank * 13 + i * 5) % 53;
+  return ops::IndexTensor(t, {1, 8});
+}
+
+Tensor Targets(int rank) {
+  std::vector<int64_t> t(8);
+  for (int i = 0; i < 8; ++i) t[i] = (rank * 13 + i * 5 + 1) % 53;
+  return ops::IndexTensor(t, {8});
+}
+
+constexpr int kWorld = 4;
+constexpr int kSteps = 5;
+
+}  // namespace
+
+int main() {
+  // --- reference: single-process training on the mean-over-ranks loss ---
+  std::map<std::string, Tensor> local_params;
+  {
+    auto model = MakeModel();
+    std::vector<Tensor> params;
+    for (Tensor* s : model->ParameterSlots()) params.push_back(*s);
+    optim::Adam adam(params, {.lr = 1e-2f});
+    for (int step = 0; step < kSteps; ++step) {
+      adam.ZeroGrad();
+      for (int r = 0; r < kWorld; ++r) {
+        Tensor loss = ops::CrossEntropy((*model)(Tokens(r)), Targets(r));
+        autograd::RunBackward(ops::ScalarMul(loss, 1.f / kWorld));
+      }
+      adam.Step();
+    }
+    for (auto& [name, slot] : model->NamedParameters()) {
+      local_params[name] = slot->Clone();
+    }
+  }
+  std::printf("local reference trained (%d steps, %d virtual ranks)\n",
+              kSteps, kWorld);
+
+  // --- DDP ---
+  const int64_t ddp_bytes_before = Storage::live_bytes();
+  auto ddp_comm = std::make_shared<comm::Communicator>(kWorld);
+  std::vector<int64_t> ddp_traffic(kWorld);
+  float ddp_worst = 0;
+  RunOnRanks(kWorld, [&](int r) {
+    auto model = MakeModel();
+    comm::ProcessGroup pg(ddp_comm, r);
+    ddp::DistributedDataParallel ddp(model, pg);
+    std::vector<Tensor> params;
+    for (Tensor* s : model->ParameterSlots()) params.push_back(*s);
+    optim::Adam adam(params, {.lr = 1e-2f});
+    pg.ResetStats();
+    for (int step = 0; step < kSteps; ++step) {
+      adam.ZeroGrad();
+      Tensor loss = ops::CrossEntropy(ddp.Forward(Tokens(r)), Targets(r));
+      autograd::RunBackward(loss);
+      adam.Step();
+    }
+    ddp_traffic[r] = pg.stats().allreduce_bytes;
+    if (r == 0) {
+      for (auto& [name, slot] : model->NamedParameters()) {
+        const Tensor& ref = local_params.at(name);
+        for (int64_t i = 0; i < ref.numel(); ++i) {
+          ddp_worst = std::max(
+              ddp_worst, std::fabs(slot->data()[i] - ref.data()[i]));
+        }
+      }
+    }
+  });
+  std::printf("DDP   : max |param - local| = %.2e, allreduce traffic/rank = "
+              "%lld bytes\n",
+              ddp_worst, static_cast<long long>(ddp_traffic[0]));
+  (void)ddp_bytes_before;
+
+  // --- FSDP (full sharding) ---
+  comm::DeviceMesh mesh(kWorld, kWorld);
+  float fsdp_worst = 0;
+  std::vector<int64_t> shard_bytes(kWorld);
+  RunOnRanks(kWorld, [&](int r) {
+    auto model = MakeModel();
+    core::FsdpOptions opts;
+    opts.auto_wrap_policy = core::ModuleTypePolicy({"TransformerBlock"});
+    core::FullyShardedDataParallel fsdp(model, mesh, r, opts);
+    optim::Adam adam(fsdp.Parameters(), {.lr = 1e-2f});
+    for (int step = 0; step < kSteps; ++step) {
+      adam.ZeroGrad();
+      Tensor loss = ops::CrossEntropy(fsdp.Forward(Tokens(r)), Targets(r));
+      autograd::RunBackward(loss);
+      adam.Step();
+    }
+    int64_t bytes = 0;
+    for (Tensor& p : fsdp.Parameters()) bytes += p.numel() * 4;
+    shard_bytes[r] = bytes;
+    auto state = fsdp.FullStateDict();  // collective
+    if (r == 0) {
+      for (auto& [name, value] : state) {
+        const Tensor& ref = local_params.at(name);
+        for (int64_t i = 0; i < ref.numel(); ++i) {
+          fsdp_worst = std::max(
+              fsdp_worst, std::fabs(value.data()[i] - ref.data()[i]));
+        }
+      }
+    }
+  });
+  std::printf("FSDP  : max |param - local| = %.2e, persistent param bytes "
+              "per rank = %lld (vs %lld replicated)\n",
+              fsdp_worst, static_cast<long long>(shard_bytes[0]),
+              static_cast<long long>(MakeModel()->NumParameters() * 4));
+
+  const bool ok = ddp_worst < 1e-3f && fsdp_worst < 1e-3f;
+  std::printf("%s\n", ok ? "all three training modes agree."
+                         : "MISMATCH — see above");
+  return ok ? 0 : 1;
+}

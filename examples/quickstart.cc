@@ -1,0 +1,92 @@
+// Quickstart: train a small transformer with FSDP across 4 (thread-)ranks.
+//
+//   DeviceMesh mesh(world, world);              // full sharding
+//   FullyShardedDataParallel fsdp(model, mesh, rank, options);
+//   optim::Adam adam(fsdp.Parameters(), ...);   // AFTER wrapping (sharded!)
+//   loss = CrossEntropy(fsdp.Forward(tokens), targets);
+//   autograd::RunBackward(loss);                // AllGather/ReduceScatter
+//   adam.Step();                                // updates local shards only
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "autograd/engine.h"
+#include "core/fsdp.h"
+#include "nn/transformer.h"
+#include "optim/optimizer.h"
+
+using namespace fsdp;
+
+int main() {
+  const int world = 4;
+  comm::DeviceMesh mesh(world, /*sharding_factor=*/world);  // FULL_SHARD
+
+  std::vector<float> losses(world, 0.f);
+  RunOnRanks(world, [&](int rank) {
+    // Every rank builds the same model (same seed); FSDP shards it so each
+    // rank permanently holds only 1/world of the parameters.
+    nn::InitCtx ctx(Device::kCpu, /*seed=*/1234);
+    nn::TransformerConfig cfg;
+    cfg.vocab_size = 101;
+    cfg.max_seq = 16;
+    cfg.dim = 32;
+    cfg.num_heads = 4;
+    cfg.num_layers = 4;
+    auto model = std::make_shared<nn::TransformerModel>(cfg, ctx);
+
+    core::FsdpOptions opts;
+    opts.strategy = core::ShardingStrategy::kFullShard;
+    opts.auto_wrap_policy = core::ModuleTypePolicy({"TransformerBlock"});
+    core::FullyShardedDataParallel fsdp(model, mesh, rank, opts);
+
+    if (rank == 0) {
+      std::printf("model parameters : %lld\n",
+                  static_cast<long long>(model->NumParameters()));
+      std::printf("FSDP units       : %d\n", fsdp.num_units());
+      for (int u = 0; u < fsdp.num_units(); ++u) {
+        std::printf("  unit %-10s  total=%-7lld shard=%lld (+%lld pad)\n",
+                    fsdp.unit_name(u).c_str(),
+                    static_cast<long long>(fsdp.unit_handle(u).total_numel()),
+                    static_cast<long long>(fsdp.unit_handle(u).shard_numel()),
+                    static_cast<long long>(
+                        fsdp.unit_handle(u).padding_numel()));
+      }
+    }
+
+    // The optimizer sees only this rank's flat-parameter shards.
+    optim::Adam adam(fsdp.Parameters(), {.lr = 5e-3f});
+
+    // Toy next-token task: each rank trains on its own batch.
+    std::vector<int64_t> toks(16), tgts(16);
+    for (int i = 0; i < 16; ++i) {
+      toks[i] = (rank * 17 + i * 3) % 101;
+      tgts[i] = (toks[i] + 1) % 101;
+    }
+    Tensor tokens = ops::IndexTensor(toks, {1, 16});
+    Tensor targets = ops::IndexTensor(tgts, {16});
+
+    for (int step = 0; step < 20; ++step) {
+      adam.ZeroGrad();
+      Tensor loss = ops::CrossEntropy(fsdp.Forward(tokens), targets);
+      autograd::RunBackward(loss);  // comm overlaps via FSDP hooks
+      adam.Step();
+      losses[rank] = loss.item();
+      if (rank == 0 && step % 5 == 0) {
+        std::printf("step %2d  loss %.4f\n", step, loss.item());
+      }
+    }
+
+    // Full (unsharded) checkpoint — a collective over all ranks.
+    auto state = fsdp.FullStateDict();
+    if (rank == 0) {
+      std::printf("state dict: %zu tensors; first = %s %s\n", state.size(),
+                  state[0].first.c_str(),
+                  ShapeToString(state[0].second.shape()).c_str());
+    }
+  });
+
+  std::printf("final per-rank losses:");
+  for (float l : losses) std::printf(" %.4f", l);
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "comm/functional.h"
+
+#include <cstring>
+
+#include "autograd/node.h"
+#include "autograd/ops.h"
+
+namespace fsdp::comm {
+
+namespace {
+
+void Attach(Tensor* out, std::shared_ptr<GradFn> node, const Tensor& input) {
+  if (!grad_mode::Enabled() || !Participates(input.impl())) return;
+  node->inputs.push_back(input.impl());
+  node->seq = NextNodeSeq();
+  out->impl()->requires_grad = true;
+  out->set_grad_fn(std::move(node));
+}
+
+struct AllReduceSumFn : GradFn {
+  std::string name() const override { return "AllReduceSumBackward"; }
+  std::vector<Tensor> Backward(const Tensor& g) override { return {g}; }
+};
+
+struct AllGatherColsFn : GradFn {
+  ProcessGroup pg;
+  int64_t rows = 0, local_cols = 0;
+  std::string name() const override { return "AllGatherColsBackward"; }
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    // Slice this rank's column block out of the gathered gradient.
+    Tensor gi = Tensor::Empty({rows, local_cols});
+    const int64_t total = local_cols * pg.size();
+    const int64_t c0 = pg.rank() * local_cols;
+    for (int64_t r = 0; r < rows; ++r) {
+      std::memcpy(gi.data() + r * local_cols, g.data() + r * total + c0,
+                  static_cast<size_t>(local_cols) * 4);
+    }
+    return {gi};
+  }
+};
+
+struct ScatterColsFn : GradFn {
+  ProcessGroup pg;
+  int64_t rows = 0, local_cols = 0;
+  std::string name() const override { return "ScatterColsBackward"; }
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    // Gather every rank's block gradient back into the replicated layout.
+    NoGradGuard no_grad;
+    const int w = pg.size();
+    Tensor flat = Tensor::Empty({w * rows * local_cols});
+    pg.AllGatherBase(flat, g.Clone().Flatten());
+    Tensor gi = Tensor::Empty({rows, w * local_cols});
+    for (int k = 0; k < w; ++k) {
+      const float* src = flat.data() + k * rows * local_cols;
+      for (int64_t r = 0; r < rows; ++r) {
+        std::memcpy(gi.data() + r * w * local_cols + k * local_cols,
+                    src + r * local_cols,
+                    static_cast<size_t>(local_cols) * 4);
+      }
+    }
+    return {gi};
+  }
+};
+
+}  // namespace
+
+Tensor AllReduceSum(const Tensor& x, ProcessGroup pg) {
+  Tensor out = x.Clone();
+  {
+    NoGradGuard no_grad;
+    pg.AllReduce(out);
+  }
+  auto node = std::make_shared<AllReduceSumFn>();
+  Attach(&out, std::move(node), x);
+  return out;
+}
+
+Tensor AllGatherCols(const Tensor& x, ProcessGroup pg) {
+  FSDP_CHECK_MSG(x.dim() == 2, "AllGatherCols expects a 2-D tensor");
+  const int w = pg.size();
+  const int64_t rows = x.size(0), local_cols = x.size(1);
+  Tensor out = Tensor::Empty({rows, w * local_cols});
+  {
+    NoGradGuard no_grad;
+    // Gather the row-major blocks, then interleave columns.
+    Tensor flat = Tensor::Empty({w * rows * local_cols});
+    pg.AllGatherBase(flat, x.Clone().Flatten());
+    for (int k = 0; k < w; ++k) {
+      const float* src = flat.data() + k * rows * local_cols;
+      for (int64_t r = 0; r < rows; ++r) {
+        std::memcpy(out.data() + r * w * local_cols + k * local_cols,
+                    src + r * local_cols,
+                    static_cast<size_t>(local_cols) * 4);
+      }
+    }
+  }
+  auto node = std::make_shared<AllGatherColsFn>();
+  node->pg = pg;
+  node->rows = rows;
+  node->local_cols = local_cols;
+  Attach(&out, std::move(node), x);
+  return out;
+}
+
+Tensor ScatterCols(const Tensor& x, ProcessGroup pg) {
+  FSDP_CHECK_MSG(x.dim() == 2 && x.size(1) % pg.size() == 0,
+                 "ScatterCols: columns must divide evenly");
+  const int64_t rows = x.size(0);
+  const int64_t local_cols = x.size(1) / pg.size();
+  const int64_t c0 = pg.rank() * local_cols;
+  Tensor out = Tensor::Empty({rows, local_cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    std::memcpy(out.data() + r * local_cols,
+                x.data() + r * x.size(1) + c0,
+                static_cast<size_t>(local_cols) * 4);
+  }
+  auto node = std::make_shared<ScatterColsFn>();
+  node->pg = pg;
+  node->rows = rows;
+  node->local_cols = local_cols;
+  Attach(&out, std::move(node), x);
+  return out;
+}
+
+}  // namespace fsdp::comm

@@ -1,0 +1,40 @@
+// Autograd-visible collectives.
+//
+// FSDP itself calls collectives outside autograd (on raw flat buffers), but
+// composing FSDP with tensor parallelism (paper Sec 7.1.2) requires
+// collectives *inside* the differentiated computation — activations are
+// communicated, and gradients must flow back through the communication:
+//
+//   AllReduceSum   forward: y = sum over group of x      backward: dy
+//                  (used by row-parallel linear outputs / column-parallel
+//                  input grads)
+//   AllGatherCols  forward: concat each rank's (rows x local_cols) along
+//                  columns                                backward: slice
+//                  this rank's column block
+//   ScatterCols    forward: slice this rank's column block of a replicated
+//                  tensor                                 backward:
+//                  AllGatherCols of the gradient
+//
+// All of these assume SPMD use: every rank of the group calls the same op at
+// the same point of the same graph, so the backward-pass collectives line up
+// (the engine executes identical graphs in identical order on each rank).
+#pragma once
+
+#include "comm/process_group.h"
+#include "tensor/tensor.h"
+
+namespace fsdp::comm {
+
+/// y = elementwise sum of x over pg's ranks; gradient passes through.
+Tensor AllReduceSum(const Tensor& x, ProcessGroup pg);
+
+/// x: (rows x local_cols) per rank -> (rows x local_cols * pg.size()) with
+/// rank r's block in column slot r. Gradient: each rank receives its slice.
+Tensor AllGatherCols(const Tensor& x, ProcessGroup pg);
+
+/// x: (rows x cols) replicated; returns this rank's (rows x cols/size)
+/// column block. Gradient: AllGather of the blocks (requires the upstream
+/// gradient to be rank-local for its own block, the SPMD convention).
+Tensor ScatterCols(const Tensor& x, ProcessGroup pg);
+
+}  // namespace fsdp::comm

@@ -1,0 +1,228 @@
+#include "comm/process_group.h"
+
+#include <cstring>
+
+namespace fsdp::comm {
+
+Communicator::Communicator(int size)
+    : size_(size), barrier_(size), src_slots_(size, nullptr),
+      dst_slots_(size, nullptr), count_slots_(size, 0),
+      rank_stats_(size) {
+  FSDP_CHECK_MSG(size > 0, "communicator size must be positive");
+}
+
+ProcessGroup::ProcessGroup(std::shared_ptr<Communicator> comm, int rank)
+    : comm_(std::move(comm)), rank_(rank) {
+  FSDP_CHECK_MSG(rank_ >= 0 && rank_ < comm_->size(),
+                 "rank " << rank_ << " out of range");
+}
+
+void ProcessGroup::Barrier() { comm_->barrier_.Wait(); }
+
+Work ProcessGroup::AllGatherBase(float* dst, const float* src,
+                                 int64_t numel_per_rank) {
+  const int w = size();
+  comm_->src_slots_[rank_] = src;
+  comm_->barrier_.Wait();
+  for (int k = 0; k < w; ++k) {
+    std::memcpy(dst + static_cast<int64_t>(k) * numel_per_rank,
+                comm_->src_slots_[k],
+                static_cast<size_t>(numel_per_rank) * 4);
+  }
+  comm_->barrier_.Wait();  // nobody may free src until all copies are done
+  ++mutable_stats().allgather_ops;
+  mutable_stats().allgather_bytes += (w - 1) * numel_per_rank * 4;
+  return Work();
+}
+
+Work ProcessGroup::AllGather(const std::vector<float*>& dsts, const float* src,
+                             int64_t numel_per_rank) {
+  const int w = size();
+  FSDP_CHECK_MSG(static_cast<int>(dsts.size()) == w,
+                 "AllGather expects one output per rank");
+  // PyTorch's list-output all_gather stages through one consolidated tensor
+  // and copies out — we reproduce that data path (the Fig 2(a) overhead).
+  std::vector<float> consolidated(static_cast<size_t>(w * numel_per_rank));
+  AllGatherBase(consolidated.data(), src, numel_per_rank);
+  --mutable_stats().allgather_ops;  // counted below as one list-variant op
+  for (int k = 0; k < w; ++k) {
+    std::memcpy(dsts[k], consolidated.data() + k * numel_per_rank,
+                static_cast<size_t>(numel_per_rank) * 4);
+  }
+  ++mutable_stats().allgather_ops;
+  return Work();
+}
+
+Work ProcessGroup::AllGatherUneven(const std::vector<float*>& dsts,
+                                   const float* src,
+                                   const std::vector<int64_t>& counts) {
+  const int w = size();
+  FSDP_CHECK(static_cast<int>(dsts.size()) == w &&
+             static_cast<int>(counts.size()) == w);
+  // Emulates ProcessGroup's uneven-input fallback: one Broadcast per rank.
+  for (int root = 0; root < w; ++root) {
+    if (rank_ == root) {
+      std::memcpy(dsts[root], src, static_cast<size_t>(counts[root]) * 4);
+    }
+    Broadcast(dsts[root], counts[root], root);
+    --mutable_stats().broadcast_ops;  // folded into the all-gather accounting below
+  }
+  ++mutable_stats().allgather_ops;
+  for (int k = 0; k < w; ++k) {
+    if (k != rank_) mutable_stats().allgather_bytes += counts[k] * 4;
+  }
+  return Work();
+}
+
+Work ProcessGroup::ReduceScatter(float* dst, const float* src,
+                                 int64_t numel_per_rank, ReduceOp op,
+                                 DType comm_dtype) {
+  const int w = size();
+  comm_->src_slots_[rank_] = src;
+  comm_->barrier_.Wait();
+  const int64_t off = static_cast<int64_t>(rank_) * numel_per_rank;
+  for (int64_t i = 0; i < numel_per_rank; ++i) {
+    float acc = comm_->src_slots_[0][off + i];
+    for (int k = 1; k < w; ++k) {
+      const float v = comm_->src_slots_[k][off + i];
+      acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
+      if (comm_dtype != DType::kF32) acc = Quantize(acc, comm_dtype);
+    }
+    if (op == ReduceOp::kAvg) {
+      acc /= static_cast<float>(w);
+      if (comm_dtype != DType::kF32) acc = Quantize(acc, comm_dtype);
+    }
+    dst[i] = acc;
+  }
+  comm_->barrier_.Wait();
+  ++mutable_stats().reducescatter_ops;
+  mutable_stats().reducescatter_bytes += (w - 1) * numel_per_rank * 4;
+  return Work();
+}
+
+Work ProcessGroup::AllReduce(float* buf, int64_t numel, ReduceOp op,
+                             DType comm_dtype) {
+  const int w = size();
+  comm_->src_slots_[rank_] = buf;
+  // One rank resizes the shared scratch; guarded by a barrier on both sides.
+  comm_->barrier_.Wait();
+  {
+    std::lock_guard<std::mutex> lock(comm_->scratch_mu_);
+    if (static_cast<int64_t>(comm_->scratch_.size()) < numel) {
+      comm_->scratch_.resize(static_cast<size_t>(numel));
+    }
+  }
+  comm_->barrier_.Wait();
+  // Each rank reduces its own chunk into scratch (disjoint writes).
+  const int64_t chunk = (numel + w - 1) / w;
+  const int64_t lo = std::min<int64_t>(rank_ * chunk, numel);
+  const int64_t hi = std::min<int64_t>(lo + chunk, numel);
+  for (int64_t i = lo; i < hi; ++i) {
+    float acc = comm_->src_slots_[0][i];
+    for (int k = 1; k < w; ++k) {
+      const float v = comm_->src_slots_[k][i];
+      acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
+      if (comm_dtype != DType::kF32) acc = Quantize(acc, comm_dtype);
+    }
+    if (op == ReduceOp::kAvg) {
+      acc /= static_cast<float>(w);
+      if (comm_dtype != DType::kF32) acc = Quantize(acc, comm_dtype);
+    }
+    comm_->scratch_[static_cast<size_t>(i)] = acc;
+  }
+  comm_->barrier_.Wait();
+  std::memcpy(buf, comm_->scratch_.data(), static_cast<size_t>(numel) * 4);
+  comm_->barrier_.Wait();
+  ++mutable_stats().allreduce_ops;
+  // Ring all-reduce moves 2*(w-1)/w of the buffer per rank.
+  mutable_stats().allreduce_bytes += 2 * (w - 1) * (numel / std::max(w, 1)) * 4;
+  return Work();
+}
+
+Work ProcessGroup::AllToAll(float* dst, const float* src,
+                            int64_t chunk_numel) {
+  const int w = size();
+  comm_->src_slots_[rank_] = src;
+  comm_->barrier_.Wait();
+  for (int k = 0; k < w; ++k) {
+    // Chunk `rank_` of rank k's source lands in slot k of our destination.
+    std::memcpy(dst + static_cast<int64_t>(k) * chunk_numel,
+                comm_->src_slots_[k] + static_cast<int64_t>(rank_) *
+                                           chunk_numel,
+                static_cast<size_t>(chunk_numel) * 4);
+  }
+  comm_->barrier_.Wait();
+  ++mutable_stats().allgather_ops;  // accounted with the gather family
+  mutable_stats().allgather_bytes += (w - 1) * chunk_numel * 4;
+  return Work();
+}
+
+Work ProcessGroup::Broadcast(float* buf, int64_t numel, int root) {
+  comm_->src_slots_[rank_] = buf;
+  comm_->barrier_.Wait();
+  if (rank_ != root) {
+    std::memcpy(buf, comm_->src_slots_[root], static_cast<size_t>(numel) * 4);
+  }
+  comm_->barrier_.Wait();
+  ++mutable_stats().broadcast_ops;
+  if (rank_ != root) mutable_stats().broadcast_bytes += numel * 4;
+  return Work();
+}
+
+Work ProcessGroup::AllGatherBase(Tensor dst, const Tensor& src) {
+  FSDP_CHECK_MSG(dst.numel() == src.numel() * size(),
+                 "AllGatherBase: dst numel " << dst.numel() << " != "
+                                             << src.numel() << " * "
+                                             << size());
+  return AllGatherBase(dst.data(), src.data(), src.numel());
+}
+
+Work ProcessGroup::ReduceScatter(Tensor dst, const Tensor& src, ReduceOp op,
+                                 DType comm_dtype) {
+  FSDP_CHECK_MSG(src.numel() == dst.numel() * size(),
+                 "ReduceScatter: src numel " << src.numel() << " != "
+                                             << dst.numel() << " * "
+                                             << size());
+  return ReduceScatter(dst.data(), src.data(), dst.numel(), op, comm_dtype);
+}
+
+Work ProcessGroup::AllReduce(Tensor buf, ReduceOp op, DType comm_dtype) {
+  return AllReduce(buf.data(), buf.numel(), op, comm_dtype);
+}
+
+Work ProcessGroup::Broadcast(Tensor buf, int root) {
+  return Broadcast(buf.data(), buf.numel(), root);
+}
+
+DeviceMesh::DeviceMesh(int world_size, int sharding_factor)
+    : world_size_(world_size), sharding_factor_(sharding_factor) {
+  FSDP_CHECK_MSG(sharding_factor >= 1 && sharding_factor <= world_size,
+                 "sharding factor " << sharding_factor << " out of [1, "
+                                    << world_size << "]");
+  FSDP_CHECK_MSG(world_size % sharding_factor == 0,
+                 "sharding factor must divide world size");
+  world_ = std::make_shared<Communicator>(world_size);
+  const int num_shard = world_size / sharding_factor;
+  for (int g = 0; g < num_shard; ++g) {
+    shard_groups_.push_back(std::make_shared<Communicator>(sharding_factor));
+  }
+  for (int g = 0; g < sharding_factor; ++g) {
+    replicate_groups_.push_back(std::make_shared<Communicator>(num_shard));
+  }
+}
+
+ProcessGroup DeviceMesh::WorldGroup(int rank) {
+  return ProcessGroup(world_, rank);
+}
+
+ProcessGroup DeviceMesh::ShardGroup(int rank) {
+  const int group = rank / sharding_factor_;
+  return ProcessGroup(shard_groups_[group], rank % sharding_factor_);
+}
+
+ProcessGroup DeviceMesh::ReplicateGroup(int rank) {
+  const int local = rank % sharding_factor_;
+  return ProcessGroup(replicate_groups_[local], rank / sharding_factor_);
+}
+
+}  // namespace fsdp::comm

@@ -1,0 +1,165 @@
+// Thread-per-rank process groups and collectives.
+//
+// Substitutes for torch.distributed ProcessGroupNCCL in the functional layer:
+// W ranks are W OS threads in one process, and collectives move data through
+// shared memory under sense-reversing barriers. Semantics mirror NCCL where
+// the paper depends on them:
+//  * all_gather_base / reduce_scatter require *even* per-rank input sizes and
+//    contiguous single-tensor outputs — the efficient path FSDP's
+//    FlatParameter layout is designed to hit with zero copies (Sec 3.2.1).
+//  * all_gather (list-of-outputs) and the uneven-input fallback emulate the
+//    flexible-but-slower ProcessGroup behaviours contrasted in Fig 2(a); the
+//    uneven path really is implemented with per-rank broadcasts.
+//  * Reductions run in deterministic rank order, and can optionally quantize
+//    through a reduced-precision dtype to emulate low-precision collectives
+//    (Sec 4.4 "permits running all collectives in the low precision").
+// Per-rank byte/op counters support the traffic-model tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/threading.h"
+#include "tensor/dtype.h"
+#include "tensor/tensor.h"
+
+namespace fsdp::comm {
+
+enum class ReduceOp { kSum, kAvg, kMax };
+
+/// Completion handle (PyTorch c10d Work analogue). Functional-layer
+/// collectives complete synchronously, so Wait() is immediate, but FSDP code
+/// is written against this interface exactly as it would be against c10d.
+class Work {
+ public:
+  void Wait() {}
+  bool Completed() const { return true; }
+};
+
+/// Byte/op counters for one rank (reset-able).
+struct CommStats {
+  int64_t allgather_ops = 0;
+  int64_t allgather_bytes = 0;  // bytes received from peers
+  int64_t reducescatter_ops = 0;
+  int64_t reducescatter_bytes = 0;
+  int64_t allreduce_ops = 0;
+  int64_t allreduce_bytes = 0;
+  int64_t broadcast_ops = 0;
+  int64_t broadcast_bytes = 0;
+};
+
+/// Shared state of one communicator (one "NCCL communicator"): barriers and
+/// pointer-exchange slots for a fixed set of participants.
+class Communicator {
+ public:
+  explicit Communicator(int size);
+
+  int size() const { return size_; }
+
+ private:
+  friend class ProcessGroup;
+  int size_;
+  Barrier barrier_;
+  std::vector<const float*> src_slots_;
+  std::vector<float*> dst_slots_;
+  std::vector<int64_t> count_slots_;
+  std::vector<float> scratch_;  // all_reduce staging
+  std::mutex scratch_mu_;
+  std::vector<CommStats> rank_stats_;  // shared by all handles of a rank
+};
+
+/// Per-rank handle over a Communicator. All collective calls must be entered
+/// by every rank of the communicator (standard SPMD contract); mismatched
+/// sizes are checked.
+class ProcessGroup {
+ public:
+  ProcessGroup() = default;
+  ProcessGroup(std::shared_ptr<Communicator> comm, int rank);
+
+  int rank() const { return rank_; }
+  int size() const { return comm_->size(); }
+  bool valid() const { return comm_ != nullptr; }
+
+  /// NCCL-style AllGather: every rank contributes `numel_per_rank` elements;
+  /// `dst` receives size()*numel_per_rank elements in rank order.
+  Work AllGatherBase(float* dst, const float* src, int64_t numel_per_rank);
+  /// List-output AllGather (PyTorch ProcessGroup.all_gather): identical data
+  /// movement plus the extra copies through a consolidated buffer.
+  Work AllGather(const std::vector<float*>& dsts, const float* src,
+                 int64_t numel_per_rank);
+  /// Uneven-size AllGather emulated with per-rank broadcasts (the slow path
+  /// of Fig 2(a)). `counts[k]` elements come from rank k into dsts[k].
+  Work AllGatherUneven(const std::vector<float*>& dsts, const float* src,
+                       const std::vector<int64_t>& counts);
+
+  /// NCCL-style ReduceScatter: every rank contributes size()*numel_per_rank
+  /// elements; `dst` receives the reduction of chunk `rank()`.
+  /// `comm_dtype` != kF32 quantizes every partial sum through that dtype,
+  /// emulating a low-precision collective.
+  Work ReduceScatter(float* dst, const float* src, int64_t numel_per_rank,
+                     ReduceOp op = ReduceOp::kSum,
+                     DType comm_dtype = DType::kF32);
+
+  Work AllReduce(float* buf, int64_t numel, ReduceOp op = ReduceOp::kSum,
+                 DType comm_dtype = DType::kF32);
+
+  Work Broadcast(float* buf, int64_t numel, int root);
+
+  /// AllToAll: `src` holds size() chunks of `chunk_numel` elements; chunk j
+  /// goes to rank j. `dst` receives chunk i from rank i, in rank order.
+  /// (The activation-exchange primitive of recommendation models like DHEN.)
+  Work AllToAll(float* dst, const float* src, int64_t chunk_numel);
+
+  void Barrier();
+
+  // Tensor conveniences (operate on the flat contents).
+  Work AllGatherBase(Tensor dst, const Tensor& src);
+  Work ReduceScatter(Tensor dst, const Tensor& src,
+                     ReduceOp op = ReduceOp::kSum,
+                     DType comm_dtype = DType::kF32);
+  Work AllReduce(Tensor buf, ReduceOp op = ReduceOp::kSum,
+                 DType comm_dtype = DType::kF32);
+  Work Broadcast(Tensor buf, int root);
+
+  /// Per-rank counters, shared by every ProcessGroup handle over the same
+  /// (communicator, rank) — so a caller can observe traffic produced by a
+  /// wrapper (DDP/FSDP) holding its own handle copy.
+  const CommStats& stats() const { return comm_->rank_stats_[rank_]; }
+  void ResetStats() { comm_->rank_stats_[rank_] = CommStats{}; }
+
+ private:
+  CommStats& mutable_stats() { return comm_->rank_stats_[rank_]; }
+
+  std::shared_ptr<Communicator> comm_;
+  int rank_ = -1;
+};
+
+/// Pre-built communicators for a world and its hybrid-sharding subgroups.
+/// Construct once (before spawning rank threads), then hand each rank its
+/// groups. For world size W and sharding factor F (F divides W):
+///   * shard group of rank r: the F consecutive ranks r belongs to
+///     (paper Sec 3.2.2 groups S_1..S_{W/F});
+///   * replicate group of rank r: the W/F ranks with equal index within
+///     their shard group (groups R_1..R_F).
+class DeviceMesh {
+ public:
+  DeviceMesh(int world_size, int sharding_factor);
+
+  int world_size() const { return world_size_; }
+  int sharding_factor() const { return sharding_factor_; }
+  int num_shard_groups() const { return world_size_ / sharding_factor_; }
+
+  ProcessGroup WorldGroup(int rank);
+  ProcessGroup ShardGroup(int rank);      // size F
+  ProcessGroup ReplicateGroup(int rank);  // size W/F
+
+ private:
+  int world_size_;
+  int sharding_factor_;
+  std::shared_ptr<Communicator> world_;
+  std::vector<std::shared_ptr<Communicator>> shard_groups_;
+  std::vector<std::shared_ptr<Communicator>> replicate_groups_;
+};
+
+}  // namespace fsdp::comm

@@ -1,0 +1,51 @@
+// Minimal leveled logging. Off by default above WARNING; tests and benches can
+// raise verbosity via SetLogLevel. Thread-safe line-at-a-time output.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fsdp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal {
+inline std::atomic<int>& LogThreshold() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarning)};
+  return level;
+}
+inline std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace internal
+
+inline void SetLogLevel(LogLevel level) {
+  internal::LogThreshold().store(static_cast<int>(level));
+}
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= internal::LogThreshold().load();
+}
+
+inline void LogLine(LogLevel level, const std::string& msg) {
+  if (!LogEnabled(level)) return;
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(internal::LogMutex());
+  std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)],
+               msg.c_str());
+}
+
+}  // namespace fsdp
+
+#define FSDP_LOG(level, stream_expr)                                \
+  do {                                                              \
+    if (::fsdp::LogEnabled(::fsdp::LogLevel::level)) {              \
+      std::ostringstream oss_;                                      \
+      oss_ << stream_expr;                                          \
+      ::fsdp::LogLine(::fsdp::LogLevel::level, oss_.str());         \
+    }                                                               \
+  } while (0)

@@ -1,0 +1,75 @@
+// Counter-based pseudo-random number generation.
+//
+// FSDP's deferred initialization (paper Sec 3.1) records parameter-init
+// operations on a fake device and replays them later on a real device. For
+// record/replay to produce bit-identical values, randomness must be a pure
+// function of (seed, stream, counter) rather than of global mutable state.
+// We therefore use a splitmix64/philox-style counter-based generator: every
+// parameter initialization draws from its own stream id, so replay order is
+// irrelevant.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace fsdp {
+
+/// Stateless mixing function (splitmix64 finalizer). Maps a 64-bit counter to
+/// a well-distributed 64-bit value.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Counter-based generator: a pure function of (seed, stream, counter).
+/// Two Rng objects constructed with the same triple produce the same sequence
+/// regardless of when or where they run — the property deferred init relies on.
+class Rng {
+ public:
+  Rng(uint64_t seed, uint64_t stream) : seed_(seed), stream_(stream) {}
+
+  /// Next raw 64-bit draw.
+  uint64_t NextU64() {
+    return Mix64(seed_ ^ Mix64(stream_ ^ Mix64(counter_++)));
+  }
+
+  /// Uniform in [0, 1).
+  double NextUniform() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextUniform();
+  }
+
+  /// Standard normal via Box-Muller (uses two uniform draws per value).
+  double NextNormal() {
+    double u1 = NextUniform();
+    double u2 = NextUniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double NextNormal(double mean, double std) { return mean + std * NextNormal(); }
+
+  /// Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n) { return NextU64() % n; }
+
+  uint64_t seed() const { return seed_; }
+  uint64_t stream() const { return stream_; }
+  uint64_t counter() const { return counter_; }
+
+  /// Repositions the counter (used when replaying a recorded init op).
+  void set_counter(uint64_t c) { counter_ = c; }
+
+ private:
+  uint64_t seed_;
+  uint64_t stream_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace fsdp

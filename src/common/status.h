@@ -1,0 +1,157 @@
+// Status / Result error-handling primitives, in the style of Arrow/RocksDB.
+//
+// Fallible operations in the library return Status (or Result<T>) instead of
+// throwing; programming errors (violated invariants) use FSDP_CHECK which
+// aborts with a message. Hot paths use FSDP_DCHECK, compiled out in release.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace fsdp {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,     // simulated device OOM (allocator), or host OOM guard
+  kInternal,        // invariant violation detected at runtime
+  kNotImplemented,
+  kIOError,
+};
+
+/// A cheap, copyable success-or-error value. Success carries no allocation.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  /// Aborts the process if this status is not OK. For use at API boundaries
+  /// where the caller has no recovery path.
+  void Check() const {
+    if (!ok()) {
+      std::fprintf(stderr, "fatal status: %s\n", ToString().c_str());
+      std::abort();
+    }
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "Invalid argument";
+      case StatusCode::kOutOfMemory: return "Out of memory";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kNotImplemented: return "Not implemented";
+      case StatusCode::kIOError: return "IO error";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& ValueOrDie() {
+    status_.Check();
+    return *value_;
+  }
+  const T& ValueOrDie() const {
+    status_.Check();
+    return *value_;
+  }
+
+  T& operator*() { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_ = Status::OK();
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& extra) {
+  std::fprintf(stderr, "%s:%d: check failed: %s %s\n", file, line, expr,
+               extra.c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace fsdp
+
+/// Aborts with a message when `cond` is false. Always on.
+#define FSDP_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::fsdp::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                 \
+  } while (0)
+
+/// FSDP_CHECK with a streamed message: FSDP_CHECK_MSG(x > 0, "x=" << x).
+#define FSDP_CHECK_MSG(cond, stream_expr)                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream oss_;                                               \
+      oss_ << stream_expr;                                                   \
+      ::fsdp::internal::CheckFailed(__FILE__, __LINE__, #cond, oss_.str());  \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define FSDP_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define FSDP_DCHECK(cond) FSDP_CHECK(cond)
+#endif
+
+/// Propagates a non-OK Status to the caller.
+#define FSDP_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::fsdp::Status st_ = (expr);          \
+    if (!st_.ok()) return st_;            \
+  } while (0)

@@ -1,0 +1,69 @@
+// Thread-coordination primitives for the thread-per-rank process group.
+//
+// The functional layer runs W ranks as W OS threads inside one process
+// (substituting for W processes + NCCL; see DESIGN.md). Collectives are built
+// from the sense-reversing barrier here plus shared scratch buffers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fsdp {
+
+/// Reusable barrier for a fixed set of participants. Sense-reversing so it can
+/// be re-entered immediately; arrival order across phases cannot deadlock.
+class Barrier {
+ public:
+  explicit Barrier(int num_threads) : num_threads_(num_threads) {
+    FSDP_CHECK(num_threads > 0);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants have arrived. Returns true on exactly one
+  /// participant per phase (the last to arrive), which callers can use to run
+  /// a once-per-phase action before anyone proceeds is NOT guaranteed — the
+  /// action must be done before calling Wait by a designated rank instead.
+  bool Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool phase = phase_;
+    if (++arrived_ == num_threads_) {
+      arrived_ = 0;
+      phase_ = !phase_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return phase_ != phase; });
+    return false;
+  }
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  bool phase_ = false;
+};
+
+/// Runs `fn(rank)` on `world_size` threads and joins them all. Any FSDP_CHECK
+/// failure aborts the process (tests rely on this to surface rank errors).
+inline void RunOnRanks(int world_size, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&fn, r] { fn(r); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace fsdp

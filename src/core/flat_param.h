@@ -1,0 +1,164 @@
+// FlatParameter and FlatParamHandle (paper Sec 3.2.1, 3.2.3, 4.2, 4.4).
+//
+// One FlatParameter owns the storage of all original parameters in one FSDP
+// unit: the originals are flattened, concatenated, padded on the right to a
+// multiple of the sharding factor F (so padding is at most F-1), and chunked
+// evenly — the exact layout AllGather / ReduceScatter expect, enabling
+// zero-copy collectives. The FlatParamHandle manages one FlatParameter's
+// lifecycle:
+//
+//   MaterializeAndShard  — build the full flat value (copying eager values or
+//                          replaying deferred-init records one unit at a
+//                          time), keep only the local chunk;
+//   Unshard              — AllGather the chunks into the unsharded flat
+//                          (optionally casting to the low-precision
+//                          param_dtype first: Sec 4.4);
+//   UseUnshardedViews    — point every original parameter slot at an
+//                          autograd-visible SliceView of the unsharded flat;
+//   Reshard              — free the unsharded flat's bytes (resize_(0)
+//                          semantics): memory accounting drops to the shard,
+//                          and any use of stale parameters (the shared-
+//                          parameter pitfall of Sec 7.2.2, or a missing
+//                          pre-backward re-gather) aborts loudly with the
+//                          "missing tensor storage" failure the paper
+//                          describes;
+//   PrepareGradient      — post-backward: ReduceScatter the unsharded
+//                          gradient over the shard group (in reduce_dtype),
+//                          AllReduce over the replicate group when F < W
+//                          (hybrid sharding, Eq. 1), divide by the
+//                          data-parallel world size, and accumulate into the
+//                          sharded FlatParameter's .grad.
+//
+// The *sharded* FlatParameter is the leaf the optimizer sees; the *unsharded*
+// flat tensor is the autograd leaf the views hang off, whose AccumulateGrad
+// post-hook is FSDP's post-backward anchor (Sec 4.3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/process_group.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace fsdp::core {
+
+/// Mixed-precision settings (paper Sec 4.4). kF32 everywhere = off.
+struct MixedPrecision {
+  DType param_dtype = DType::kF32;   // unsharded params & compute
+  DType reduce_dtype = DType::kF32;  // gradient reduction
+  DType buffer_dtype = DType::kF32;  // non-trainable buffers
+
+  bool enabled() const {
+    return param_dtype != DType::kF32 || reduce_dtype != DType::kF32;
+  }
+};
+
+/// Metadata for one original parameter inside a FlatParameter.
+struct ParamInfo {
+  std::string fqn;                  // fully-qualified name
+  std::vector<Tensor*> slots;       // all module slots sharing this parameter
+  Shape shape;
+  int64_t numel = 0;
+  int64_t offset = 0;               // element offset in the flat parameter
+};
+
+class FlatParamHandle {
+ public:
+  /// `shard_pg` spans the F ranks parameters are sharded over; when
+  /// F < world, `replicate_pg` spans the W/F replicas (undefined otherwise).
+  FlatParamHandle(std::string name, std::vector<ParamInfo> params,
+                  comm::ProcessGroup shard_pg, comm::ProcessGroup replicate_pg,
+                  MixedPrecision mp);
+
+  // ----- lifecycle -----
+  /// Builds flat values (eager copy or deferred-init replay) and keeps only
+  /// this rank's chunk. If `sync_from_rank0`, broadcasts the full flat value
+  /// over the shard+replicate groups first so all ranks agree.
+  void MaterializeAndShard(bool sync_from_rank0);
+  /// AllGathers the local chunks into the unsharded flat parameter. No-op if
+  /// already unsharded. Casts through param_dtype when mixed precision is on.
+  void Unshard();
+  /// Installs autograd-visible views into the module's parameter slots and
+  /// re-arms the unsharded leaf for gradient accumulation.
+  void UseUnshardedViews();
+  /// Logically frees (and poisons) the unsharded flat parameter.
+  void Reshard();
+  /// Post-backward gradient path; see file comment. `accumulate` false
+  /// replaces .grad, true adds. Divides by `grad_divisor` (the data-parallel
+  /// world size) after reduction.
+  void PrepareGradient(float grad_divisor);
+  /// Drops the unsharded gradient accumulated on the autograd leaf.
+  void ClearUnshardedGrad();
+
+  // ----- accessors -----
+  const std::string& name() const { return name_; }
+  /// The sharded FlatParameter (optimizer target). Leaf, requires_grad.
+  Tensor& sharded_param() { return sharded_param_; }
+  /// The unsharded flat parameter (autograd leaf for views).
+  Tensor& unsharded_param() { return unsharded_param_; }
+  bool is_unsharded() const { return unsharded_; }
+  int64_t total_numel() const { return total_numel_; }      // without padding
+  int64_t padded_numel() const { return padded_numel_; }
+  int64_t shard_numel() const { return shard_numel_; }
+  int64_t padding_numel() const { return padded_numel_ - total_numel_; }
+  const std::vector<ParamInfo>& params() const { return params_; }
+  const MixedPrecision& mixed_precision() const { return mp_; }
+  comm::ProcessGroup& shard_pg() { return shard_pg_; }
+  comm::ProcessGroup& replicate_pg() { return replicate_pg_; }
+
+  /// Registers the post-backward anchor once: fired when the unsharded flat
+  /// parameter's gradient finishes accumulating.
+  void SetPostBackwardHook(std::function<void()> hook);
+
+  /// AllGathers the sharded values and splits them back into original-shaped
+  /// tensors (full state_dict path). No autograd.
+  std::vector<std::pair<std::string, Tensor>> GatherFullParams();
+  /// Same, for the sharded gradient (tests / optimizer inspection). Entries
+  /// are undefined Tensors when no gradient is present.
+  std::vector<std::pair<std::string, Tensor>> GatherFullGrads();
+  /// Writes `full` (original fqn -> tensor) into this rank's shard (load
+  /// path). Missing entries keep current values.
+  void LoadFullParams(
+      const std::vector<std::pair<std::string, Tensor>>& full);
+
+  /// This rank's shard of the *original* parameter layout: for each param,
+  /// the [start, end) element range owned locally (optimizer-state
+  /// inspection; empty range if the param lies outside the local chunk).
+  struct ShardExtent {
+    std::string fqn;
+    int64_t start = 0;  // within the original flattened param
+    int64_t end = 0;
+  };
+  std::vector<ShardExtent> LocalShardExtents() const;
+
+ private:
+  /// Fills `dst` (padded_numel) with the full flat value from eager params
+  /// or deferred-init records.
+  void BuildFullFlat(Tensor dst);
+
+  std::string name_;
+  std::vector<ParamInfo> params_;
+  comm::ProcessGroup shard_pg_;
+  comm::ProcessGroup replicate_pg_;  // invalid when F == world size
+  MixedPrecision mp_;
+
+  int64_t total_numel_ = 0;
+  int64_t padded_numel_ = 0;
+  int64_t shard_numel_ = 0;
+
+  Tensor sharded_param_;    // (shard_numel) leaf, fp32 master copy
+  Tensor unsharded_param_;  // (padded_numel) autograd leaf for views
+  bool unsharded_ = false;
+  bool materialized_ = false;
+  std::function<void()> post_backward_hook_;
+};
+
+/// Builds the ParamInfo list (with offsets) for a set of (fqn, slot) pairs,
+/// deduplicating shared parameters by TensorImpl identity.
+std::vector<ParamInfo> BuildParamInfos(
+    const std::vector<std::pair<std::string, Tensor*>>& named_slots);
+
+}  // namespace fsdp::core

@@ -1,0 +1,404 @@
+#include "core/fsdp.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "autograd/engine.h"
+
+namespace fsdp::core {
+
+const char* ShardingStrategyName(ShardingStrategy s) {
+  switch (s) {
+    case ShardingStrategy::kFullShard: return "FULL_SHARD";
+    case ShardingStrategy::kShardGradOp: return "SHARD_GRAD_OP";
+    case ShardingStrategy::kNoShard: return "NO_SHARD";
+    case ShardingStrategy::kHybridShard: return "HYBRID_SHARD";
+    case ShardingStrategy::kHybridShardZero2: return "HYBRID_SHARD_ZERO2";
+  }
+  return "?";
+}
+
+bool ReshardAfterForward(ShardingStrategy s) {
+  return s == ShardingStrategy::kFullShard ||
+         s == ShardingStrategy::kHybridShard;
+}
+
+FsdpState::FsdpState(nn::ModulePtr module, comm::DeviceMesh& mesh, int rank,
+                     FsdpOptions options)
+    : module_(std::move(module)), rank_(rank),
+      world_size_(mesh.world_size()), options_(std::move(options)) {
+  if (!options_.auto_wrap_policy) options_.auto_wrap_policy = NoWrapPolicy();
+
+  // The mesh's sharding factor must match the strategy (paper Sec 3.2).
+  const int f = mesh.sharding_factor();
+  switch (options_.strategy) {
+    case ShardingStrategy::kFullShard:
+    case ShardingStrategy::kShardGradOp:
+      FSDP_CHECK_MSG(f == world_size_,
+                     ShardingStrategyName(options_.strategy)
+                         << " requires sharding factor == world size");
+      break;
+    case ShardingStrategy::kNoShard:
+      FSDP_CHECK_MSG(f == 1, "NO_SHARD requires sharding factor 1");
+      break;
+    case ShardingStrategy::kHybridShard:
+    case ShardingStrategy::kHybridShardZero2:
+      FSDP_CHECK_MSG(f >= 1 && f <= world_size_,
+                     "hybrid sharding factor out of range");
+      break;
+  }
+
+  BuildUnits(mesh);
+  // Per-iteration arming runs before any unit logic: register on the root
+  // module ahead of the unit hooks (pre-hooks run in registration order).
+  module_->RegisterForwardPreHook([this](nn::Module&, const Tensor&) {
+    ArmIteration();
+    return Tensor();
+  });
+  InstallHooks();
+
+  for (Unit& unit : units_) {
+    unit.handle->MaterializeAndShard(options_.sync_module_states);
+  }
+  // Cast non-trainable buffers once at wrap time (Sec 4.4 buffer_dtype).
+  if (options_.mixed_precision.buffer_dtype != DType::kF32) {
+    for (auto& [name, slot] : module_->NamedBuffers()) {
+      if (slot->device() == Device::kCpu) {
+        *slot = slot->CastTo(options_.mixed_precision.buffer_dtype);
+      }
+    }
+  }
+}
+
+void FsdpState::BuildUnits(comm::DeviceMesh& mesh) {
+  // Deepest-first assignment, post-order (children in registration order
+  // before their parent): nested annotated blocks claim their parameters
+  // first and the parent (ultimately the root) receives the residuals —
+  // the paper's nested-annotation rule (Sec 4.2).
+  struct PendingUnit {
+    std::string name;
+    nn::Module* module;
+    bool is_root;
+    std::vector<std::pair<std::string, Tensor*>> named_slots;
+  };
+  std::vector<PendingUnit> pending;
+  std::unordered_map<const TensorImpl*, size_t> impl_to_unit;
+  constexpr size_t kIgnored = static_cast<size_t>(-1);
+
+  std::function<void(nn::Module&, const std::string&)> visit =
+      [&](nn::Module& mod, const std::string& fqn) {
+        // Ignored subtrees: claim their parameters for "nobody" so neither
+        // this subtree nor any ancestor unit flattens them.
+        if (!fqn.empty() && options_.ignore_policy &&
+            options_.ignore_policy(mod, fqn)) {
+          for (auto& [pname, slot] : mod.NamedParameters()) {
+            impl_to_unit.emplace(slot->impl().get(), kIgnored);
+          }
+          return;
+        }
+        for (auto& [child_name, child] : mod.Children()) {
+          visit(*child, fqn.empty() ? child_name : fqn + "." + child_name);
+        }
+        const bool is_root = fqn.empty();
+        if (!is_root && !options_.auto_wrap_policy(mod, fqn)) return;
+
+        std::vector<std::pair<std::string, Tensor*>> named_slots;
+        const std::string prefix = is_root ? "" : fqn + ".";
+        for (auto& [pname, slot] : mod.NamedParameters()) {
+          if (impl_to_unit.count(slot->impl().get())) continue;
+          named_slots.emplace_back(prefix + pname, slot);
+        }
+        if (named_slots.empty()) return;
+        for (auto& [pname, slot] : named_slots) {
+          impl_to_unit.emplace(slot->impl().get(), pending.size());
+        }
+        pending.push_back(PendingUnit{is_root ? "[root]" : fqn, &mod, is_root,
+                                      std::move(named_slots)});
+      };
+  visit(*module_, "");
+  FSDP_CHECK_MSG(!pending.empty(), "model has no parameters to wrap");
+
+  // Shared-parameter alias pass: a slot elsewhere in the model aliasing a
+  // claimed impl must also be redirected to the claiming unit's views
+  // (within one unit this is safe; across units it reproduces the Sec 7.2.2
+  // pitfall when the claiming unit reshards first).
+  std::vector<std::unordered_set<Tensor*>> unit_slots(pending.size());
+  for (size_t u = 0; u < pending.size(); ++u) {
+    for (auto& [pname, slot] : pending[u].named_slots) {
+      unit_slots[u].insert(slot);
+    }
+  }
+  for (auto& [pname, slot] : module_->NamedParameters()) {
+    auto it = impl_to_unit.find(slot->impl().get());
+    if (it == impl_to_unit.end() || it->second == kIgnored) continue;
+    if (unit_slots[it->second].insert(slot).second) {
+      pending[it->second].named_slots.emplace_back(pname, slot);
+    }
+  }
+
+  // Store outermost-first (root, if it formed a unit, is unit 0).
+  for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+    Unit unit;
+    unit.name = it->name;
+    unit.module = it->module;
+    unit.is_root = it->is_root;
+    unit.handle = std::make_unique<FlatParamHandle>(
+        unit.name, BuildParamInfos(it->named_slots), mesh.ShardGroup(rank_),
+        mesh.sharding_factor() < world_size_ ? mesh.ReplicateGroup(rank_)
+                                             : comm::ProcessGroup(),
+        options_.mixed_precision);
+    units_.push_back(std::move(unit));
+  }
+}
+
+void FsdpState::InstallHooks() {
+  for (size_t i = 0; i < units_.size(); ++i) {
+    Unit* unit = &units_[i];
+    unit->module->RegisterForwardPreHook(
+        [this, unit](nn::Module&, const Tensor&) {
+          OnPreForward(*unit);
+          return Tensor();
+        });
+    unit->module->RegisterForwardPostHook(
+        [this, unit](nn::Module&, const Tensor&, const Tensor& output) {
+          OnPostForward(*unit, output);
+          return Tensor();
+        });
+    unit->handle->SetPostBackwardHook([this, unit] { OnPostBackward(*unit); });
+  }
+}
+
+void FsdpState::Emit(const std::string& event) {
+  if (options_.record_events) events_.push_back(event);
+}
+
+void FsdpState::ArmIteration() {
+  // New iteration: arm per-pass state. (Multiple forwards before a backward
+  // keep appending to forward_order_ — the order rolls over only when a
+  // backward completes.)
+  if (forward_seen_.empty()) {
+    forward_order_.clear();
+    for (Unit& unit : units_) unit.backward_done = false;
+  }
+}
+
+void FsdpState::IssueUnshard(Unit& unit) {
+  if (unit.handle->is_unsharded()) return;
+  Emit("AG:" + unit.name);
+  unit.handle->Unshard();
+  unit.inflight = true;
+  ++inflight_;
+  max_inflight_ = std::max(max_inflight_, inflight_);
+}
+
+void FsdpState::ConsumeUnshard(Unit& unit) {
+  if (unit.inflight) {
+    unit.inflight = false;
+    --inflight_;
+  }
+}
+
+void FsdpState::OnPreForward(Unit& unit) {
+  const int index = static_cast<int>(&unit - units_.data());
+  if (!forward_seen_.count(index)) {
+    forward_seen_.insert(index);
+    forward_order_.push_back(index);
+  }
+  IssueUnshard(unit);
+  unit.handle->UseUnshardedViews();
+
+  // Forward prefetch: issue the next unit's AllGather (previous iteration's
+  // order) before this unit's forward computation (Sec 3.3.3).
+  if (options_.forward_prefetch) {
+    if (Unit* next = NextForwardPrefetchTarget(unit)) {
+      if (options_.limit_all_gathers > 0 &&
+          inflight_ >= options_.limit_all_gathers) {
+        ++throttled_prefetches_;
+        Emit("THROTTLE:" + next->name);
+      } else {
+        IssueUnshard(*next);
+      }
+    }
+  }
+  Emit("FWD:" + unit.name);
+  ConsumeUnshard(unit);
+}
+
+void FsdpState::OnPostForward(Unit& unit, const Tensor& output) {
+  // An activation-checkpoint recompute re-enters this unit's forward from
+  // inside the backward pass: keep the parameters unsharded (the imminent
+  // nested backward needs them; its post-backward reshards) and skip the
+  // pre-backward registration (the unit is already unsharded).
+  if (autograd::InBackward()) return;
+  // The outermost unit's parameters intentionally stay in memory after
+  // forward (Sec 3.3.1), covering custom parameters between wrapped
+  // submodules; inner units reshard under RAF strategies.
+  if (ReshardAfterForward(options_.strategy) && !unit.is_root) {
+    Emit("RESHARD:" + unit.name);
+    unit.handle->Reshard();
+  }
+  // Pre-backward anchor: a Tensor hook on the unit's forward output fires
+  // when the output's gradient is ready, just before backward enters the
+  // unit (Sec 4.3).
+  if (output.defined() && Participates(output.impl())) {
+    Unit* u = &unit;
+    const_cast<Tensor&>(output).register_hook([this, u](const Tensor&) {
+      OnPreBackward(*u);
+      return Tensor();
+    });
+  }
+}
+
+void FsdpState::OnPreBackward(Unit& unit) {
+  Emit("PREBWD:" + unit.name);
+  if (!final_callback_queued_) {
+    final_callback_queued_ = true;
+    autograd::QueueCallback([this] { OnBackwardFinal(); });
+  }
+  IssueUnshard(unit);
+  ConsumeUnshard(unit);
+}
+
+void FsdpState::OnPostBackward(Unit& unit) {
+  unit.backward_done = true;
+  // Backward prefetch: issue the *next* AllGather before the *current*
+  // ReduceScatter so the single in-order communication stream does not
+  // stall the next gradient computation (Sec 3.3.2).
+  if (options_.backward_prefetch) {
+    if (Unit* next = NextBackwardPrefetchTarget(unit)) {
+      if (options_.limit_all_gathers > 0 &&
+          inflight_ >= options_.limit_all_gathers) {
+        ++throttled_prefetches_;
+        Emit("THROTTLE:" + next->name);
+      } else {
+        IssueUnshard(*next);
+      }
+    }
+  }
+  if (require_sync_) {
+    Emit("RS:" + unit.name);
+    if (unit.handle->replicate_pg().valid()) Emit("AR:" + unit.name);
+    unit.handle->PrepareGradient(static_cast<float>(world_size_));
+    Emit("RESHARD:" + unit.name);
+    unit.handle->Reshard();
+    ConsumeUnshard(unit);
+  }
+  // Without sync (accumulation-without-communication, Sec 3.3.4) the
+  // unsharded gradient stays on the autograd leaf and the parameters stay
+  // unsharded — trading memory for skipped communication.
+}
+
+void FsdpState::OnBackwardFinal() {
+  // End of backward (Sec 4.3 queue_callback): wait for pending collectives
+  // (synchronous in the functional layer), reshard everything still
+  // unsharded, and roll the observed forward order into the next iteration's
+  // forward-prefetch hints.
+  for (Unit& unit : units_) {
+    if (unit.handle->is_unsharded() && require_sync_) {
+      Emit("RESHARD:" + unit.name);
+      unit.handle->Reshard();
+    }
+    ConsumeUnshard(unit);
+  }
+  // Execution-order validation (Sec 3.3.2's "freshly observed each
+  // iteration"): surface dynamic-graph order changes.
+  order_changed_ =
+      !prev_forward_order_.empty() && forward_order_ != prev_forward_order_;
+  if (order_changed_) Emit("ORDER_CHANGED");
+  prev_forward_order_ = forward_order_;
+  forward_seen_.clear();
+  final_callback_queued_ = false;
+}
+
+FsdpState::Unit* FsdpState::NextBackwardPrefetchTarget(const Unit& current) {
+  const int index = static_cast<int>(&current - units_.data());
+  auto pos = std::find(forward_order_.begin(), forward_order_.end(), index);
+  if (pos == forward_order_.end()) return nullptr;
+  // Walk backwards through the pre-forward order (its reverse approximates
+  // the pre-backward order).
+  while (pos != forward_order_.begin()) {
+    --pos;
+    Unit& candidate = units_[static_cast<size_t>(*pos)];
+    if (!candidate.backward_done && !candidate.handle->is_unsharded()) {
+      return &candidate;
+    }
+  }
+  return nullptr;
+}
+
+FsdpState::Unit* FsdpState::NextForwardPrefetchTarget(const Unit& current) {
+  const int index = static_cast<int>(&current - units_.data());
+  auto pos = std::find(prev_forward_order_.begin(), prev_forward_order_.end(),
+                       index);
+  if (pos == prev_forward_order_.end()) return nullptr;
+  ++pos;
+  if (pos == prev_forward_order_.end()) return nullptr;
+  Unit& next = units_[static_cast<size_t>(*pos)];
+  if (next.handle->is_unsharded()) return nullptr;
+  return &next;
+}
+
+std::vector<Tensor> FsdpState::Parameters() {
+  std::vector<Tensor> out;
+  out.reserve(units_.size());
+  for (Unit& unit : units_) out.push_back(unit.handle->sharded_param());
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> FsdpState::FullStateDict() {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (Unit& unit : units_) {
+    auto params = unit.handle->GatherFullParams();
+    out.insert(out.end(), params.begin(), params.end());
+  }
+  // Buffers are replicated (never sharded): save the local copies.
+  for (auto& [name, slot] : module_->NamedBuffers()) {
+    out.emplace_back(name, slot->Clone());
+  }
+  return out;
+}
+
+void FsdpState::LoadFullStateDict(
+    const std::vector<std::pair<std::string, Tensor>>& state) {
+  for (Unit& unit : units_) unit.handle->LoadFullParams(state);
+  for (auto& [name, slot] : module_->NamedBuffers()) {
+    for (const auto& [fqn, value] : state) {
+      if (fqn == name) {
+        FSDP_CHECK_MSG(value.numel() == slot->numel(),
+                       "buffer size mismatch for " << fqn);
+        slot->CopyFrom_(value);
+      }
+    }
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> FsdpState::ShardedStateDict() {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (Unit& unit : units_) {
+    out.emplace_back(unit.name, unit.handle->sharded_param().Clone());
+  }
+  return out;
+}
+
+std::shared_ptr<FsdpState> FullyShard(nn::ModulePtr module,
+                                      comm::DeviceMesh& mesh, int rank,
+                                      FsdpOptions options) {
+  return std::make_shared<FsdpState>(std::move(module), mesh, rank,
+                                     std::move(options));
+}
+
+FullyShardedDataParallel::FullyShardedDataParallel(nn::ModulePtr module,
+                                                   comm::DeviceMesh& mesh,
+                                                   int rank,
+                                                   FsdpOptions options)
+    : module_(module) {
+  RegisterModule("module", module_);
+  state_ = std::make_shared<FsdpState>(std::move(module), mesh, rank,
+                                       std::move(options));
+}
+
+Tensor FullyShardedDataParallel::Forward(const Tensor& input) {
+  return (*module_)(input);  // the hooks installed by FsdpState drive FSDP
+}
+
+}  // namespace fsdp::core

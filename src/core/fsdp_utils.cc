@@ -1,0 +1,61 @@
+#include "core/fsdp_utils.h"
+
+#include <cmath>
+
+namespace fsdp::core {
+
+float ClipGradNorm(FsdpState& state, float max_norm) {
+  NoGradGuard no_grad;
+  FSDP_CHECK_MSG(state.num_units() > 0, "no units");
+  // Local sum of squares over this rank's gradient shards. Padding elements
+  // hold zero gradient, so they contribute nothing.
+  double local_sq = 0;
+  for (int u = 0; u < state.num_units(); ++u) {
+    Tensor g = state.unit_handle(u).sharded_param().grad();
+    if (!g.defined()) continue;
+    const float* p = g.data();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      local_sq += static_cast<double>(p[i]) * p[i];
+    }
+  }
+  // One shard group holds exactly one full replica of the model (with
+  // hybrid sharding, gradients are already AllReduced across replicas), so
+  // reducing over the shard group yields the global squared norm.
+  Tensor sq = Tensor::Scalar(static_cast<float>(local_sq));
+  state.unit_handle(0).shard_pg().AllReduce(sq);
+  const float norm = std::sqrt(sq.item());
+  if (norm > max_norm && norm > 0.f) {
+    const float scale = max_norm / norm;
+    for (int u = 0; u < state.num_units(); ++u) {
+      Tensor g = state.unit_handle(u).sharded_param().grad();
+      if (g.defined()) g.Mul_(scale);
+    }
+  }
+  return norm;
+}
+
+SummonFullParams::SummonFullParams(FsdpState& state, bool writeback)
+    : state_(state), writeback_(writeback) {
+  for (int u = 0; u < state_.num_units(); ++u) {
+    state_.unit_handle(u).Unshard();
+    state_.unit_handle(u).UseUnshardedViews();
+  }
+}
+
+SummonFullParams::~SummonFullParams() {
+  NoGradGuard no_grad;
+  for (int u = 0; u < state_.num_units(); ++u) {
+    FlatParamHandle& h = state_.unit_handle(u);
+    if (writeback_) {
+      // Take this rank's chunk of the (possibly modified) unsharded flat.
+      Tensor full = h.unsharded_param();
+      const int64_t lo = h.shard_pg().rank() * h.shard_numel();
+      // Mixed precision caveat: the unsharded flat may be low-precision;
+      // write back through the FP32 master shard regardless.
+      h.sharded_param().CopyFrom_(full.SliceView(lo, {h.shard_numel()}));
+    }
+    h.Reshard();
+  }
+}
+
+}  // namespace fsdp::core

@@ -1,0 +1,48 @@
+// FSDP utilities: global gradient clipping and full-parameter summoning.
+//
+// ClipGradNorm addresses the paper's Sec 7.2.1 limitation head-on: FSDP
+// shards flat parameters without respecting parameter boundaries, so no rank
+// can compute a per-parameter or global norm locally — "achieving this
+// requires customized optimizers that leverage communications to calculate
+// global states". This is that customization: each rank reduces the squared
+// norm of its gradient shards over the sharding group, so every rank arrives
+// at the same global norm and applies the same scaling.
+//
+// SummonFullParams is the torch FSDP.summon_full_params analogue: an RAII
+// scope in which every unit is unsharded with views installed (for
+// evaluation, debugging, or in-place surgery), optionally writing local
+// modifications back into the shards on exit.
+#pragma once
+
+#include "core/fsdp.h"
+
+namespace fsdp::core {
+
+/// Computes the global L2 norm over all sharded gradients (collective over
+/// the sharding group — with hybrid sharding each shard group holds one full
+/// replica, so the group-local sum IS the global sum) and, if it exceeds
+/// `max_norm`, scales every gradient shard by max_norm/norm. Returns the
+/// pre-clip global norm (identical on all ranks). Parameters without
+/// gradients contribute zero.
+float ClipGradNorm(FsdpState& state, float max_norm);
+
+/// RAII full-parameter scope: unshards every unit and installs views so the
+/// module's parameters read as full tensors. On destruction the units are
+/// resharded; if `writeback`, each rank first copies its chunk of the
+/// (possibly modified) unsharded values back into its shard — modifications
+/// must be replicated across ranks to stay consistent (the caller's SPMD
+/// obligation).
+class SummonFullParams {
+ public:
+  explicit SummonFullParams(FsdpState& state, bool writeback = false);
+  ~SummonFullParams();
+
+  SummonFullParams(const SummonFullParams&) = delete;
+  SummonFullParams& operator=(const SummonFullParams&) = delete;
+
+ private:
+  FsdpState& state_;
+  bool writeback_;
+};
+
+}  // namespace fsdp::core

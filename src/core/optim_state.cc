@@ -1,0 +1,64 @@
+#include "core/optim_state.h"
+
+namespace fsdp::core {
+
+std::vector<FullOptimEntry> GatherFullOptimState(FsdpState& state,
+                                                 const optim::Adam& adam) {
+  NoGradGuard no_grad;
+  std::vector<FullOptimEntry> out;
+  for (int u = 0; u < state.num_units(); ++u) {
+    FlatParamHandle& handle = state.unit_handle(u);
+    const optim::Adam::StateView sv = adam.GetState(static_cast<size_t>(u));
+    if (!sv.initialized) continue;
+    FSDP_CHECK_MSG(sv.exp_avg.numel() == handle.shard_numel(),
+                   "optimizer not constructed over this FSDP state's "
+                   "Parameters()");
+    Tensor full_avg = Tensor::Empty({handle.padded_numel()});
+    Tensor full_sq = Tensor::Empty({handle.padded_numel()});
+    handle.shard_pg().AllGatherBase(full_avg, sv.exp_avg.Flatten());
+    handle.shard_pg().AllGatherBase(full_sq, sv.exp_avg_sq.Flatten());
+    for (const ParamInfo& p : handle.params()) {
+      FullOptimEntry entry;
+      entry.fqn = p.fqn;
+      entry.exp_avg = full_avg.SliceView(p.offset, p.shape).Clone();
+      entry.exp_avg_sq = full_sq.SliceView(p.offset, p.shape).Clone();
+      entry.step = sv.step;
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+void LoadFullOptimState(FsdpState& state, optim::Adam& adam,
+                        const std::vector<FullOptimEntry>& full) {
+  NoGradGuard no_grad;
+  for (int u = 0; u < state.num_units(); ++u) {
+    FlatParamHandle& handle = state.unit_handle(u);
+    // Rebuild the padded flat state from per-parameter entries; parameters
+    // without an entry contribute zeros (fresh state).
+    Tensor flat_avg = Tensor::Zeros({handle.padded_numel()});
+    Tensor flat_sq = Tensor::Zeros({handle.padded_numel()});
+    int64_t step = 0;
+    bool any = false;
+    for (const ParamInfo& p : handle.params()) {
+      for (const FullOptimEntry& e : full) {
+        if (e.fqn != p.fqn) continue;
+        FSDP_CHECK_MSG(e.exp_avg.numel() == p.numel,
+                       "optimizer state size mismatch for " << e.fqn);
+        flat_avg.SliceView(p.offset, {p.numel})
+            .CopyFrom_(e.exp_avg.Flatten());
+        flat_sq.SliceView(p.offset, {p.numel})
+            .CopyFrom_(e.exp_avg_sq.Flatten());
+        step = std::max(step, e.step);
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const int64_t lo = handle.shard_pg().rank() * handle.shard_numel();
+    adam.SetState(static_cast<size_t>(u),
+                  flat_avg.SliceView(lo, {handle.shard_numel()}),
+                  flat_sq.SliceView(lo, {handle.shard_numel()}), step);
+  }
+}
+
+}  // namespace fsdp::core

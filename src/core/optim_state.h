@@ -1,0 +1,46 @@
+// Sharded-optimizer-state checkpointing.
+//
+// With FSDP the optimizer is constructed over the *sharded* FlatParameters
+// (paper Sec 4.1), so its state (Adam's exp_avg / exp_avg_sq) is sharded the
+// same way — the ZeRO memory saving. Checkpointing therefore needs the same
+// gather/scatter machinery as parameters: this module converts between the
+// sharded flat layout and per-original-parameter full tensors keyed by
+// fully-qualified name, so a checkpoint written at world size W loads at any
+// other world size (rehsarding happens on load).
+//
+// This is the analogue of torch.distributed.fsdp's
+// FSDP.full_optim_state_dict / scatter_full_optim_state_dict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fsdp.h"
+#include "optim/optimizer.h"
+
+namespace fsdp::core {
+
+/// Full optimizer state of one original parameter.
+struct FullOptimEntry {
+  std::string fqn;
+  Tensor exp_avg;     // original parameter shape
+  Tensor exp_avg_sq;  // original parameter shape
+  int64_t step = 0;
+};
+
+/// Gathers the Adam state sharded over `adam` (which must have been
+/// constructed over state.Parameters(), in that order) into full
+/// per-original-parameter tensors. Collective: all ranks of the shard groups
+/// must call; all ranks receive the full state. Parameters whose state is
+/// not yet initialized (no optimizer step so far) are skipped.
+std::vector<FullOptimEntry> GatherFullOptimState(FsdpState& state,
+                                                 const optim::Adam& adam);
+
+/// Loads a full optimizer state (as produced by GatherFullOptimState,
+/// possibly at a different world size) into `adam`'s local shards.
+/// Entries with unknown fqns are ignored; parameters without entries keep
+/// their current state.
+void LoadFullOptimState(FsdpState& state, optim::Adam& adam,
+                        const std::vector<FullOptimEntry>& full);
+
+}  // namespace fsdp::core

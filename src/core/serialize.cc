@@ -1,0 +1,182 @@
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace fsdp::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'S', 'D', 'P', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  void Raw(const void* p, size_t n) {
+    if (ok_ && std::fwrite(p, 1, n, f_) != n) ok_ = false;
+  }
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void I64(int64_t v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void TensorData(const Tensor& t) {
+    U8(static_cast<uint8_t>(t.dtype()));
+    U32(static_cast<uint32_t>(t.shape().size()));
+    for (int64_t d : t.shape()) I64(d);
+    Raw(t.data(), static_cast<size_t>(t.numel()) * 4);
+  }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  void Raw(void* p, size_t n) {
+    if (ok_ && std::fread(p, 1, n, f_) != n) ok_ = false;
+  }
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, 4);
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+  std::string Str() {
+    const uint32_t n = U32();
+    if (!ok_ || n > (1u << 20)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(n, '\0');
+    Raw(s.data(), n);
+    return s;
+  }
+  Tensor TensorData() {
+    const DType dtype = static_cast<DType>(U8());
+    const uint32_t ndim = U32();
+    if (!ok_ || ndim > 8) {
+      ok_ = false;
+      return Tensor();
+    }
+    Shape shape;
+    int64_t numel = 1;
+    for (uint32_t d = 0; d < ndim; ++d) {
+      shape.push_back(I64());
+      if (!ok_ || shape.back() < 0) {
+        ok_ = false;
+        return Tensor();
+      }
+      numel *= shape.back();
+    }
+    if (numel > (1LL << 32)) {
+      ok_ = false;
+      return Tensor();
+    }
+    Tensor t = Tensor::Empty(shape, dtype);
+    Raw(t.data(), static_cast<size_t>(numel) * 4);
+    return t;
+  }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, const Checkpoint& ckpt) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return Status::IOError("cannot open " + tmp + " for writing");
+  Writer w(f);
+  w.Raw(kMagic, 8);
+  w.U32(kVersion);
+  w.U32(static_cast<uint32_t>(ckpt.state_dict.size() +
+                              ckpt.optim_state.size()));
+  for (const auto& [fqn, tensor] : ckpt.state_dict) {
+    w.U8(0);
+    w.Str(fqn);
+    w.TensorData(tensor);
+  }
+  for (const FullOptimEntry& e : ckpt.optim_state) {
+    w.U8(1);
+    w.Str(e.fqn);
+    w.I64(e.step);
+    w.TensorData(e.exp_avg);
+    w.TensorData(e.exp_avg_sq);
+  }
+  const bool write_ok = w.ok();
+  if (std::fclose(f) != 0 || !write_ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed writing " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed renaming " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return Status::IOError("cannot open " + path);
+  Reader r(f);
+  char magic[8];
+  r.Raw(magic, 8);
+  if (!r.ok() || std::memcmp(magic, kMagic, 8) != 0) {
+    std::fclose(f);
+    return Status::Invalid(path + " is not an FSDP checkpoint");
+  }
+  const uint32_t version = r.U32();
+  if (version != kVersion) {
+    std::fclose(f);
+    return Status::Invalid("unsupported checkpoint version " +
+                           std::to_string(version));
+  }
+  Checkpoint ckpt;
+  const uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    const uint8_t kind = r.U8();
+    std::string fqn = r.Str();
+    if (kind == 0) {
+      Tensor t = r.TensorData();
+      if (r.ok()) ckpt.state_dict.emplace_back(std::move(fqn), t);
+    } else if (kind == 1) {
+      FullOptimEntry e;
+      e.fqn = std::move(fqn);
+      e.step = r.I64();
+      e.exp_avg = r.TensorData();
+      e.exp_avg_sq = r.TensorData();
+      if (r.ok()) ckpt.optim_state.push_back(std::move(e));
+    } else {
+      std::fclose(f);
+      return Status::Invalid("corrupt checkpoint: unknown entry kind");
+    }
+  }
+  const bool read_ok = r.ok();
+  std::fclose(f);
+  if (!read_ok) return Status::IOError("truncated checkpoint " + path);
+  return ckpt;
+}
+
+}  // namespace fsdp::core

@@ -1,0 +1,36 @@
+// On-disk checkpoint serialization.
+//
+// A minimal self-describing binary container for full state dicts (params +
+// buffers, by fully-qualified name) and full optimizer states, so training
+// can stop and resume across process boundaries — including at a *different
+// world size or wrapping*, since the on-disk format is per-original-
+// parameter and resharding happens at load (core/optim_state.h).
+//
+// Format (little-endian):
+//   magic "FSDPCKPT" | u32 version | u32 n_entries
+//   per entry: u8 kind (0 tensor, 1 optim) | fqn (u32 len + bytes)
+//     tensor: u8 dtype | u32 ndim | i64 dims[] | f32 data[]
+//     optim : i64 step | two tensors (exp_avg, exp_avg_sq) as above
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/optim_state.h"
+#include "tensor/tensor.h"
+
+namespace fsdp::core {
+
+struct Checkpoint {
+  std::vector<std::pair<std::string, Tensor>> state_dict;
+  std::vector<FullOptimEntry> optim_state;
+};
+
+/// Writes the checkpoint to `path` (atomically via a temp file + rename).
+Status SaveCheckpoint(const std::string& path, const Checkpoint& ckpt);
+
+/// Reads a checkpoint written by SaveCheckpoint.
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace fsdp::core

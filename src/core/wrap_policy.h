@@ -1,0 +1,47 @@
+// Auto-wrap policies (paper Sec 4.1/4.2).
+//
+// A policy decides which nn.Modules become FSDP units. Units are formed
+// deepest-first; each annotated module's FlatParameter takes all parameters
+// in its subtree *excluding those already assigned* to a nested unit, and
+// the root picks up the residuals — the paper's nested-annotation rule.
+// FlatParameter granularity is the memory-throughput trade-off knob:
+// peak parameter memory is O(sum(psi_i)/F + max_i(psi_i)) against O(N)
+// collectives per pass (Sec 3.2.1).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "nn/module.h"
+
+namespace fsdp::core {
+
+/// Returns true if `module` (at fully-qualified name `fqn`) should delimit an
+/// FSDP unit. The root module is always wrapped regardless of the policy.
+using AutoWrapPolicy = std::function<bool(nn::Module&, const std::string&)>;
+
+/// Never wraps submodules: the entire model is a single FSDP unit (maximum
+/// communication batching, maximum peak memory).
+inline AutoWrapPolicy NoWrapPolicy() {
+  return [](nn::Module&, const std::string&) { return false; };
+}
+
+/// Wraps every module whose (unassigned-subtree) type matches one of the
+/// given names — the transformer_auto_wrap_policy analogue.
+inline AutoWrapPolicy ModuleTypePolicy(std::unordered_set<std::string> types) {
+  return [types = std::move(types)](nn::Module& m, const std::string&) {
+    return types.count(m.TypeName()) > 0;
+  };
+}
+
+/// Wraps modules whose own subtree holds at least `min_numel` parameters
+/// (size_based_auto_wrap_policy analogue). Note: counts the full subtree;
+/// deepest-first assignment still removes nested-unit params from parents.
+inline AutoWrapPolicy SizeBasedPolicy(int64_t min_numel) {
+  return [min_numel](nn::Module& m, const std::string&) {
+    return m.NumParameters() >= min_numel;
+  };
+}
+
+}  // namespace fsdp::core

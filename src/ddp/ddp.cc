@@ -1,0 +1,103 @@
+#include "ddp/ddp.h"
+
+#include "autograd/engine.h"
+
+namespace fsdp::ddp {
+
+DistributedDataParallel::DistributedDataParallel(nn::ModulePtr module,
+                                                 comm::ProcessGroup pg,
+                                                 DdpOptions options)
+    : module_(std::move(module)), pg_(std::move(pg)), options_(options) {
+  FSDP_CHECK_MSG(!module_->HasFakeParameters(),
+                 "DDP requires a fully materialized model (the limitation "
+                 "FSDP's deferred init removes)");
+  RegisterModule("module", module_);
+  // Replicas must agree: broadcast parameters (and buffers) from rank 0.
+  for (Tensor* slot : module_->ParameterSlots()) pg_.Broadcast(*slot, 0);
+  for (auto& [name, slot] : module_->NamedBuffers()) pg_.Broadcast(*slot, 0);
+  BuildBuckets();
+}
+
+void DistributedDataParallel::BuildBuckets() {
+  // Reverse registration order approximates backward execution order, so the
+  // first bucket to fill is likely the first needed — maximizing overlap.
+  std::vector<Tensor*> slots = module_->ParameterSlots();
+  Bucket current;
+  for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+    Tensor* slot = *it;
+    if (current.numel > 0 &&
+        current.numel + slot->numel() > options_.bucket_cap_numel) {
+      buckets_.push_back(std::move(current));
+      current = Bucket{};
+    }
+    current.params.push_back(slot);
+    current.numel += slot->numel();
+  }
+  if (!current.params.empty()) buckets_.push_back(std::move(current));
+
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    for (Tensor* slot : buckets_[b].params) {
+      slot->register_post_accumulate_grad_hook([this, b] { OnParamReady(b); });
+    }
+  }
+}
+
+Tensor DistributedDataParallel::Forward(const Tensor& input) {
+  // Arm per-backward state. (Multiple forwards before one backward re-arm
+  // harmlessly; hooks only fire during backward.)
+  for (Bucket& bucket : buckets_) {
+    bucket.pending = static_cast<int>(bucket.params.size());
+    bucket.reduced = false;
+  }
+  callback_queued_ = false;
+  return (*module_)(input);
+}
+
+void DistributedDataParallel::OnParamReady(size_t bucket_index) {
+  if (!require_sync_) return;  // no_sync: accumulate locally
+  if (!callback_queued_) {
+    callback_queued_ = true;
+    autograd::QueueCallback([this] { FinalizePendingBuckets(); });
+  }
+  Bucket& bucket = buckets_[bucket_index];
+  if (--bucket.pending == 0) ReduceBucket(bucket);
+}
+
+void DistributedDataParallel::ReduceBucket(Bucket& bucket) {
+  NoGradGuard no_grad;
+  // Flatten grads into one bucket buffer (missing grads contribute zeros —
+  // the unused-parameter path), AllReduce once, scatter back.
+  Tensor flat = Tensor::Zeros({bucket.numel});
+  int64_t off = 0;
+  for (Tensor* slot : bucket.params) {
+    Tensor g = slot->grad();
+    if (g.defined()) {
+      flat.SliceView(off, {g.numel()}).CopyFrom_(g);
+    }
+    off += slot->numel();
+  }
+  pg_.AllReduce(flat, options_.average ? comm::ReduceOp::kAvg
+                                       : comm::ReduceOp::kSum);
+  off = 0;
+  for (Tensor* slot : bucket.params) {
+    Tensor g = slot->grad();
+    if (!g.defined()) {
+      g = Tensor::Zeros(slot->shape());
+      slot->set_grad(g);
+    }
+    g.CopyFrom_(flat.SliceView(off, {g.numel()}));
+    off += slot->numel();
+  }
+  bucket.reduced = true;
+}
+
+void DistributedDataParallel::FinalizePendingBuckets() {
+  if (!require_sync_) return;
+  // Buckets whose parameters were (partly) unused this backward: reduce with
+  // whatever grads exist so every rank ends the iteration consistent.
+  for (Bucket& bucket : buckets_) {
+    if (!bucket.reduced) ReduceBucket(bucket);
+  }
+}
+
+}  // namespace fsdp::ddp

@@ -1,0 +1,60 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace fsdp::nn {
+
+MultiheadSelfAttention::MultiheadSelfAttention(int64_t dim, int64_t num_heads,
+                                               bool causal, InitCtx& ctx)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads),
+      causal_(causal) {
+  FSDP_CHECK_MSG(dim % num_heads == 0,
+                 "dim " << dim << " not divisible by heads " << num_heads);
+  qkv_proj_ = std::make_shared<Linear>(dim, 3 * dim, /*bias=*/true, ctx);
+  out_proj_ = std::make_shared<Linear>(dim, dim, /*bias=*/true, ctx);
+  RegisterModule("qkv_proj", qkv_proj_);
+  RegisterModule("out_proj", out_proj_);
+}
+
+Tensor MultiheadSelfAttention::Forward(const Tensor& x) {
+  FSDP_CHECK_MSG(x.dim() == 3 && x.size(2) == dim_,
+                 "attention input " << ShapeToString(x.shape()));
+  const int64_t batch = x.size(0), seq = x.size(1);
+  const float scale = 1.f / std::sqrt(static_cast<float>(head_dim_));
+
+  // Causal mask constant (no grad): 0 below/on diagonal, -1e9 above.
+  Tensor mask;
+  if (causal_) {
+    mask = Tensor::Zeros({seq, seq});
+    for (int64_t i = 0; i < seq; ++i) {
+      for (int64_t j = i + 1; j < seq; ++j) mask.set_at({i, j}, -1e9f);
+    }
+  }
+
+  Tensor flat = ops::Reshape(x, {batch * seq, dim_});
+  Tensor qkv = (*qkv_proj_)(flat);  // (batch*seq, 3*dim)
+
+  std::vector<Tensor> batch_outputs;
+  batch_outputs.reserve(batch);
+  for (int64_t b = 0; b < batch; ++b) {
+    Tensor qkv_b = ops::SliceRows(qkv, b * seq, (b + 1) * seq);
+    std::vector<Tensor> head_ctx;
+    head_ctx.reserve(num_heads_);
+    for (int64_t h = 0; h < num_heads_; ++h) {
+      const int64_t c = h * head_dim_;
+      Tensor q = ops::SliceCols(qkv_b, c, c + head_dim_);
+      Tensor k = ops::SliceCols(qkv_b, dim_ + c, dim_ + c + head_dim_);
+      Tensor v = ops::SliceCols(qkv_b, 2 * dim_ + c, 2 * dim_ + c + head_dim_);
+      Tensor scores = ops::ScalarMul(ops::MatMul(q, ops::Transpose(k)), scale);
+      if (causal_) scores = ops::Add(scores, mask);
+      Tensor probs = ops::Softmax(scores);
+      head_ctx.push_back(ops::MatMul(probs, v));  // (seq, head_dim)
+    }
+    batch_outputs.push_back(ops::ConcatCols(head_ctx));  // (seq, dim)
+  }
+  Tensor ctx2d = ops::ConcatRows(batch_outputs);  // (batch*seq, dim)
+  Tensor out = (*out_proj_)(ctx2d);
+  return ops::Reshape(out, {batch, seq, dim_});
+}
+
+}  // namespace fsdp::nn

@@ -1,0 +1,31 @@
+// Multi-head self-attention built entirely from the autograd op library.
+//
+// Input: (batch, seq, dim). Heads are materialized with column slices, so the
+// whole block is an ordinary autograd graph — no fused kernels. This keeps
+// the backward correctness burden on the (separately-tested) op library,
+// which is the property FSDP's hook anchoring relies on.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace fsdp::nn {
+
+class MultiheadSelfAttention : public Module {
+ public:
+  MultiheadSelfAttention(int64_t dim, int64_t num_heads, bool causal,
+                         InitCtx& ctx);
+
+  /// x: (batch, seq, dim) -> (batch, seq, dim).
+  Tensor Forward(const Tensor& x) override;
+  std::string TypeName() const override { return "MultiheadSelfAttention"; }
+
+ private:
+  int64_t dim_, num_heads_, head_dim_;
+  bool causal_;
+  std::shared_ptr<Linear> qkv_proj_;  // dim -> 3*dim
+  std::shared_ptr<Linear> out_proj_;  // dim -> dim
+};
+
+}  // namespace fsdp::nn

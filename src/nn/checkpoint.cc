@@ -1,0 +1,80 @@
+#include "nn/checkpoint.h"
+
+#include "autograd/engine.h"
+#include "autograd/node.h"
+
+namespace fsdp::nn {
+
+namespace {
+
+/// The recompute node: backward re-runs the module's forward with grad
+/// enabled and drives a nested backward; parameter gradients accumulate as
+/// a side effect (their AccumulateGrad hooks — including FSDP's
+/// post-backward ReduceScatter — fire inside the nested pass).
+struct CheckpointFn : GradFn {
+  Module* module = nullptr;
+  Tensor saved_input;  // values only; a fresh leaf is made for recompute
+
+  std::string name() const override { return "CheckpointBackward"; }
+
+  std::vector<Tensor> Backward(const Tensor& grad_output) override {
+    EnableGradGuard enable_grad;  // we run inside the (no-grad) engine
+    Tensor x = saved_input.Clone();
+    const bool input_needs_grad = Participates(inputs[0]);
+    x.set_requires_grad(true);
+    Tensor y = (*module)(x);  // recompute, building a fresh local graph
+    FSDP_CHECK_MSG(y.numel() == grad_output.numel(),
+                   "checkpointed module is not pure: recompute shape "
+                   "changed");
+    autograd::RunBackward(y, grad_output);  // nested (re-entrant) backward
+    Tensor gx = x.grad();
+    if (!input_needs_grad) return {Tensor()};
+    FSDP_CHECK_MSG(gx.defined(),
+                   "checkpointed module produced no input gradient");
+    return {gx};
+  }
+};
+
+}  // namespace
+
+Checkpoint::Checkpoint(ModulePtr inner) : inner_(std::move(inner)) {
+  RegisterModule("inner", inner_);
+}
+
+Tensor Checkpoint::Forward(const Tensor& input) {
+  if (!grad_mode::Enabled()) return (*inner_)(input);
+  // Forward without building a graph: only the input survives to backward.
+  Tensor output;
+  {
+    NoGradGuard no_grad;
+    output = (*inner_)(input);
+  }
+  auto node = std::make_shared<CheckpointFn>();
+  node->module = inner_.get();
+  node->saved_input = input;
+  // Attach unconditionally: even if the input does not require grad, the
+  // module's parameters do, and they receive gradients through the nested
+  // backward — so the node must execute.
+  node->inputs.push_back(input.impl());
+  node->seq = NextNodeSeq();
+  output.impl()->requires_grad = true;
+  output.set_grad_fn(std::move(node));
+  return output;
+}
+
+int ApplyActivationCheckpointing(
+    Module& parent, const std::unordered_set<std::string>& types) {
+  int wrapped = 0;
+  for (auto& [name, child] : parent.Children()) {
+    if (types.count(child->TypeName())) {
+      if (parent.ReplaceChild(name, std::make_shared<Checkpoint>(child))) {
+        ++wrapped;
+        continue;  // do not descend into wrapped subtrees
+      }
+    }
+    wrapped += ApplyActivationCheckpointing(*child, types);
+  }
+  return wrapped;
+}
+
+}  // namespace fsdp::nn

@@ -1,0 +1,46 @@
+// Activation checkpointing (tensor rematerialization).
+//
+// The paper's Sec 5.4 experiments all run with activation checkpointing: a
+// checkpointed block stores only its *input* during forward; at backward
+// time the block's forward is re-executed (with grad enabled) and a nested
+// backward pass produces the parameter and input gradients. This trades one
+// extra forward of compute for O(block) instead of O(model) activation
+// memory.
+//
+// Composition with FSDP is the interesting part and mirrors real PyTorch:
+// the recompute re-enters the module's forward, so the FSDP unit's
+// pre-forward hook re-AllGathers parameters for the recompute, and the
+// nested backward drives the unit's post-backward (ReduceScatter) exactly
+// once — tested in checkpoint_test.cc.
+#pragma once
+
+#include <unordered_set>
+
+#include "nn/module.h"
+
+namespace fsdp::nn {
+
+/// Wraps `inner` so its forward is checkpointed. The wrapped module must be
+/// pure (same output for same input/parameters) — true for everything in
+/// this library.
+class Checkpoint : public Module {
+ public:
+  explicit Checkpoint(ModulePtr inner);
+
+  Tensor Forward(const Tensor& input) override;
+  std::string TypeName() const override { return "Checkpoint"; }
+
+  Module& inner() { return *inner_; }
+
+ private:
+  ModulePtr inner_;
+};
+
+/// Wraps every direct child of `parent` whose TypeName matches one of
+/// `types` in a Checkpoint module (the apply_activation_checkpointing
+/// analogue). Returns the number of wrapped modules. Traverses recursively;
+/// matched subtrees are not descended into.
+int ApplyActivationCheckpointing(Module& parent,
+                                 const std::unordered_set<std::string>& types);
+
+}  // namespace fsdp::nn

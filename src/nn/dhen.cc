@@ -1,0 +1,76 @@
+#include "nn/dhen.h"
+
+namespace fsdp::nn {
+
+DhenInteractionLayer::DhenInteractionLayer(int64_t dim, int64_t hidden,
+                                           InitCtx& ctx) {
+  mlp_ = std::make_shared<MLP>(dim, hidden, ctx, /*gelu=*/false);
+  lin_ = std::make_shared<Linear>(dim, dim, /*bias=*/true, ctx);
+  gate_ = std::make_shared<Linear>(dim, dim, /*bias=*/true, ctx);
+  ln_ = std::make_shared<LayerNorm>(dim, ctx);
+  RegisterModule("mlp", mlp_);
+  RegisterModule("lin", lin_);
+  RegisterModule("gate", gate_);
+  RegisterModule("ln", ln_);
+}
+
+Tensor DhenInteractionLayer::Forward(const Tensor& x) {
+  Tensor branch_mlp = (*mlp_)(x);
+  Tensor branch_lin = ops::Mul(ops::Sigmoid((*gate_)(x)), (*lin_)(x));
+  Tensor combined = ops::Add(x, ops::Add(branch_mlp, branch_lin));
+  return (*ln_)(combined);
+}
+
+DhenDenseTower::DhenDenseTower(const DhenConfig& config, InitCtx& ctx) {
+  in_proj_ = std::make_shared<Linear>(config.input_dim, config.dim,
+                                      /*bias=*/true, ctx);
+  RegisterModule("in_proj", in_proj_);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    auto layer =
+        std::make_shared<DhenInteractionLayer>(config.dim, config.hidden, ctx);
+    layers_.push_back(layer);
+    RegisterModule("layers." + std::to_string(i), layer);
+  }
+  head_ = std::make_shared<Linear>(config.dim, 1, /*bias=*/true, ctx);
+  RegisterModule("head", head_);
+}
+
+Tensor DhenDenseTower::Forward(const Tensor& features) {
+  Tensor h = (*in_proj_)(features);
+  for (auto& layer : layers_) h = (*layer)(h);
+  return (*head_)(h);
+}
+
+DhenSparseArch::DhenSparseArch(const std::vector<int64_t>& table_sizes,
+                               int64_t embed_dim, InitCtx& ctx)
+    : embed_dim_(embed_dim) {
+  for (size_t i = 0; i < table_sizes.size(); ++i) {
+    auto table = std::make_shared<Embedding>(table_sizes[i], embed_dim, ctx);
+    tables_.push_back(table);
+    RegisterModule("table." + std::to_string(i), table);
+  }
+}
+
+Tensor DhenSparseArch::Forward(const Tensor& indices) {
+  FSDP_CHECK_MSG(indices.dim() == 2 && indices.dtype() == DType::kI64,
+                 "indices must be (batch, num_features) kI64");
+  const int64_t batch = indices.size(0);
+  const int64_t nf = indices.size(1);
+  FSDP_CHECK(nf == static_cast<int64_t>(tables_.size()));
+  std::vector<Tensor> per_feature;
+  per_feature.reserve(static_cast<size_t>(nf));
+  for (int64_t f = 0; f < nf; ++f) {
+    // Column f of the index matrix.
+    std::vector<int64_t> col(static_cast<size_t>(batch));
+    const float* p = indices.data();
+    for (int64_t b = 0; b < batch; ++b) {
+      col[static_cast<size_t>(b)] = static_cast<int64_t>(p[b * nf + f]);
+    }
+    Tensor col_idx = ops::IndexTensor(col, {batch});
+    Tensor emb = (*tables_[static_cast<size_t>(f)])(col_idx);
+    per_feature.push_back(ops::Reshape(emb, {batch, embed_dim_}));
+  }
+  return ops::ConcatCols(per_feature);  // (batch, nf*embed_dim)
+}
+
+}  // namespace fsdp::nn

@@ -1,0 +1,78 @@
+// Miniature DHEN-style recommendation model (Zhang et al. 2022), the third
+// workload family in the paper's evaluation (Sec 5.1/5.4).
+//
+// DHEN = deep & hierarchical ensemble network for CTR prediction: the real
+// model pairs huge *sparse* embedding tables (768B params, sharded by a
+// separate embedding-parallel system, not FSDP) with a *dense* interaction
+// tower (550M params) that IS trained with FSDP. We mirror that split:
+//  * DhenDenseTower — the FSDP-trainable part: stacked interaction layers,
+//    each an ensemble of an MLP branch and a gated linear branch with a
+//    residual connection, ending in a CTR logit.
+//  * DhenSparseArch — embedding tables with per-feature lookup + sum-pooling,
+//    used by examples to produce the dense tower's input.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace fsdp::nn {
+
+/// One DHEN interaction layer: out = ln(x + mlp(x) + sigmoid(gate(x))*lin(x)).
+class DhenInteractionLayer : public Module {
+ public:
+  DhenInteractionLayer(int64_t dim, int64_t hidden, InitCtx& ctx);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string TypeName() const override { return "DhenInteractionLayer"; }
+
+ private:
+  std::shared_ptr<MLP> mlp_;
+  std::shared_ptr<Linear> lin_, gate_;
+  std::shared_ptr<LayerNorm> ln_;
+};
+
+struct DhenConfig {
+  int64_t input_dim = 64;   // pooled-embedding + dense-feature width
+  int64_t dim = 64;         // interaction width
+  int64_t hidden = 128;     // per-layer MLP hidden width
+  int64_t num_layers = 3;
+};
+
+/// The dense tower: input projection, stacked interaction layers, CTR head.
+/// Input: (batch, input_dim) float features; output: (batch, 1) logits.
+class DhenDenseTower : public Module {
+ public:
+  DhenDenseTower(const DhenConfig& config, InitCtx& ctx);
+
+  Tensor Forward(const Tensor& features) override;
+  std::string TypeName() const override { return "DhenDenseTower"; }
+
+ private:
+  std::shared_ptr<Linear> in_proj_;
+  std::vector<std::shared_ptr<DhenInteractionLayer>> layers_;
+  std::shared_ptr<Linear> head_;
+};
+
+/// Sparse side: one embedding table per categorical feature; lookup returns
+/// the concatenation of per-feature embeddings, ready to feed the tower.
+class DhenSparseArch : public Module {
+ public:
+  DhenSparseArch(const std::vector<int64_t>& table_sizes, int64_t embed_dim,
+                 InitCtx& ctx);
+
+  /// indices: (batch, num_features) kI64 -> (batch, num_features*embed_dim).
+  Tensor Forward(const Tensor& indices) override;
+  std::string TypeName() const override { return "DhenSparseArch"; }
+
+  int64_t output_dim() const {
+    return static_cast<int64_t>(tables_.size()) * embed_dim_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<Embedding>> tables_;
+  int64_t embed_dim_;
+};
+
+}  // namespace fsdp::nn

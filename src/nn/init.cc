@@ -1,0 +1,104 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace fsdp::nn {
+
+std::mutex InitRecorder::mu_;
+std::unordered_map<const TensorImpl*, InitOp> InitRecorder::records_;
+
+void InitRecorder::Record(const Tensor& t, InitOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_[t.impl().get()] = op;
+}
+
+bool InitRecorder::Lookup(const Tensor& t, InitOp* op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(t.impl().get());
+  if (it == records_.end()) return false;
+  *op = it->second;
+  return true;
+}
+
+void InitRecorder::Erase(const Tensor& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.erase(t.impl().get());
+}
+
+int64_t InitRecorder::NumRecorded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(records_.size());
+}
+
+void ExecuteInitOp(const InitOp& op, Tensor dst) {
+  switch (op.kind) {
+    case InitOp::Kind::kZeros:
+      dst.Fill_(0.f);
+      return;
+    case InitOp::Kind::kOnes:
+      dst.Fill_(1.f);
+      return;
+    case InitOp::Kind::kConstant:
+      dst.Fill_(op.a);
+      return;
+    case InitOp::Kind::kNormal: {
+      Rng rng(op.seed, op.stream);
+      float* p = dst.data();
+      const int64_t n = dst.numel();
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = static_cast<float>(rng.NextNormal(op.a, op.b));
+      }
+      return;
+    }
+    case InitOp::Kind::kUniform: {
+      Rng rng(op.seed, op.stream);
+      float* p = dst.data();
+      const int64_t n = dst.numel();
+      for (int64_t i = 0; i < n; ++i) {
+        p[i] = static_cast<float>(rng.NextUniform(op.a, op.b));
+      }
+      return;
+    }
+  }
+}
+
+Tensor InitCtx::Make(Shape shape, InitOp op) {
+  op.seed = seed_;
+  op.stream = next_stream_->fetch_add(1);
+  if (device_ == Device::kFake) {
+    Tensor t = Tensor::Empty(std::move(shape), DType::kF32, Device::kFake);
+    InitRecorder::Record(t, op);
+    return t;
+  }
+  Tensor t = Tensor::Empty(std::move(shape));
+  ExecuteInitOp(op, t);
+  return t;
+}
+
+Tensor InitCtx::Normal(Shape shape, float mean, float std) {
+  return Make(std::move(shape),
+              {InitOp::Kind::kNormal, mean, std, 0, 0});
+}
+
+Tensor InitCtx::Uniform(Shape shape, float lo, float hi) {
+  return Make(std::move(shape), {InitOp::Kind::kUniform, lo, hi, 0, 0});
+}
+
+Tensor InitCtx::Zeros(Shape shape) {
+  return Make(std::move(shape), {InitOp::Kind::kZeros, 0, 0, 0, 0});
+}
+
+Tensor InitCtx::Ones(Shape shape) {
+  return Make(std::move(shape), {InitOp::Kind::kOnes, 0, 0, 0, 0});
+}
+
+Tensor InitCtx::Constant(Shape shape, float v) {
+  return Make(std::move(shape), {InitOp::Kind::kConstant, v, 0, 0, 0});
+}
+
+Tensor InitCtx::KaimingUniform(Shape shape, int64_t fan_in) {
+  const float bound = 1.f / std::sqrt(static_cast<float>(fan_in));
+  return Uniform(std::move(shape), -bound, bound);
+}
+
+}  // namespace fsdp::nn

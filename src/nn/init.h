@@ -1,0 +1,81 @@
+// Parameter initialization with record/replay support.
+//
+// This is the substrate for FSDP's *deferred initialization* (paper Sec 3.1):
+// a model can be constructed on the kFake device, where parameter tensors
+// allocate no storage and every init operation is *recorded* instead of
+// executed. Later, FSDP materializes the model one FSDP-unit at a time by
+// *replaying* the recorded ops into real (typically FlatParameter-owned)
+// storage. Because randomness is counter-based (common/rng.h) and each
+// parameter draws from its own stream, replay is bit-identical to eager
+// initialization regardless of materialization order.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace fsdp::nn {
+
+/// One recorded initialization operation for a single parameter tensor.
+struct InitOp {
+  enum class Kind { kZeros, kOnes, kConstant, kNormal, kUniform };
+  Kind kind = Kind::kZeros;
+  float a = 0.f;  // mean / constant / lower bound
+  float b = 0.f;  // std / upper bound
+  uint64_t seed = 0;
+  uint64_t stream = 0;
+};
+
+/// Process-wide side table mapping fake tensors to their recorded init ops.
+/// (Kept out of TensorImpl so the tensor core stays initialization-agnostic.)
+class InitRecorder {
+ public:
+  static void Record(const Tensor& t, InitOp op);
+  /// Returns true and fills `op` if `t` has a recorded init.
+  static bool Lookup(const Tensor& t, InitOp* op);
+  static void Erase(const Tensor& t);
+  static int64_t NumRecorded();
+
+ private:
+  static std::mutex mu_;
+  static std::unordered_map<const TensorImpl*, InitOp> records_;
+};
+
+/// Executes an InitOp into `dst` (a real-device tensor or view).
+void ExecuteInitOp(const InitOp& op, Tensor dst);
+
+/// Initialization context threaded through module constructors. Carries the
+/// target device and a per-model stream allocator so every parameter's
+/// randomness is independent of construction order on other params.
+class InitCtx {
+ public:
+  InitCtx(Device device, uint64_t seed)
+      : device_(device), seed_(seed),
+        next_stream_(std::make_shared<std::atomic<uint64_t>>(0)) {}
+
+  Device device() const { return device_; }
+  uint64_t seed() const { return seed_; }
+
+  /// N(mean, std) parameter.
+  Tensor Normal(Shape shape, float mean, float std);
+  /// U[lo, hi) parameter.
+  Tensor Uniform(Shape shape, float lo, float hi);
+  Tensor Zeros(Shape shape);
+  Tensor Ones(Shape shape);
+  Tensor Constant(Shape shape, float v);
+  /// Kaiming-style uniform for a linear weight with `fan_in` inputs.
+  Tensor KaimingUniform(Shape shape, int64_t fan_in);
+
+ private:
+  Tensor Make(Shape shape, InitOp op);
+
+  Device device_;
+  uint64_t seed_;
+  std::shared_ptr<std::atomic<uint64_t>> next_stream_;
+};
+
+}  // namespace fsdp::nn

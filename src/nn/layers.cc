@@ -1,0 +1,91 @@
+#include "nn/layers.h"
+
+namespace fsdp::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias,
+               InitCtx& ctx)
+    : in_features_(in_features), out_features_(out_features) {
+  RegisterParameter("weight", &weight_,
+                    ctx.KaimingUniform({out_features, in_features},
+                                       in_features));
+  if (bias) {
+    RegisterParameter("bias", &bias_,
+                      ctx.KaimingUniform({out_features}, in_features));
+  }
+}
+
+Embedding::Embedding(int64_t num_embeddings, int64_t embed_dim, InitCtx& ctx)
+    : embed_dim_(embed_dim) {
+  RegisterParameter("weight", &weight_,
+                    ctx.Normal({num_embeddings, embed_dim}, 0.f, 1.f));
+}
+
+LayerNorm::LayerNorm(int64_t dim, InitCtx& ctx, float eps) : eps_(eps) {
+  RegisterParameter("weight", &gamma_, ctx.Ones({dim}));
+  RegisterParameter("bias", &beta_, ctx.Zeros({dim}));
+}
+
+SinusoidalPositionalEncoding::SinusoidalPositionalEncoding(int64_t max_seq,
+                                                           int64_t dim,
+                                                           InitCtx& ctx)
+    : dim_(dim) {
+  FSDP_CHECK_MSG(ctx.device() == Device::kCpu,
+                 "buffers are computed eagerly (no deferred-init record)");
+  Tensor table = Tensor::Empty({max_seq, dim});
+  for (int64_t pos = 0; pos < max_seq; ++pos) {
+    for (int64_t i = 0; i < dim; ++i) {
+      const double angle =
+          pos / std::pow(10000.0, 2.0 * (i / 2) / static_cast<double>(dim));
+      table.set_at({pos, i},
+                   static_cast<float>(i % 2 == 0 ? std::sin(angle)
+                                                 : std::cos(angle)));
+    }
+  }
+  RegisterBuffer("table", &table_, table);
+}
+
+Tensor SinusoidalPositionalEncoding::Forward(const Tensor& x) {
+  FSDP_CHECK_MSG(x.dim() == 3 && x.size(2) == dim_,
+                 "expected (batch, seq, dim) input");
+  const int64_t batch = x.size(0), seq = x.size(1);
+  FSDP_CHECK(seq <= table_.size(0));
+  // Tile the (seq x dim) prefix across the batch as a constant (no grad).
+  Tensor pe = Tensor::Empty({batch, seq, dim_});
+  {
+    NoGradGuard no_grad;
+    for (int64_t b = 0; b < batch; ++b) {
+      std::memcpy(pe.data() + b * seq * dim_, table_.data(),
+                  static_cast<size_t>(seq * dim_) * 4);
+    }
+  }
+  return ops::Add(x, pe);
+}
+
+Sequential::Sequential(std::vector<ModulePtr> mods) {
+  for (auto& m : mods) Append(std::move(m));
+}
+
+void Sequential::Append(ModulePtr m) {
+  RegisterModule(std::to_string(index_++), std::move(m));
+}
+
+Tensor Sequential::Forward(const Tensor& x) {
+  Tensor out = x;
+  for (auto& [name, child] : Children()) out = (*child)(out);
+  return out;
+}
+
+MLP::MLP(int64_t dim, int64_t hidden, InitCtx& ctx, bool gelu) : gelu_(gelu) {
+  fc1_ = std::make_shared<Linear>(dim, hidden, /*bias=*/true, ctx);
+  fc2_ = std::make_shared<Linear>(hidden, dim, /*bias=*/true, ctx);
+  RegisterModule("fc1", fc1_);
+  RegisterModule("fc2", fc2_);
+}
+
+Tensor MLP::Forward(const Tensor& x) {
+  Tensor h = (*fc1_)(x);
+  h = gelu_ ? ops::Gelu(h) : ops::Relu(h);
+  return (*fc2_)(h);
+}
+
+}  // namespace fsdp::nn

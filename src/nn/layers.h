@@ -1,0 +1,134 @@
+// Basic layers: Linear, Embedding, LayerNorm, activations, Sequential, MLP.
+//
+// Constructors take an InitCtx so every layer can be built on the real or the
+// fake device (deferred init). Initializations follow PyTorch defaults where
+// it matters for reproduction tests (Linear: Kaiming-uniform weight, uniform
+// bias; Embedding: N(0,1); LayerNorm: ones/zeros).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace fsdp::nn {
+
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, bool bias, InitCtx& ctx);
+
+  Tensor Forward(const Tensor& x) override {
+    return ops::Linear(x, weight_, bias_);
+  }
+  std::string TypeName() const override { return "Linear"; }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  int64_t in_features_, out_features_;
+  Tensor weight_;  // (out x in)
+  Tensor bias_;    // (out) or undefined
+};
+
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t embed_dim, InitCtx& ctx);
+
+  Tensor Forward(const Tensor& indices) override {
+    return ops::Embedding(weight_, indices);
+  }
+  std::string TypeName() const override { return "Embedding"; }
+
+  Tensor& weight() { return weight_; }
+  int64_t embed_dim() const { return embed_dim_; }
+
+ private:
+  int64_t embed_dim_;
+  Tensor weight_;  // (vocab x dim)
+};
+
+class LayerNorm : public Module {
+ public:
+  LayerNorm(int64_t dim, InitCtx& ctx, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) override {
+    return ops::LayerNorm(x, gamma_, beta_, eps_);
+  }
+  std::string TypeName() const override { return "LayerNorm"; }
+
+ private:
+  Tensor gamma_, beta_;
+  float eps_;
+};
+
+class Relu : public Module {
+ public:
+  Tensor Forward(const Tensor& x) override { return ops::Relu(x); }
+  std::string TypeName() const override { return "Relu"; }
+};
+
+class Gelu : public Module {
+ public:
+  Tensor Forward(const Tensor& x) override { return ops::Gelu(x); }
+  std::string TypeName() const override { return "Gelu"; }
+};
+
+class Sigmoid : public Module {
+ public:
+  Tensor Forward(const Tensor& x) override { return ops::Sigmoid(x); }
+  std::string TypeName() const override { return "Sigmoid"; }
+};
+
+/// Adds fixed sinusoidal positional encodings (Vaswani et al.) to a
+/// (batch, seq, dim) input. The table is a non-trainable *buffer*: it is
+/// broadcast by DDP, cast by FSDP's buffer_dtype (Sec 4.4), and saved in
+/// state dicts, but receives no gradient and is never sharded.
+class SinusoidalPositionalEncoding : public Module {
+ public:
+  SinusoidalPositionalEncoding(int64_t max_seq, int64_t dim, InitCtx& ctx);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string TypeName() const override {
+    return "SinusoidalPositionalEncoding";
+  }
+
+  Tensor& table() { return table_; }
+
+ private:
+  int64_t dim_;
+  Tensor table_;  // (max_seq x dim) buffer
+};
+
+/// Runs children in registration order, feeding each the previous output.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> mods);
+
+  void Append(ModulePtr m);
+  Tensor Forward(const Tensor& x) override;
+  std::string TypeName() const override { return "Sequential"; }
+
+ private:
+  int index_ = 0;
+};
+
+/// Two-layer feed-forward block with an activation, the transformer MLP.
+class MLP : public Module {
+ public:
+  MLP(int64_t dim, int64_t hidden, InitCtx& ctx, bool gelu = true);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string TypeName() const override { return "MLP"; }
+
+ private:
+  std::shared_ptr<Linear> fc1_, fc2_;
+  bool gelu_;
+};
+
+}  // namespace fsdp::nn

@@ -1,0 +1,128 @@
+#include "nn/module.h"
+
+namespace fsdp::nn {
+
+Tensor Module::operator()(const Tensor& input) {
+  Tensor x = input;
+  for (auto& [id, hook] : pre_hooks_) {
+    Tensor replaced = hook(*this, x);
+    if (replaced.defined()) x = replaced;
+  }
+  Tensor out = Forward(x);
+  for (auto& [id, hook] : post_hooks_) {
+    Tensor replaced = hook(*this, x, out);
+    if (replaced.defined()) out = replaced;
+  }
+  return out;
+}
+
+void Module::RegisterParameter(const std::string& name, Tensor* slot,
+                               Tensor init) {
+  FSDP_CHECK_MSG(init.defined(), "parameter " << name << " undefined");
+  *slot = init;
+  slot->set_requires_grad(true);
+  params_.emplace_back(name, slot);
+}
+
+void Module::RegisterBuffer(const std::string& name, Tensor* slot,
+                            Tensor init) {
+  *slot = init;
+  buffers_.emplace_back(name, slot);
+}
+
+void Module::RegisterModule(const std::string& name, ModulePtr child) {
+  FSDP_CHECK(child != nullptr);
+  children_.emplace_back(name, std::move(child));
+}
+
+bool Module::ReplaceChild(const std::string& name, ModulePtr replacement) {
+  FSDP_CHECK(replacement != nullptr);
+  for (auto& [child_name, child] : children_) {
+    if (child_name == name) {
+      child = std::move(replacement);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor*>>* params,
+    std::vector<std::pair<std::string, Tensor*>>* buffers,
+    std::vector<std::pair<std::string, Module*>>* modules) {
+  if (modules) modules->emplace_back(prefix, this);
+  const std::string dot = prefix.empty() ? "" : prefix + ".";
+  if (params) {
+    for (auto& [n, slot] : params_) params->emplace_back(dot + n, slot);
+  }
+  if (buffers) {
+    for (auto& [n, slot] : buffers_) buffers->emplace_back(dot + n, slot);
+  }
+  for (auto& [n, child] : children_) {
+    child->CollectNamed(dot + n, params, buffers, modules);
+  }
+}
+
+std::vector<std::pair<std::string, Tensor*>> Module::NamedParameters() {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  CollectNamed("", &out, nullptr, nullptr);
+  return out;
+}
+
+std::vector<Tensor*> Module::ParameterSlots() {
+  std::vector<Tensor*> out;
+  for (auto& [n, slot] : NamedParameters()) out.push_back(slot);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Module::NamedBuffers() {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  CollectNamed("", nullptr, &out, nullptr);
+  return out;
+}
+
+std::vector<std::pair<std::string, Module*>> Module::NamedModules() {
+  std::vector<std::pair<std::string, Module*>> out;
+  CollectNamed("", nullptr, nullptr, &out);
+  return out;
+}
+
+int64_t Module::NumParameters() {
+  int64_t n = 0;
+  for (Tensor* slot : ParameterSlots()) n += slot->numel();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor* slot : ParameterSlots()) slot->zero_grad();
+}
+
+bool Module::HasFakeParameters() {
+  for (Tensor* slot : ParameterSlots()) {
+    if (slot->device() == Device::kFake) return true;
+  }
+  return false;
+}
+
+int Module::RegisterForwardPreHook(ForwardPreHook hook) {
+  const int id = next_hook_id_++;
+  pre_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+int Module::RegisterForwardPostHook(ForwardPostHook hook) {
+  const int id = next_hook_id_++;
+  post_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Module::RemoveForwardPreHook(int handle) {
+  std::erase_if(pre_hooks_, [&](const auto& p) { return p.first == handle; });
+}
+
+void Module::RemoveForwardPostHook(int handle) {
+  std::erase_if(post_hooks_, [&](const auto& p) { return p.first == handle; });
+}
+
+}  // namespace fsdp::nn

@@ -1,0 +1,105 @@
+// nn::Module — the model-structure substrate FSDP wraps.
+//
+// Mirrors torch.nn.Module where the FSDP paper depends on it:
+//  * Parameters are registered into a named registry of *slots* (pointers to
+//    the owning module's Tensor members). FSDP swaps a slot's Tensor for a
+//    view into the unsharded FlatParameter without the module noticing
+//    (paper Sec 3.2.3 "set the original parameters to be views").
+//  * Modules nest, giving FSDP the static structure it uses to choose
+//    FlatParameter boundaries (paper Sec 4.2).
+//  * operator() runs forward *pre-hooks* and *post-hooks* around Forward —
+//    the attachment points of the functional `fully_shard` frontend (paper
+//    Sec 4: register_forward_pre_hook / register_forward_hook).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/init.h"
+#include "tensor/tensor.h"
+
+namespace fsdp::nn {
+
+class Module;
+using ModulePtr = std::shared_ptr<Module>;
+
+/// Pre-forward hook: may replace the input (return defined Tensor) or leave
+/// it (return undefined).
+using ForwardPreHook = std::function<Tensor(Module&, const Tensor&)>;
+/// Post-forward hook: may replace the output.
+using ForwardPostHook =
+    std::function<Tensor(Module&, const Tensor& input, const Tensor& output)>;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// The module's computation. Input conventions are module-specific (e.g.
+  /// token-index tensors for language models).
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Short type name for wrapping policies and debug dumps.
+  virtual std::string TypeName() const = 0;
+
+  /// Invokes pre-hooks, Forward, then post-hooks.
+  Tensor operator()(const Tensor& input);
+
+  // ----- registration (called from subclass constructors) -----
+  /// Registers `*slot` (a Tensor member of the subclass) as a parameter named
+  /// `name`, initializing it to `init` with requires_grad set.
+  void RegisterParameter(const std::string& name, Tensor* slot, Tensor init);
+  /// Registers a non-trainable buffer.
+  void RegisterBuffer(const std::string& name, Tensor* slot, Tensor init);
+  void RegisterModule(const std::string& name, ModulePtr child);
+  /// Replaces the registered child `name` (e.g. to wrap it in a Checkpoint).
+  /// Only affects call paths that dispatch through Children() — containers
+  /// like Sequential; modules invoking typed member pointers are unaffected.
+  /// Returns false if no such child exists.
+  bool ReplaceChild(const std::string& name, ModulePtr replacement);
+
+  // ----- traversal -----
+  /// Dotted fully-qualified parameter names with slot pointers; recursive,
+  /// deterministic registration order (matches PyTorch semantics that the
+  /// FlatParameter concatenation order relies on).
+  std::vector<std::pair<std::string, Tensor*>> NamedParameters();
+  std::vector<Tensor*> ParameterSlots();
+  std::vector<std::pair<std::string, Tensor*>> NamedBuffers();
+  /// (fqn, module) pairs including this module under "".
+  std::vector<std::pair<std::string, Module*>> NamedModules();
+  const std::vector<std::pair<std::string, ModulePtr>>& Children() const {
+    return children_;
+  }
+  /// Parameters registered directly on this module (non-recursive).
+  const std::vector<std::pair<std::string, Tensor*>>& OwnParameters() const {
+    return params_;
+  }
+
+  int64_t NumParameters();
+  void ZeroGrad();
+  /// True if any parameter (recursively) lives on the fake device.
+  bool HasFakeParameters();
+
+  // ----- hooks (functional fully_shard attachment points) -----
+  int RegisterForwardPreHook(ForwardPreHook hook);
+  int RegisterForwardPostHook(ForwardPostHook hook);
+  void RemoveForwardPreHook(int handle);
+  void RemoveForwardPostHook(int handle);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Tensor*>>* params,
+                    std::vector<std::pair<std::string, Tensor*>>* buffers,
+                    std::vector<std::pair<std::string, Module*>>* modules);
+
+  std::vector<std::pair<std::string, Tensor*>> params_;
+  std::vector<std::pair<std::string, Tensor*>> buffers_;
+  std::vector<std::pair<std::string, ModulePtr>> children_;
+  std::vector<std::pair<int, ForwardPreHook>> pre_hooks_;
+  std::vector<std::pair<int, ForwardPostHook>> post_hooks_;
+  int next_hook_id_ = 0;
+};
+
+}  // namespace fsdp::nn

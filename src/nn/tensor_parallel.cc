@@ -1,0 +1,63 @@
+#include "nn/tensor_parallel.h"
+
+namespace fsdp::nn {
+
+ColumnParallelLinear::ColumnParallelLinear(int64_t in_features,
+                                           int64_t out_features,
+                                           comm::ProcessGroup tp_pg,
+                                           bool gather_output, InitCtx& ctx)
+    : tp_pg_(tp_pg), gather_output_(gather_output),
+      local_out_(out_features / tp_pg.size()) {
+  FSDP_CHECK_MSG(out_features % tp_pg.size() == 0,
+                 "out_features must divide by the TP degree");
+  RegisterParameter("weight", &weight_,
+                    ctx.KaimingUniform({local_out_, in_features},
+                                       in_features));
+  RegisterParameter("bias", &bias_,
+                    ctx.KaimingUniform({local_out_}, in_features));
+}
+
+Tensor ColumnParallelLinear::Forward(const Tensor& x) {
+  Tensor y_local = ops::Linear(x, weight_, bias_);
+  if (!gather_output_) return y_local;
+  return comm::AllGatherCols(y_local, tp_pg_);
+}
+
+RowParallelLinear::RowParallelLinear(int64_t in_features,
+                                     int64_t out_features,
+                                     comm::ProcessGroup tp_pg, InitCtx& ctx)
+    : tp_pg_(tp_pg), local_in_(in_features / tp_pg.size()) {
+  FSDP_CHECK_MSG(in_features % tp_pg.size() == 0,
+                 "in_features must divide by the TP degree");
+  RegisterParameter("weight", &weight_,
+                    ctx.KaimingUniform({out_features, local_in_},
+                                       in_features));
+  RegisterParameter("bias", &bias_,
+                    ctx.KaimingUniform({out_features}, in_features));
+}
+
+Tensor RowParallelLinear::Forward(const Tensor& x_local) {
+  FSDP_CHECK_MSG(x_local.size(-1) == local_in_,
+                 "RowParallelLinear expects a column-sharded input");
+  Tensor partial = ops::Linear(x_local, weight_, Tensor());
+  Tensor summed = comm::AllReduceSum(partial, tp_pg_);
+  // Bias is replicated and added once, after the reduction; its gradient is
+  // the column sum of the output gradient.
+  const int64_t rows = summed.numel() / summed.size(-1);
+  return ops::Add(summed, ops::BroadcastRows(bias_, rows));
+}
+
+TensorParallelMLP::TensorParallelMLP(int64_t dim, int64_t hidden,
+                                     comm::ProcessGroup tp_pg, InitCtx& ctx) {
+  fc1_ = std::make_shared<ColumnParallelLinear>(dim, hidden, tp_pg,
+                                                /*gather_output=*/false, ctx);
+  fc2_ = std::make_shared<RowParallelLinear>(hidden, dim, tp_pg, ctx);
+  RegisterModule("fc1", fc1_);
+  RegisterModule("fc2", fc2_);
+}
+
+Tensor TensorParallelMLP::Forward(const Tensor& x) {
+  return (*fc2_)(ops::Gelu((*fc1_)(x)));
+}
+
+}  // namespace fsdp::nn

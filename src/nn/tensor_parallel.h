@@ -1,0 +1,87 @@
+// Tensor-parallel layers (Megatron-style), for composing with FSDP into 2D
+// parallelism (paper Sec 7.1.2: "devices organized into a 2D mesh where
+// tensor parallelism manages one dimension and FSDP applies sharded data
+// parallelism on the other; the two dimensions communicate activations and
+// parameters respectively").
+//
+// ColumnParallelLinear splits the weight by output features: each TP rank
+// computes a column block of the output. RowParallelLinear splits by input
+// features: each rank computes a partial product that is AllReduce-summed.
+// The canonical pairing — Column -> activation -> Row — needs exactly one
+// activation AllReduce per MLP, and FSDP can shard each rank's local slices
+// across the orthogonal data-parallel dimension.
+#pragma once
+
+#include "autograd/ops.h"
+#include "comm/functional.h"
+#include "nn/module.h"
+
+namespace fsdp::nn {
+
+/// y_local = x @ W_local^T + b_local, with W sliced by output features.
+/// If `gather_output`, the column blocks are AllGathered so every TP rank
+/// returns the full output; otherwise the output stays column-sharded
+/// (ready to feed a RowParallelLinear).
+class ColumnParallelLinear : public Module {
+ public:
+  ColumnParallelLinear(int64_t in_features, int64_t out_features,
+                       comm::ProcessGroup tp_pg, bool gather_output,
+                       InitCtx& ctx);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string TypeName() const override { return "ColumnParallelLinear"; }
+
+  int64_t local_out_features() const { return local_out_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  comm::ProcessGroup tp_pg_;
+  bool gather_output_;
+  int64_t local_out_;
+  Tensor weight_;  // (out/TP x in)
+  Tensor bias_;    // (out/TP)
+};
+
+/// y = AllReduceSum_over_TP(x_local @ W_local^T) + b, with W sliced by input
+/// features. `x` must be the column-sharded activation produced by a
+/// preceding ColumnParallelLinear(gather_output=false). The bias is
+/// replicated and added once after the reduction.
+class RowParallelLinear : public Module {
+ public:
+  RowParallelLinear(int64_t in_features, int64_t out_features,
+                    comm::ProcessGroup tp_pg, InitCtx& ctx);
+
+  Tensor Forward(const Tensor& x_local) override;
+  std::string TypeName() const override { return "RowParallelLinear"; }
+
+  int64_t local_in_features() const { return local_in_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  comm::ProcessGroup tp_pg_;
+  int64_t local_in_;
+  Tensor weight_;  // (out x in/TP)
+  Tensor bias_;    // (out)
+};
+
+/// The Megatron MLP: ColumnParallel -> GELU -> RowParallel, one activation
+/// AllReduce per forward.
+class TensorParallelMLP : public Module {
+ public:
+  TensorParallelMLP(int64_t dim, int64_t hidden, comm::ProcessGroup tp_pg,
+                    InitCtx& ctx);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string TypeName() const override { return "TensorParallelMLP"; }
+
+  ColumnParallelLinear& fc1() { return *fc1_; }
+  RowParallelLinear& fc2() { return *fc2_; }
+
+ private:
+  std::shared_ptr<ColumnParallelLinear> fc1_;
+  std::shared_ptr<RowParallelLinear> fc2_;
+};
+
+}  // namespace fsdp::nn

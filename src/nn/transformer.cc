@@ -1,0 +1,66 @@
+#include "nn/transformer.h"
+
+namespace fsdp::nn {
+
+TransformerBlock::TransformerBlock(int64_t dim, int64_t num_heads,
+                                   int64_t mlp_hidden, bool causal,
+                                   InitCtx& ctx)
+    : dim_(dim) {
+  ln1_ = std::make_shared<LayerNorm>(dim, ctx);
+  attn_ = std::make_shared<MultiheadSelfAttention>(dim, num_heads, causal, ctx);
+  ln2_ = std::make_shared<LayerNorm>(dim, ctx);
+  mlp_ = std::make_shared<MLP>(dim, mlp_hidden, ctx);
+  RegisterModule("ln1", ln1_);
+  RegisterModule("attn", attn_);
+  RegisterModule("ln2", ln2_);
+  RegisterModule("mlp", mlp_);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x) {
+  Tensor h = ops::Add(x, (*attn_)((*ln1_)(x)));
+  Tensor m = (*mlp_)((*ln2_)(h));
+  return ops::Add(h, ops::Reshape(m, h.shape()));
+}
+
+TransformerModel::TransformerModel(const TransformerConfig& config,
+                                   InitCtx& ctx)
+    : config_(config) {
+  TransformerConfig& c = config_;
+  if (c.mlp_hidden == 0) c.mlp_hidden = 4 * c.dim;
+  tok_emb_ = std::make_shared<Embedding>(c.vocab_size, c.dim, ctx);
+  pos_emb_ = std::make_shared<Embedding>(c.max_seq, c.dim, ctx);
+  RegisterModule("tok_emb", tok_emb_);
+  RegisterModule("pos_emb", pos_emb_);
+  for (int64_t i = 0; i < c.num_layers; ++i) {
+    ModulePtr block = std::make_shared<TransformerBlock>(
+        c.dim, c.num_heads, c.mlp_hidden, c.causal, ctx);
+    if (c.checkpoint_blocks) block = std::make_shared<Checkpoint>(block);
+    blocks_.push_back(block);
+    RegisterModule("blocks." + std::to_string(i), block);
+  }
+  ln_f_ = std::make_shared<LayerNorm>(c.dim, ctx);
+  lm_head_ = std::make_shared<Linear>(c.dim, c.vocab_size, /*bias=*/false, ctx);
+  RegisterModule("ln_f", ln_f_);
+  RegisterModule("lm_head", lm_head_);
+}
+
+Tensor TransformerModel::Forward(const Tensor& tokens) {
+  FSDP_CHECK_MSG(tokens.dim() == 2 && tokens.dtype() == DType::kI64,
+                 "tokens must be (batch, seq) kI64");
+  const int64_t batch = tokens.size(0), seq = tokens.size(1);
+  FSDP_CHECK(seq <= config_.max_seq);
+
+  std::vector<int64_t> pos(static_cast<size_t>(batch * seq));
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t s = 0; s < seq; ++s) pos[b * seq + s] = s;
+  }
+  Tensor pos_idx = ops::IndexTensor(pos, {batch, seq});
+
+  Tensor h = ops::Add((*tok_emb_)(tokens), (*pos_emb_)(pos_idx));
+  for (auto& block : blocks_) h = (*block)(h);
+  Tensor flat = ops::Reshape(h, {batch * seq, config_.dim});
+  flat = (*ln_f_)(flat);
+  return (*lm_head_)(flat);  // (batch*seq, vocab)
+}
+
+}  // namespace fsdp::nn

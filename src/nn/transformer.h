@@ -1,0 +1,65 @@
+// Transformer models: the block and two end-to-end models used throughout
+// tests, examples, and functional benchmarks — a causal LM (miniGPT stand-in)
+// and an encoder (T5-encoder stand-in). Blocks are the natural FSDP-unit
+// boundary (paper Sec 4.2: "blocks are annotated, forming well-sized
+// FlatParameters").
+#pragma once
+
+#include <memory>
+
+#include "nn/attention.h"
+#include "nn/checkpoint.h"
+#include "nn/layers.h"
+
+namespace fsdp::nn {
+
+/// Pre-norm transformer block: x + attn(ln1(x)); x + mlp(ln2(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t dim, int64_t num_heads, int64_t mlp_hidden,
+                   bool causal, InitCtx& ctx);
+
+  Tensor Forward(const Tensor& x) override;
+  std::string TypeName() const override { return "TransformerBlock"; }
+
+ private:
+  int64_t dim_;
+  std::shared_ptr<LayerNorm> ln1_, ln2_;
+  std::shared_ptr<MultiheadSelfAttention> attn_;
+  std::shared_ptr<MLP> mlp_;
+};
+
+struct TransformerConfig {
+  int64_t vocab_size = 128;
+  int64_t max_seq = 32;
+  int64_t dim = 32;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t mlp_hidden = 0;  // defaults to 4*dim
+  bool causal = true;      // false: encoder (T5-encoder stand-in)
+  /// Wrap every block in a Checkpoint (activation checkpointing, as the
+  /// paper's Sec 5.4 experiments do).
+  bool checkpoint_blocks = false;
+};
+
+/// Token-level transformer: embedding + positional embedding + blocks +
+/// final LayerNorm + untied LM head. Input: (batch, seq) kI64 token indices;
+/// output: (batch*seq, vocab) logits.
+class TransformerModel : public Module {
+ public:
+  TransformerModel(const TransformerConfig& config, InitCtx& ctx);
+
+  Tensor Forward(const Tensor& tokens) override;
+  std::string TypeName() const override { return "TransformerModel"; }
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  std::shared_ptr<Embedding> tok_emb_, pos_emb_;
+  std::vector<ModulePtr> blocks_;  // TransformerBlock, possibly Checkpoint'd
+  std::shared_ptr<LayerNorm> ln_f_;
+  std::shared_ptr<Linear> lm_head_;
+};
+
+}  // namespace fsdp::nn

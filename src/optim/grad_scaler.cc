@@ -1,0 +1,39 @@
+#include "optim/grad_scaler.h"
+
+#include "optim/optimizer.h"
+
+namespace fsdp::optim {
+
+bool GradScaler::Unscale(const std::vector<Tensor>& params) {
+  NoGradGuard no_grad;
+  float local_found_inf = 0.f;
+  const float inv = 1.f / scale_;
+  for (const Tensor& p : params) {
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    if (g.HasNonFinite()) local_found_inf = 1.f;
+    g.Mul_(inv);
+  }
+  found_inf_ = SyncFoundInf(local_found_inf) > 0.f;
+  unscaled_ = true;
+  return !found_inf_;
+}
+
+bool GradScaler::Step(Optimizer& optimizer) {
+  if (!unscaled_) Unscale(optimizer.params());
+  unscaled_ = false;
+  last_skipped_ = found_inf_;
+  if (found_inf_) {
+    scale_ *= opt_.backoff_factor;
+    growth_streak_ = 0;
+    return false;
+  }
+  optimizer.Step();
+  if (++growth_streak_ >= opt_.growth_interval) {
+    scale_ *= opt_.growth_factor;
+    growth_streak_ = 0;
+  }
+  return true;
+}
+
+}  // namespace fsdp::optim

@@ -1,0 +1,88 @@
+// Gradient scalers for FP16 mixed precision.
+//
+// FP16's narrow dynamic range under-/overflows small gradients, so the
+// standard recipe scales the loss up before backward and the gradients back
+// down before the optimizer step, skipping steps whose gradients contain
+// inf/NaN (Micikevicius et al., cited by the paper in Sec 4.4).
+//
+// The FSDP twist (paper Sec 4.4): gradients are *sharded* across ranks, so a
+// local inf/NaN check breaks mathematical equivalence — one rank would skip
+// the step while others apply it. ShardedGradScaler therefore AllReduces the
+// found_inf flag over the process group so every rank takes the same
+// decision, exactly like torch.distributed.fsdp.sharded_grad_scaler.
+#pragma once
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "comm/process_group.h"
+#include "tensor/tensor.h"
+
+namespace fsdp::optim {
+
+class Optimizer;
+
+struct GradScalerOptions {
+  float init_scale = 65536.f;
+  float growth_factor = 2.f;
+  float backoff_factor = 0.5f;
+  int growth_interval = 2000;
+};
+
+/// Local (single-process) gradient scaler.
+class GradScaler {
+ public:
+  explicit GradScaler(GradScalerOptions options = {})
+      : opt_(options), scale_(options.init_scale) {}
+  virtual ~GradScaler() = default;
+
+  /// loss * scale — backward through this produces scaled gradients.
+  Tensor ScaleLoss(const Tensor& loss) { return ops::ScalarMul(loss, scale_); }
+
+  /// Divides all present grads by the scale and records whether any grad
+  /// contained inf/NaN. Returns true if gradients are finite (step is safe).
+  bool Unscale(const std::vector<Tensor>& params);
+
+  /// Runs optimizer.Step() only if the last Unscale found finite grads, then
+  /// updates the scale (backoff on overflow, growth after a streak).
+  /// Returns true if the step was applied.
+  bool Step(Optimizer& optimizer);
+
+  float scale() const { return scale_; }
+  bool last_step_skipped() const { return last_skipped_; }
+
+ protected:
+  /// Combines the local found_inf indicator across ranks; the local scaler
+  /// returns it unchanged.
+  virtual float SyncFoundInf(float local_found_inf) {
+    return local_found_inf;
+  }
+
+ private:
+  GradScalerOptions opt_;
+  float scale_;
+  bool found_inf_ = false;
+  bool unscaled_ = false;
+  bool last_skipped_ = false;
+  int growth_streak_ = 0;
+};
+
+/// Scaler for sharded gradients: found_inf is AllReduced (max) over `pg` so
+/// all ranks agree on skipping. With hybrid sharding pass the *world* group.
+class ShardedGradScaler : public GradScaler {
+ public:
+  ShardedGradScaler(comm::ProcessGroup pg, GradScalerOptions options = {})
+      : GradScaler(options), pg_(std::move(pg)) {}
+
+ protected:
+  float SyncFoundInf(float local_found_inf) override {
+    Tensor flag = Tensor::Scalar(local_found_inf);
+    pg_.AllReduce(flag, comm::ReduceOp::kMax);
+    return flag.item();
+  }
+
+ private:
+  comm::ProcessGroup pg_;
+};
+
+}  // namespace fsdp::optim

@@ -1,0 +1,90 @@
+// Learning-rate schedules for the training loops (linear warmup + cosine
+// decay is the large-model default; step decay included for completeness).
+// Schedulers mutate the optimizer's learning rate in place each Step().
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace fsdp::optim {
+
+/// Base: call Step() once per optimizer step; read lr() to apply.
+class LrScheduler {
+ public:
+  explicit LrScheduler(float base_lr) : base_lr_(base_lr) {}
+  virtual ~LrScheduler() = default;
+
+  /// Advances one step and returns the new learning rate.
+  float Step() {
+    ++step_;
+    lr_ = Compute(step_);
+    return lr_;
+  }
+  float lr() const { return lr_; }
+  int64_t step_count() const { return step_; }
+  /// Checkpoint support: repositions the schedule.
+  void set_step_count(int64_t s) {
+    step_ = s;
+    lr_ = Compute(s);
+  }
+
+ protected:
+  virtual float Compute(int64_t step) const = 0;
+  float base_lr_;
+
+ private:
+  int64_t step_ = 0;
+  float lr_ = 0;
+};
+
+/// Linear warmup over `warmup_steps`, then cosine decay to `min_lr` at
+/// `total_steps`, constant afterwards.
+class WarmupCosine : public LrScheduler {
+ public:
+  WarmupCosine(float base_lr, int64_t warmup_steps, int64_t total_steps,
+               float min_lr = 0.f)
+      : LrScheduler(base_lr), warmup_(warmup_steps), total_(total_steps),
+        min_lr_(min_lr) {
+    FSDP_CHECK_MSG(warmup_steps >= 0 && total_steps > warmup_steps,
+                   "total_steps must exceed warmup_steps");
+  }
+
+ protected:
+  float Compute(int64_t step) const override {
+    if (warmup_ > 0 && step <= warmup_) {
+      return base_lr_ * static_cast<float>(step) /
+             static_cast<float>(warmup_);
+    }
+    const double progress =
+        std::min(1.0, static_cast<double>(step - warmup_) /
+                          static_cast<double>(total_ - warmup_));
+    const double cosine = 0.5 * (1.0 + std::cos(3.141592653589793 * progress));
+    return min_lr_ + (base_lr_ - min_lr_) * static_cast<float>(cosine);
+  }
+
+ private:
+  int64_t warmup_, total_;
+  float min_lr_;
+};
+
+/// Multiplies the LR by `gamma` every `step_size` steps.
+class StepDecay : public LrScheduler {
+ public:
+  StepDecay(float base_lr, int64_t step_size, float gamma)
+      : LrScheduler(base_lr), step_size_(step_size), gamma_(gamma) {
+    FSDP_CHECK(step_size > 0);
+  }
+
+ protected:
+  float Compute(int64_t step) const override {
+    return base_lr_ * std::pow(gamma_, static_cast<float>(step / step_size_));
+  }
+
+ private:
+  int64_t step_size_;
+  float gamma_;
+};
+
+}  // namespace fsdp::optim

@@ -1,0 +1,102 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace fsdp::optim {
+
+void SGD::Step() {
+  NoGradGuard no_grad;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    if (momentum_ != 0.f) {
+      auto it = velocity_.find(i);
+      if (it == velocity_.end()) {
+        it = velocity_.emplace(i, g.Clone()).first;
+      } else {
+        it->second.Mul_(momentum_);
+        it->second.Add_(g);
+      }
+      p.Add_(it->second, -lr_);
+    } else {
+      p.Add_(g, -lr_);
+    }
+  }
+}
+
+int64_t SGD::StateNumel() const {
+  int64_t n = 0;
+  for (const auto& [i, v] : velocity_) n += v.numel();
+  return n;
+}
+
+void Adam::Step() {
+  NoGradGuard no_grad;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    auto& st = state_[i];
+    if (!st.exp_avg.defined()) {
+      st.exp_avg = Tensor::Zeros(p.shape());
+      st.exp_avg_sq = Tensor::Zeros(p.shape());
+    }
+    ++st.step;
+
+    if (opt_.weight_decay != 0.f) {
+      if (opt_.decoupled_weight_decay) {
+        p.Mul_(1.f - opt_.lr * opt_.weight_decay);  // AdamW
+      } else {
+        // L2 regularization folded into the gradient; keep g intact for the
+        // caller, operate on a copy.
+        g = g.Clone();
+        g.Add_(p, opt_.weight_decay);
+      }
+    }
+
+    st.exp_avg.Lerp_(g, 1.f - opt_.beta1);
+    st.exp_avg_sq.Mul_(opt_.beta2);
+    st.exp_avg_sq.Addcmul_(g, g, 1.f - opt_.beta2);
+
+    const float bc1 =
+        1.f - std::pow(opt_.beta1, static_cast<float>(st.step));
+    const float bc2 =
+        1.f - std::pow(opt_.beta2, static_cast<float>(st.step));
+    // p -= lr * (m / bc1) / (sqrt(v / bc2) + eps)
+    //    = p + (-lr/bc1) * m / (sqrt(v)/sqrt(bc2) + eps).
+    // Match PyTorch exactly: denom = sqrt(v)/sqrt(bc2) + eps.
+    Tensor denom = st.exp_avg_sq.Clone();
+    denom.Mul_(1.f / bc2);
+    p.AddcdivSqrt_(st.exp_avg, denom, -opt_.lr / bc1, opt_.eps);
+  }
+}
+
+Adam::StateView Adam::GetState(size_t index) const {
+  auto it = state_.find(index);
+  if (it == state_.end() || !it->second.exp_avg.defined()) return {};
+  return {it->second.exp_avg, it->second.exp_avg_sq, it->second.step, true};
+}
+
+void Adam::SetState(size_t index, const Tensor& exp_avg,
+                    const Tensor& exp_avg_sq, int64_t step) {
+  FSDP_CHECK_MSG(index < params_.size(), "param index out of range");
+  FSDP_CHECK_MSG(exp_avg.numel() == params_[index].numel() &&
+                     exp_avg_sq.numel() == params_[index].numel(),
+                 "optimizer state shape mismatch for param " << index);
+  State st;
+  st.exp_avg = exp_avg.Clone().ViewAs(params_[index].shape());
+  st.exp_avg_sq = exp_avg_sq.Clone().ViewAs(params_[index].shape());
+  st.step = step;
+  state_[index] = std::move(st);
+}
+
+int64_t Adam::StateNumel() const {
+  int64_t n = 0;
+  for (const auto& [i, st] : state_) {
+    n += st.exp_avg.numel() + st.exp_avg_sq.numel();
+  }
+  return n;
+}
+
+}  // namespace fsdp::optim

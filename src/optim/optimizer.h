@@ -1,0 +1,106 @@
+// Optimizers (SGD, Adam/AdamW).
+//
+// Optimizers hold Tensor handles and update them in place from .grad under
+// NoGrad. With FSDP, the optimizer is constructed over the *sharded*
+// FlatParameters after wrapping (paper Sec 4.1: "optimizers should be
+// instantiated after FSDP shards the model"), so optimizer state is sharded
+// for free — this is the ZeRO memory saving. Adam is the paper's evaluation
+// optimizer precisely because it carries two FP32 states per parameter.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fsdp::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients. Parameters with no
+  /// grad are skipped (e.g. unused in the iteration).
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Tensor& p : params_) p.zero_grad();
+  }
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+  /// Total elements of optimizer state currently materialized (for the
+  /// sharded-optimizer-state memory tests).
+  virtual int64_t StateNumel() const = 0;
+
+  /// Updates the learning rate (LR-scheduler hook).
+  virtual void set_lr(float lr) = 0;
+  virtual float lr() const = 0;
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Tensor> params, float lr, float momentum = 0.f)
+      : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {}
+
+  void Step() override;
+  int64_t StateNumel() const override;
+  void set_lr(float lr) override { lr_ = lr; }
+  float lr() const override { return lr_; }
+
+ private:
+  float lr_, momentum_;
+  std::unordered_map<size_t, Tensor> velocity_;
+};
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.f;
+  bool decoupled_weight_decay = false;  // true = AdamW
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, AdamOptions options = {})
+      : Optimizer(std::move(params)), opt_(options) {}
+
+  void Step() override;
+  int64_t StateNumel() const override;
+
+  /// Read-only view of the state for parameter `index` (by construction
+  /// order). `initialized` is false before the first Step touching it.
+  struct StateView {
+    Tensor exp_avg;      // aliases internal state when initialized
+    Tensor exp_avg_sq;
+    int64_t step = 0;
+    bool initialized = false;
+  };
+  void set_lr(float lr) override { opt_.lr = lr; }
+  float lr() const override { return opt_.lr; }
+
+  StateView GetState(size_t index) const;
+  /// Installs state for parameter `index` (checkpoint-load path). Tensors
+  /// are copied; shapes must match the parameter.
+  void SetState(size_t index, const Tensor& exp_avg, const Tensor& exp_avg_sq,
+                int64_t step);
+
+  const AdamOptions& options() const { return opt_; }
+
+ private:
+  struct State {
+    Tensor exp_avg;
+    Tensor exp_avg_sq;
+    int64_t step = 0;
+  };
+  AdamOptions opt_;
+  std::unordered_map<size_t, State> state_;
+};
+
+}  // namespace fsdp::optim

@@ -1,0 +1,185 @@
+#include "sim/allocator.h"
+
+#include <algorithm>
+
+namespace fsdp::sim {
+
+int64_t CachingAllocator::RoundSize(int64_t bytes) const {
+  const int64_t r =
+      bytes > config_.small_limit ? config_.large_round : config_.small_round;
+  return (bytes + r - 1) / r * r;
+}
+
+CachingAllocator::BlockId CachingAllocator::FindReusable(int64_t bytes,
+                                                         int stream,
+                                                         SimTime cpu_now) {
+  BlockId best = -1;
+  int64_t best_bytes = 0;
+  for (auto& [id, b] : blocks_) {
+    if (b.in_use || !b.freed) continue;
+    if (b.stream != stream) continue;  // per-stream pools, no migration
+    if (b.bytes < bytes) continue;
+    if (b.reusable_at > cpu_now) continue;  // consumer event still pending
+    if (best == -1 || b.bytes < best_bytes) {
+      best = id;
+      best_bytes = b.bytes;
+    }
+  }
+  return best;
+}
+
+CachingAllocator::MallocOutcome CachingAllocator::Malloc(
+    int64_t bytes, int stream, SimTime cpu_now,
+    const DeviceSyncFn& device_sync) {
+  ++stats_.num_mallocs;
+  bytes = RoundSize(bytes);
+  MallocOutcome out;
+  out.cpu_time_after = cpu_now;
+
+  auto take = [&](BlockId id) {
+    Block& b = blocks_[id];
+    // Split if the leftover is worth caching.
+    if (b.bytes - bytes >= config_.split_remainder_min) {
+      Block rem;
+      rem.bytes = b.bytes - bytes;
+      rem.stream = b.stream;
+      rem.freed = true;
+      rem.reusable_at = b.reusable_at;
+      blocks_[next_id_++] = rem;
+      b.bytes = bytes;
+    }
+    b.in_use = true;
+    b.freed = false;
+    b.reusable_at = 0;
+    stats_.allocated_bytes += b.bytes;
+    out.block = id;
+  };
+
+  // 1) Cached block from this stream's pool.
+  BlockId hit = FindReusable(bytes, stream, out.cpu_time_after);
+  if (hit != -1) {
+    take(hit);
+    RefreshActive(out.cpu_time_after);
+    UpdatePeaks();
+    return out;
+  }
+
+  auto cudamalloc_cost = [&](int64_t b) {
+    return config_.cudamalloc_us +
+           config_.cudamalloc_us_per_gb * static_cast<double>(b) / 1e9;
+  };
+
+  // 2) Fresh segment if the device has room.
+  if (stats_.reserved_bytes + bytes <= config_.capacity_bytes) {
+    Block nb;
+    nb.bytes = bytes;
+    nb.stream = stream;
+    blocks_[next_id_] = nb;
+    stats_.reserved_bytes += bytes;
+    ++stats_.num_segment_allocs;
+    out.cpu_time_after += cudamalloc_cost(bytes);
+    take(next_id_++);
+    RefreshActive(out.cpu_time_after);
+    UpdatePeaks();
+    return out;
+  }
+
+  // 3) cudaMalloc retry: synchronize the device (CPU blocks until every
+  // stream drains — the throughput collapse of Sec 3.4), flush the cache
+  // (size-proportional cudaFrees), and try again.
+  ++stats_.num_alloc_retries;
+  out.retried = true;
+  const int64_t reserved_before = stats_.reserved_bytes;
+  out.cpu_time_after =
+      std::max(out.cpu_time_after, device_sync()) + config_.retry_flush_us;
+  // After a full device sync every pending event has completed.
+  for (auto& [id, b] : blocks_) {
+    if (b.freed) b.reusable_at = 0;
+  }
+  FlushCache();
+  const int64_t flushed = reserved_before - stats_.reserved_bytes;
+  out.cpu_time_after +=
+      config_.flush_us_per_gb * static_cast<double>(flushed) / 1e9;
+  if (stats_.reserved_bytes + bytes <= config_.capacity_bytes) {
+    Block nb;
+    nb.bytes = bytes;
+    nb.stream = stream;
+    blocks_[next_id_] = nb;
+    stats_.reserved_bytes += bytes;
+    ++stats_.num_segment_allocs;
+    out.cpu_time_after += cudamalloc_cost(bytes);
+    take(next_id_++);
+    RefreshActive(out.cpu_time_after);
+    UpdatePeaks();
+    return out;
+  }
+  out.ok = false;  // genuine OOM
+  return out;
+}
+
+void CachingAllocator::RecordStreamUse(BlockId id, int consumer_stream,
+                                       SimTime completes_at) {
+  auto it = blocks_.find(id);
+  FSDP_CHECK_MSG(it != blocks_.end(), "unknown block " << id);
+  Block& b = it->second;
+  if (consumer_stream == b.stream) return;  // same-stream order suffices
+  b.reusable_at = std::max(b.reusable_at, completes_at);
+}
+
+void CachingAllocator::Free(BlockId id, SimTime cpu_now) {
+  auto it = blocks_.find(id);
+  FSDP_CHECK_MSG(it != blocks_.end() && it->second.in_use,
+                 "double free of block " << id);
+  Block& b = it->second;
+  b.in_use = false;
+  b.freed = true;
+  stats_.allocated_bytes -= b.bytes;
+  RefreshActive(cpu_now);
+  UpdatePeaks();
+}
+
+void CachingAllocator::FlushCache() {
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (!it->second.in_use && it->second.freed) {
+      stats_.reserved_bytes -= it->second.bytes;
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CachingAllocator::RefreshActive(SimTime cpu_now) {
+  int64_t pending = 0;
+  for (auto& [id, b] : blocks_) {
+    if (!b.in_use && b.freed && b.reusable_at > cpu_now) pending += b.bytes;
+  }
+  stats_.active_bytes = stats_.allocated_bytes + pending;
+}
+
+void CachingAllocator::UpdatePeaks() {
+  stats_.peak_allocated =
+      std::max(stats_.peak_allocated, stats_.allocated_bytes);
+  stats_.peak_active = std::max(stats_.peak_active, stats_.active_bytes);
+  stats_.peak_reserved = std::max(stats_.peak_reserved, stats_.reserved_bytes);
+}
+
+const AllocatorStats& CachingAllocator::stats(SimTime cpu_now) {
+  RefreshActive(cpu_now);
+  UpdatePeaks();
+  return stats_;
+}
+
+int64_t CachingAllocator::block_bytes(BlockId id) const {
+  auto it = blocks_.find(id);
+  FSDP_CHECK(it != blocks_.end());
+  return it->second.bytes;
+}
+
+void CachingAllocator::ResetPeaks() {
+  stats_.peak_allocated = stats_.allocated_bytes;
+  stats_.peak_active = stats_.active_bytes;
+  stats_.peak_reserved = stats_.reserved_bytes;
+}
+
+}  // namespace fsdp::sim

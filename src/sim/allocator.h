@@ -1,0 +1,126 @@
+// Simulated CUDA caching allocator (paper Sec 3.4).
+//
+// Reproduces the PyTorch caching-allocator mechanics the paper's rate-limiter
+// and memory results depend on:
+//
+//  * Blocks are carved from device "segments" obtained via (simulated)
+//    cudaMalloc; requests are rounded (512 B small / 2 MiB large) and large
+//    blocks may be split, leaving a free remainder in the pool.
+//  * Pools are per-stream: a cached block can only serve a request from the
+//    stream it was allocated on (no cross-stream migration).
+//  * Cross-stream uses are recorded (record_stream): a freed block becomes
+//    reusable only once every consumer-stream kernel that touched it has
+//    completed *in GPU time*. The allocator decides at *CPU* time — so a CPU
+//    thread running far ahead of the GPU sees pending blocks as unusable and
+//    must cudaMalloc fresh segments (the over-allocation spiral of Sec 3.4).
+//  * When the device cannot serve a new segment, the allocator performs a
+//    cudaMalloc *retry*: it synchronizes the device (caller supplies the
+//    device-drain time), flushes all cached segments, and tries again. The
+//    retry count mirrors torch.cuda.memory_stats()["num_alloc_retries"], the
+//    indicator the paper tells practitioners to watch.
+//
+// Stats exposed match Fig 8's three curves: allocated (tensor-held bytes),
+// active (allocated + freed-but-event-pending), reserved (segment bytes).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/stream.h"
+
+namespace fsdp::sim {
+
+struct AllocatorConfig {
+  int64_t capacity_bytes = 80LL << 30;     // A100-80GB
+  int64_t small_round = 512;               // small-request rounding
+  int64_t large_round = 2 << 20;           // large-request rounding (2 MiB)
+  int64_t small_limit = 1 << 20;           // requests above this are "large"
+  int64_t split_remainder_min = 1 << 20;   // min leftover worth keeping
+  double cudamalloc_us = 15.0;             // fixed cost of a fresh cudaMalloc
+  /// Size-proportional cudaMalloc cost (page-table setup).
+  double cudamalloc_us_per_gb = 1500.0;
+  double retry_flush_us = 100.0;           // fixed empty_cache + sync cost
+  /// Size-proportional cudaFree cost during a retry flush: cudaFree of
+  /// peer-mapped segments requires device-wide sync and unmapping on every
+  /// GPU of the host, and the flushed bytes must later be re-cudaMalloc'd.
+  double flush_us_per_gb = 12000.0;
+};
+
+struct AllocatorStats {
+  int64_t allocated_bytes = 0;
+  int64_t active_bytes = 0;
+  int64_t reserved_bytes = 0;
+  int64_t peak_allocated = 0;
+  int64_t peak_active = 0;
+  int64_t peak_reserved = 0;
+  int64_t num_alloc_retries = 0;
+  int64_t num_mallocs = 0;
+  int64_t num_segment_allocs = 0;
+};
+
+class CachingAllocator {
+ public:
+  using BlockId = int64_t;
+  /// Returns the time at which the whole device drains (all streams idle);
+  /// invoked when a cudaMalloc retry must synchronize.
+  using DeviceSyncFn = std::function<SimTime()>;
+
+  explicit CachingAllocator(AllocatorConfig config) : config_(config) {}
+
+  struct MallocOutcome {
+    BlockId block = -1;
+    SimTime cpu_time_after = 0;  // CPU time after the call (sync may block)
+    bool retried = false;
+    bool ok = true;              // false: OOM even after retry
+  };
+
+  /// Serves an allocation request from `stream` at CPU time `cpu_now`.
+  MallocOutcome Malloc(int64_t bytes, int stream, SimTime cpu_now,
+                       const DeviceSyncFn& device_sync);
+
+  /// Marks a cross-stream consumer of the block: after Free, the block stays
+  /// event-pending until `completes_at`.
+  void RecordStreamUse(BlockId id, int consumer_stream, SimTime completes_at);
+
+  /// Frees the block at CPU time `cpu_now`. It returns to its allocation
+  /// stream's pool; reuse is gated on recorded cross-stream completions.
+  void Free(BlockId id, SimTime cpu_now);
+
+  /// Refreshes `active_bytes` against the clock (event-pending blocks whose
+  /// consumers completed become plain free) and returns current stats.
+  const AllocatorStats& stats(SimTime cpu_now);
+  /// Stats without a clock refresh (last computed values).
+  const AllocatorStats& last_stats() const { return stats_; }
+  int64_t block_bytes(BlockId id) const;
+
+  void ResetPeaks();
+
+ private:
+  struct Block {
+    int64_t bytes = 0;
+    int stream = 0;          // allocation stream (pool key)
+    bool in_use = false;
+    bool freed = false;      // returned by caller, possibly event-pending
+    SimTime reusable_at = 0; // max completion of cross-stream consumers
+  };
+
+  int64_t RoundSize(int64_t bytes) const;
+  /// Finds the best-fit reusable cached block; -1 if none.
+  BlockId FindReusable(int64_t bytes, int stream, SimTime cpu_now);
+  /// Releases all non-in-use segments back to the device (retry flush).
+  void FlushCache();
+  void RefreshActive(SimTime cpu_now);
+  void UpdatePeaks();
+
+  AllocatorConfig config_;
+  std::map<BlockId, Block> blocks_;
+  BlockId next_id_ = 0;
+  AllocatorStats stats_;
+};
+
+}  // namespace fsdp::sim

@@ -1,0 +1,55 @@
+// Virtual-time CUDA stream model.
+//
+// The simulator uses deterministic time algebra: one shared clock, and each
+// stream is an in-order execution resource. An operation launched at CPU
+// time `issue` with dependencies `deps` starts at max(issue, stream tail,
+// deps) — exactly CUDA's semantics of sequential ordering within a stream
+// plus event waits across streams. The CPU thread's own time advances
+// separately (it "runs ahead" of the GPU), which is what makes the caching
+// allocator's cross-stream reuse problem (paper Sec 3.4) expressible.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fsdp::sim {
+
+/// Simulated wall-clock time in microseconds.
+using SimTime = double;
+
+class SimStream {
+ public:
+  explicit SimStream(std::string name) : name_(std::move(name)) {}
+
+  /// Enqueues an operation. Returns its completion time.
+  SimTime Launch(SimTime issue_time, double duration_us,
+                 const std::vector<SimTime>& deps = {}) {
+    FSDP_DCHECK(duration_us >= 0);
+    SimTime start = std::max(issue_time, available_at_);
+    for (SimTime d : deps) start = std::max(start, d);
+    available_at_ = start + duration_us;
+    busy_us_ += duration_us;
+    return available_at_;
+  }
+
+  /// Time at which all enqueued work completes.
+  SimTime available_at() const { return available_at_; }
+  /// Total busy time (for utilization accounting).
+  double busy_us() const { return busy_us_; }
+  const std::string& name() const { return name_; }
+
+  void Reset() {
+    available_at_ = 0;
+    busy_us_ = 0;
+  }
+
+ private:
+  std::string name_;
+  SimTime available_at_ = 0;
+  double busy_us_ = 0;
+};
+
+}  // namespace fsdp::sim

@@ -1,0 +1,125 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fsdp::sim {
+
+Group ShardGroup(const Topology& topo, int sharding_factor) {
+  FSDP_CHECK_MSG(topo.world() % sharding_factor == 0,
+                 "sharding factor must divide world size");
+  Group g;
+  g.size = sharding_factor;
+  // Consecutive ranks: a shard group spans ceil(F / G) hosts.
+  g.hosts = (sharding_factor + topo.gpus_per_host - 1) / topo.gpus_per_host;
+  return g;
+}
+
+Group ReplicateGroup(const Topology& topo, int sharding_factor) {
+  Group g;
+  g.size = topo.world() / sharding_factor;
+  if (g.size == 1) {
+    g.hosts = 1;
+    return g;
+  }
+  // Replicas sit at stride F: with F >= G they land on distinct hosts; with
+  // F < G several replicas share a host.
+  const int per_host = std::max(1, topo.gpus_per_host / sharding_factor);
+  g.hosts = std::max(1, (g.size + per_host - 1) / per_host);
+  g.hosts = std::min(g.hosts, topo.num_hosts);
+  return g;
+}
+
+Group WorldGroup(const Topology& topo) {
+  return Group{topo.world(), topo.num_hosts};
+}
+
+double CollectiveModel::EffectiveBwBytesPerUs(int64_t step_bytes,
+                                              const Group& group) const {
+  const bool intra = group.intra_host();
+  const double bw_gbps =
+      intra ? c_.intra_host_bw_gbps : c_.inter_host_bw_gbps;
+  const double half =
+      intra ? c_.half_peak_bytes_intra : c_.half_peak_bytes_inter;
+  double bw = bw_gbps * 1e9 / 1e6;  // bytes per microsecond
+  // Saturation with message size (latency/protocol bound below the knee).
+  bw *= static_cast<double>(step_bytes) /
+        (static_cast<double>(step_bytes) + half);
+  // Straggler / fabric interference growth with spanned hosts.
+  if (group.hosts > 1) {
+    bw /= 1.0 + c_.straggler_frac * std::log2(static_cast<double>(group.hosts));
+  }
+  return std::max(bw, 1e-6);
+}
+
+double CollectiveModel::RingTime(int64_t bytes_moved_per_rank, int steps,
+                                 int64_t step_bytes,
+                                 const Group& group) const {
+  (void)step_bytes;
+  if (group.size <= 1 || bytes_moved_per_rank <= 0) {
+    return c_.collective_launch_us;
+  }
+  // Saturation keys on the per-rank total: NCCL pipelines small per-step
+  // chunks, but short messages overall stay protocol/latency bound — the
+  // Fig 2(b) effect.
+  const double bw = EffectiveBwBytesPerUs(
+      std::max<int64_t>(bytes_moved_per_rank, 1), group);
+  return c_.collective_launch_us + steps * c_.hop_latency_us +
+         static_cast<double>(bytes_moved_per_rank) / bw;
+}
+
+double CollectiveModel::AllGatherBase(int64_t shard_bytes,
+                                      const Group& group) const {
+  // Ring: W-1 steps, each moving the shard; per-rank traffic (W-1)*shard.
+  return RingTime((group.size - 1) * shard_bytes, group.size - 1, shard_bytes,
+                  group);
+}
+
+double CollectiveModel::AllGatherListOutput(int64_t shard_bytes,
+                                            const Group& group) const {
+  // Same wire traffic plus staging copies of the full output on both sides
+  // (consolidate + scatter to the output list).
+  const double copy_us =
+      2.0 * static_cast<double>(group.size) * shard_bytes /
+      (c_.d2d_copy_bw_gbps * 1e9 / 1e6);
+  return AllGatherBase(shard_bytes, group) + copy_us +
+         c_.kernel_launch_gpu_us * 2;
+}
+
+double CollectiveModel::AllGatherUneven(int64_t total_bytes,
+                                        const Group& group) const {
+  // ProcessGroup's fallback: one Broadcast per rank, serialized.
+  const int64_t per_rank = total_bytes / std::max(group.size, 1);
+  double t = 0;
+  for (int r = 0; r < group.size; ++r) t += Broadcast(per_rank, group);
+  return t;
+}
+
+double CollectiveModel::ReduceScatter(int64_t total_bytes,
+                                      const Group& group) const {
+  // Symmetric to AllGather: W-1 steps moving total/W per step.
+  const int64_t chunk = total_bytes / std::max(group.size, 1);
+  return RingTime((group.size - 1) * chunk, group.size - 1, chunk, group);
+}
+
+double CollectiveModel::AllReduce(int64_t bytes, const Group& group) const {
+  // Ring AllReduce = ReduceScatter + AllGather: 2(W-1) steps of bytes/W.
+  const int64_t chunk = bytes / std::max(group.size, 1);
+  return RingTime(2 * (group.size - 1) * chunk, 2 * (group.size - 1), chunk,
+                  group);
+}
+
+double CollectiveModel::Broadcast(int64_t bytes, const Group& group) const {
+  // Pipelined ring/tree broadcast: bandwidth term once plus per-hop latency.
+  return RingTime(bytes, group.size - 1, bytes, group);
+}
+
+double ComputeModel::MatmulTime(double flops, DType dtype) const {
+  double peak_tflops = c_.peak_fp32_tflops;
+  if (dtype == DType::kBF16) peak_tflops = c_.peak_bf16_tflops;
+  if (dtype == DType::kF16) peak_tflops = c_.peak_fp16_tflops;
+  const double flops_per_us = peak_tflops * 1e12 * c_.matmul_efficiency / 1e6;
+  return flops / flops_per_us + c_.kernel_launch_gpu_us;
+}
+
+}  // namespace fsdp::sim

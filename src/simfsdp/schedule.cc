@@ -1,0 +1,604 @@
+#include "simfsdp/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+namespace fsdp::simfsdp {
+
+namespace {
+
+constexpr int kComputeStream = 1;
+constexpr int kCommStream = 2;
+
+// A100 HBM bandwidth for memory-bound phases (optimizer step).
+constexpr double kHbmBytesPerUs = 1555.0 * 1e9 / 1e6;
+
+double FlopsPerUs(const sim::SimConstants& c, DType dtype) {
+  double peak = c.peak_fp32_tflops;
+  if (dtype == DType::kBF16) peak = c.peak_bf16_tflops;
+  if (dtype == DType::kF16) peak = c.peak_fp16_tflops;
+  return peak * 1e12 * c.matmul_efficiency / 1e6;
+}
+
+struct UnitSim {
+  // static
+  int64_t padded_numel = 0;
+  int64_t shard_bytes = 0;      // communicated shard (param_dtype)
+  int64_t unsharded_bytes = 0;  // gathered flat parameter
+  int64_t grad_bytes = 0;       // unsharded gradient buffer
+  int64_t reduce_total_bytes = 0;  // ReduceScatter input
+  double fwd_us = 0, bwd_us = 0;
+  double cpu_fwd_us = 0, cpu_bwd_us = 0;
+  int64_t act_bytes = 0;
+  int64_t recompute_bytes = 0;  // transient full activations during bwd
+  // runtime
+  sim::CachingAllocator::BlockId param_block = -1;
+  sim::CachingAllocator::BlockId grad_block = -1;
+  sim::CachingAllocator::BlockId act_block = -1;
+  sim::SimTime ag_end = 0;
+  sim::SimTime fwd_end = 0;
+  bool unsharded = false;
+};
+
+}  // namespace
+
+FsdpSimulator::FsdpSimulator(Workload workload, sim::Topology topo,
+                             sim::SimConstants constants, FsdpSimConfig config)
+    : w_(std::move(workload)), topo_(topo), c_(constants), cfg_(config) {
+  if (cfg_.sharding_factor <= 0) cfg_.sharding_factor = topo_.world();
+}
+
+SimMetrics FsdpSimulator::Run() {
+  SimMetrics m;
+  const int f = cfg_.sharding_factor;
+  FSDP_CHECK_MSG(topo_.world() % f == 0, "F must divide world");
+  const int replicas = topo_.world() / f;
+  const sim::Group shard_g = sim::ShardGroup(topo_, f);
+  const sim::Group repl_g = sim::ReplicateGroup(topo_, f);
+  const sim::Group world_g = sim::WorldGroup(topo_);
+  sim::CollectiveModel cm(c_, topo_);
+  sim::ComputeModel pm(c_);
+
+  sim::SimStream compute("compute"), comm("comm");
+  sim::AllocatorConfig acfg;
+  acfg.capacity_bytes = c_.hbm_bytes;
+  sim::CachingAllocator alloc(acfg);
+
+  sim::SimTime cpu = 0;
+  bool oom = false;
+  auto device_sync = [&]() {
+    return std::max(compute.available_at(), comm.available_at());
+  };
+  auto malloc_block = [&](int64_t bytes,
+                          int stream) -> sim::CachingAllocator::BlockId {
+    if (oom || bytes <= 0) return -1;
+    auto out = alloc.Malloc(bytes, stream, cpu, device_sync);
+    cpu = out.cpu_time_after;
+    if (!out.ok) {
+      oom = true;
+      return -1;
+    }
+    return out.block;
+  };
+
+  const int64_t psize = SizeOf(cfg_.param_dtype);
+  const int64_t rsize = SizeOf(cfg_.reduce_dtype);
+  const int batch = cfg_.batch_per_gpu;
+
+  // ---- build unit table: index 0 is the root unit ----
+  std::vector<UnitSim> units(w_.units.size() + 1);
+  const double flops_rate = FlopsPerUs(c_, cfg_.param_dtype);
+  auto fill = [&](UnitSim& u, int64_t params, double fwd_flops,
+                  int64_t act_bytes, int64_t ckpt_bytes, int n_kernels) {
+    u.padded_numel = (params + f - 1) / f * f;
+    u.shard_bytes = u.padded_numel / f * psize;
+    u.unsharded_bytes = u.padded_numel * psize;
+    u.grad_bytes = u.padded_numel * rsize;
+    u.reduce_total_bytes = u.padded_numel * rsize;
+    u.fwd_us = fwd_flops * batch / flops_rate +
+               n_kernels * c_.kernel_launch_gpu_us;
+    // backward = 2x forward matmuls (+ recompute under checkpointing).
+    const double recompute = cfg_.activation_checkpointing ? 1.0 : 0.0;
+    u.bwd_us = (2.0 + recompute) * fwd_flops * batch / flops_rate +
+               2 * n_kernels * c_.kernel_launch_gpu_us;
+    u.cpu_fwd_us = pm.CpuIssueTime(n_kernels);
+    u.cpu_bwd_us = pm.CpuIssueTime(2 * n_kernels);
+    u.act_bytes =
+        (cfg_.activation_checkpointing ? ckpt_bytes : act_bytes) * batch;
+    u.recompute_bytes =
+        cfg_.activation_checkpointing ? (act_bytes - ckpt_bytes) * batch : 0;
+  };
+  fill(units[0], w_.root_param_numel,
+       w_.root_pre_flops_per_sample + w_.root_post_flops_per_sample,
+       w_.root_act_bytes_per_sample, w_.root_act_bytes_per_sample, 6);
+  for (size_t i = 0; i < w_.units.size(); ++i) {
+    const UnitSpec& spec = w_.units[i];
+    fill(units[i + 1], spec.param_numel, spec.fwd_flops_per_sample,
+         spec.act_bytes_per_sample, spec.ckpt_bytes_per_sample,
+         spec.n_kernels);
+  }
+
+  // ---- persistent state (allocated once) ----
+  (void)malloc_block(c_.framework_overhead_bytes, kComputeStream);
+  int64_t shard_total = 0;
+  for (const UnitSim& u : units) shard_total += u.padded_numel / f;
+  if (!cfg_.cpu_offload_params) {
+    // FP32 master shard + FP32 gradient shard + two Adam states.
+    (void)malloc_block(shard_total * 4, kComputeStream);
+    (void)malloc_block(shard_total * 4, kComputeStream);
+    (void)malloc_block(shard_total * 8, kComputeStream);
+  }
+  // (With CPU offload the shards live in host memory; only transient device
+  // buffers remain.)
+  if (w_.non_fsdp_state_bytes > 0) {
+    (void)malloc_block(w_.non_fsdp_state_bytes, kComputeStream);
+  }
+  const double pcie_bytes_per_us = c_.pcie_gbps * 1e3;
+
+  // ---- cost helpers ----
+  const double ag_us = cm.AllGatherBase(units[1].shard_bytes, shard_g);
+  (void)ag_us;
+  auto ag_time = [&](const UnitSim& u) {
+    return cm.AllGatherBase(u.shard_bytes, shard_g);
+  };
+  auto rs_time = [&](const UnitSim& u) {
+    return cm.ReduceScatter(u.reduce_total_bytes, shard_g);
+  };
+  auto ar_time = [&](const UnitSim& u) {
+    return cm.AllReduce(u.reduce_total_bytes / f, repl_g);
+  };
+  auto add_traffic = [&](double per_gpu_bytes, const sim::Group& g) {
+    if (g.hosts > 1) m.cross_host_bytes_per_gpu += per_gpu_bytes;
+  };
+
+  // ---- rate limiter ----
+  std::deque<sim::SimTime> free_events;
+  auto limiter_gate = [&]() {
+    if (cfg_.limit_all_gathers <= 0) return;
+    while (static_cast<int>(free_events.size()) >=
+           cfg_.limit_all_gathers) {
+      if (free_events.front() > cpu) {
+        // The CPU thread really blocks on the free event; waking from a
+        // cudaEventSynchronize costs real time (the DeepViT-style overhead
+        // of throttling, Sec 5.3).
+        cpu = free_events.front() + c_.event_sync_us;
+      }
+      free_events.pop_front();
+    }
+  };
+
+  auto issue_unshard = [&](UnitSim& u, bool count_traffic) {
+    if (u.unsharded || oom) return;
+    limiter_gate();
+    u.param_block = malloc_block(u.unsharded_bytes, kCommStream);
+    if (oom) return;
+    if (cfg_.cpu_offload_params) {
+      // H2D copy of the local shard precedes the AllGather (FSDP CPUOffload
+      // streams the shard up just in time).
+      comm.Launch(cpu, u.shard_bytes / pcie_bytes_per_us);
+      cpu += c_.cpu_issue_us_per_kernel;
+    }
+    u.ag_end = comm.Launch(cpu, ag_time(u));
+    cpu += c_.cpu_issue_us_per_kernel;
+    u.unsharded = true;
+    if (count_traffic) {
+      add_traffic(static_cast<double>(shard_g.size - 1) * u.shard_bytes,
+                  shard_g);
+    }
+  };
+
+  // ---- iterations ----
+  sim::SimTime prev_iter_end = 0;
+  sim::SimTime params_ready = 0;  // optimizer completion gates next forward
+  double compute_busy_before = 0, comm_busy_before = 0;
+  double iter_flops = 0;
+
+  for (int iter = 0; iter < cfg_.iterations && !oom; ++iter) {
+    const bool last_iter = iter + 1 == cfg_.iterations;
+    if (last_iter) {
+      compute_busy_before = compute.busy_us();
+      comm_busy_before = comm.busy_us();
+      alloc.ResetPeaks();
+      m.cross_host_bytes_per_gpu = 0;
+      iter_flops = 0;
+    }
+
+    sim::SimTime last_comm_end = 0;
+    for (int mb = 0; mb < cfg_.microbatches && !oom; ++mb) {
+      const bool sync_mb =
+          cfg_.accum_with_comm || mb + 1 == cfg_.microbatches;
+
+      // ---------- forward ----------
+      // DHEN-style sparse exchange feeds the dense tower.
+      sim::SimTime input_ready = params_ready;
+      if (w_.sparse_exchange_bytes_per_sample > 0) {
+        const int64_t bytes =
+            w_.sparse_exchange_bytes_per_sample * batch;
+        const double t =
+            c_.collective_launch_us +
+            bytes / cm.EffectiveBwBytesPerUs(bytes, world_g);
+        input_ready = comm.Launch(cpu, t, {params_ready});
+        cpu += c_.cpu_issue_us_per_kernel;
+        add_traffic(static_cast<double>(bytes), world_g);
+      }
+
+      // Root gathered first and kept through forward (Sec 3.3.1).
+      issue_unshard(units[0], last_iter);
+      sim::SimTime prev_fwd =
+          compute.Launch(cpu,
+                         w_.root_pre_flops_per_sample * batch / flops_rate +
+                             c_.kernel_launch_gpu_us,
+                         {units[0].ag_end, input_ready, params_ready});
+      cpu += pm.CpuIssueTime(2);
+
+      for (size_t i = 1; i < units.size() && !oom; ++i) {
+        UnitSim& u = units[i];
+        issue_unshard(u, last_iter);
+        if (cfg_.forward_prefetch && i + 1 < units.size()) {
+          issue_unshard(units[i + 1], last_iter);
+        }
+        if (u.act_block < 0) {
+          u.act_block = malloc_block(u.act_bytes, kComputeStream);
+        }
+        u.fwd_end = compute.Launch(cpu, u.fwd_us, {u.ag_end, params_ready});
+        prev_fwd = u.fwd_end;
+        cpu += u.cpu_fwd_us;
+        if (last_iter) iter_flops += u.fwd_us * flops_rate;
+        if (u.param_block >= 0) {
+          alloc.RecordStreamUse(u.param_block, kComputeStream, u.fwd_end);
+        }
+        if (cfg_.reshard_after_forward) {
+          if (u.param_block >= 0) alloc.Free(u.param_block, cpu);
+          u.param_block = -1;
+          u.unsharded = false;
+          free_events.push_back(u.fwd_end);
+        }
+      }
+      if (oom) break;
+
+      // Head / logits at the end of forward (root unit, kept unsharded).
+      // Logits and loss scratch live until the head backward completes.
+      auto head_block =
+          malloc_block(w_.head_act_bytes_per_sample * batch, kComputeStream);
+      sim::SimTime head_end = compute.Launch(
+          cpu,
+          w_.root_post_flops_per_sample * batch / flops_rate +
+              c_.kernel_launch_gpu_us,
+          {prev_fwd, units[0].ag_end});
+      cpu += pm.CpuIssueTime(4);
+      if (last_iter) {
+        iter_flops += w_.root_post_flops_per_sample * batch;
+      }
+
+      // ---------- backward ----------
+      sim::SimTime prev_bwd = compute.Launch(
+          cpu,
+          2.0 * w_.root_post_flops_per_sample * batch / flops_rate +
+              c_.kernel_launch_gpu_us,
+          {head_end});
+      cpu += pm.CpuIssueTime(4);
+      if (last_iter) {
+        iter_flops += 2.0 * w_.root_post_flops_per_sample * batch;
+      }
+      if (head_block >= 0) {
+        alloc.RecordStreamUse(head_block, kComputeStream, prev_bwd);
+        alloc.Free(head_block, cpu);
+      }
+
+      for (size_t idx = units.size(); idx-- > 1 && !oom;) {
+        UnitSim& u = units[idx];
+        // Pre-backward unshard (no-prefetch path, or the first backward
+        // unit; under prefetch this is usually already done).
+        if (cfg_.reshard_after_forward) issue_unshard(u, last_iter);
+
+        if (u.grad_block < 0) {
+          u.grad_block = malloc_block(u.grad_bytes, kComputeStream);
+        }
+        // Activation checkpointing re-materializes the full activations for
+        // the duration of this unit's backward.
+        sim::CachingAllocator::BlockId recompute_block =
+            malloc_block(u.recompute_bytes, kComputeStream);
+        sim::SimTime bwd_end =
+            compute.Launch(cpu, u.bwd_us, {u.ag_end, prev_bwd});
+        prev_bwd = bwd_end;
+        cpu += u.cpu_bwd_us;
+        if (last_iter) iter_flops += u.bwd_us * flops_rate;
+        if (recompute_block >= 0) {
+          alloc.RecordStreamUse(recompute_block, kComputeStream, bwd_end);
+          alloc.Free(recompute_block, cpu);
+        }
+
+        // Backward prefetch: next AllGather before this ReduceScatter
+        // (Sec 3.3.2); both queue on the single communication stream.
+        if (cfg_.backward_prefetch && cfg_.reshard_after_forward &&
+            idx > 1) {
+          issue_unshard(units[idx - 1], last_iter);
+        }
+
+        if (sync_mb) {
+          sim::SimTime red_end =
+              comm.Launch(cpu, rs_time(u), {bwd_end});
+          cpu += c_.cpu_issue_us_per_kernel;
+          add_traffic(
+              static_cast<double>(shard_g.size - 1) / shard_g.size *
+                  u.reduce_total_bytes,
+              shard_g);
+          if (replicas > 1) {
+            red_end = comm.Launch(cpu, ar_time(u), {red_end});
+            cpu += c_.cpu_issue_us_per_kernel;
+            add_traffic(2.0 * (repl_g.size - 1) / repl_g.size *
+                            (u.reduce_total_bytes / f),
+                        repl_g);
+          }
+          if (cfg_.cpu_offload_params) {
+            // D2H copy of the reduced gradient shard back to host.
+            red_end = comm.Launch(
+                cpu, (u.reduce_total_bytes / f) / pcie_bytes_per_us,
+                {red_end});
+            cpu += c_.cpu_issue_us_per_kernel;
+          }
+          last_comm_end = std::max(last_comm_end, red_end);
+          if (u.grad_block >= 0) {
+            alloc.RecordStreamUse(u.grad_block, kCommStream, red_end);
+            alloc.Free(u.grad_block, cpu);
+            u.grad_block = -1;
+          }
+        }
+        // Free the unsharded parameter after this unit's backward (all
+        // sharded strategies reshard here).
+        if (u.param_block >= 0 && f > 1) {
+          alloc.RecordStreamUse(u.param_block, kComputeStream, bwd_end);
+          alloc.Free(u.param_block, cpu);
+          u.param_block = -1;
+          u.unsharded = false;
+          free_events.push_back(bwd_end);
+        }
+        if (u.act_block >= 0) {
+          alloc.RecordStreamUse(u.act_block, kComputeStream, bwd_end);
+          alloc.Free(u.act_block, cpu);
+          u.act_block = -1;
+        }
+      }
+      if (oom) break;
+
+      // Root (embedding-side) backward and its reduction.
+      UnitSim& root = units[0];
+      sim::SimTime root_bwd = compute.Launch(
+          cpu,
+          2.0 * w_.root_pre_flops_per_sample * batch / flops_rate +
+              c_.kernel_launch_gpu_us,
+          {prev_bwd});
+      cpu += pm.CpuIssueTime(2);
+      if (root.grad_block < 0) {
+        root.grad_block = malloc_block(root.grad_bytes, kComputeStream);
+      }
+      if (sync_mb) {
+        sim::SimTime red_end = comm.Launch(cpu, rs_time(root), {root_bwd});
+        cpu += c_.cpu_issue_us_per_kernel;
+        add_traffic(static_cast<double>(shard_g.size - 1) / shard_g.size *
+                        root.reduce_total_bytes,
+                    shard_g);
+        if (replicas > 1) {
+          red_end = comm.Launch(cpu, ar_time(root), {red_end});
+          cpu += c_.cpu_issue_us_per_kernel;
+          add_traffic(2.0 * (repl_g.size - 1) / repl_g.size *
+                          (root.reduce_total_bytes / f),
+                      repl_g);
+        }
+        last_comm_end = std::max(last_comm_end, red_end);
+        if (root.grad_block >= 0) {
+          alloc.RecordStreamUse(root.grad_block, kCommStream, red_end);
+          alloc.Free(root.grad_block, cpu);
+          root.grad_block = -1;
+        }
+      }
+      // Root resharded at end of backward.
+      if (root.param_block >= 0 && f > 1) {
+        alloc.RecordStreamUse(root.param_block, kComputeStream, root_bwd);
+        alloc.Free(root.param_block, cpu);
+        root.param_block = -1;
+        root.unsharded = false;
+      }
+      last_comm_end = std::max(last_comm_end, root_bwd);
+    }
+    if (oom) break;
+
+    // ---------- optimizer ----------
+    // Adam over the FP32 shard: memory-bound (read p/g/m/v, write p/m/v).
+    // With CPU offload the step runs on the host at host-memory bandwidth.
+    const double opt_bw = cfg_.cpu_offload_params
+                              ? c_.host_mem_gbps * 1e3
+                              : kHbmBytesPerUs;
+    const double opt_us =
+        7.0 * shard_total * 4 / opt_bw + c_.kernel_launch_gpu_us;
+    params_ready = compute.Launch(cpu, opt_us, {last_comm_end});
+    cpu = std::max(cpu, params_ready);
+    cpu = std::max(cpu, comm.available_at());
+
+    if (last_iter) {
+      m.iter_time_us = cpu - prev_iter_end;
+      m.compute_busy_us = compute.busy_us() - compute_busy_before;
+      m.comm_busy_us = comm.busy_us() - comm_busy_before;
+      const auto& st = alloc.stats(cpu);
+      m.peak_allocated = st.peak_allocated;
+      m.peak_active = st.peak_active;
+      m.peak_reserved = st.peak_reserved;
+      m.num_alloc_retries = st.num_alloc_retries;
+      m.tflops_per_gpu = iter_flops / m.iter_time_us / 1e6;
+      m.qps_per_gpu =
+          batch * cfg_.microbatches / (m.iter_time_us / 1e6);
+      m.exposed_comm_us = std::max(0.0, m.iter_time_us - m.compute_busy_us);
+    }
+    prev_iter_end = cpu;
+  }
+  m.oom = oom;
+  return m;
+}
+
+DdpSimulator::DdpSimulator(Workload workload, sim::Topology topo,
+                           sim::SimConstants constants, DdpSimConfig config)
+    : w_(std::move(workload)), topo_(topo), c_(constants), cfg_(config) {}
+
+SimMetrics DdpSimulator::Run() {
+  SimMetrics m;
+  const sim::Group world_g = sim::WorldGroup(topo_);
+  sim::CollectiveModel cm(c_, topo_);
+  sim::ComputeModel pm(c_);
+  sim::SimStream compute("compute"), comm("comm");
+  sim::AllocatorConfig acfg;
+  acfg.capacity_bytes = c_.hbm_bytes;
+  sim::CachingAllocator alloc(acfg);
+
+  sim::SimTime cpu = 0;
+  bool oom = false;
+  auto device_sync = [&]() {
+    return std::max(compute.available_at(), comm.available_at());
+  };
+  auto malloc_block = [&](int64_t bytes) -> sim::CachingAllocator::BlockId {
+    if (oom || bytes <= 0) return -1;
+    auto out = alloc.Malloc(bytes, kComputeStream, cpu, device_sync);
+    cpu = out.cpu_time_after;
+    if (!out.ok) oom = true;
+    return out.block;
+  };
+
+  const int64_t esize = SizeOf(cfg_.dtype);
+  const int batch = cfg_.batch_per_gpu;
+  const double flops_rate = FlopsPerUs(c_, cfg_.dtype);
+  const int64_t total_params = w_.total_params();
+
+  // Full replica: params + grads + two Adam states, all resident (the DDP
+  // requirement that OOMs beyond ~2.28B on 40-80GB devices, Sec 2.1/5.2).
+  (void)malloc_block(c_.framework_overhead_bytes);
+  (void)malloc_block(total_params * esize);        // params
+  (void)malloc_block(total_params * esize);        // grads
+  (void)malloc_block(total_params * 8);            // Adam m, v (fp32)
+  if (w_.non_fsdp_state_bytes > 0) (void)malloc_block(w_.non_fsdp_state_bytes);
+
+  // Activations for the whole model (no resharding to save anything).
+  int64_t act_bytes = w_.root_act_bytes_per_sample;
+  for (const auto& u : w_.units) {
+    act_bytes += cfg_.activation_checkpointing ? u.ckpt_bytes_per_sample
+                                               : u.act_bytes_per_sample;
+  }
+  (void)malloc_block(act_bytes * batch);
+
+  if (oom) {
+    m.oom = true;
+    return m;
+  }
+
+  sim::SimTime prev_iter_end = 0;
+  double compute_busy_before = 0, comm_busy_before = 0;
+  double iter_flops = 0;
+
+  for (int iter = 0; iter < cfg_.iterations; ++iter) {
+    const bool last_iter = iter + 1 == cfg_.iterations;
+    if (last_iter) {
+      compute_busy_before = compute.busy_us();
+      comm_busy_before = comm.busy_us();
+      m.cross_host_bytes_per_gpu = 0;
+      iter_flops = 0;
+    }
+    // Forward.
+    sim::SimTime prev = compute.Launch(
+        cpu,
+        (w_.root_pre_flops_per_sample + 0.0) * batch / flops_rate +
+            c_.kernel_launch_gpu_us,
+        {});
+    cpu += pm.CpuIssueTime(2);
+    for (const auto& u : w_.units) {
+      const double fwd = u.fwd_flops_per_sample * batch / flops_rate +
+                         u.n_kernels * c_.kernel_launch_gpu_us;
+      prev = compute.Launch(cpu, fwd, {});
+      cpu += pm.CpuIssueTime(u.n_kernels);
+      if (last_iter) iter_flops += fwd * flops_rate;
+    }
+    prev = compute.Launch(cpu,
+                          w_.root_post_flops_per_sample * batch / flops_rate +
+                              c_.kernel_launch_gpu_us,
+                          {prev});
+    cpu += pm.CpuIssueTime(4);
+    if (last_iter) {
+      iter_flops += (w_.root_post_flops_per_sample * 3.0) * batch;
+    }
+    // Backward with bucketed AllReduce overlap (reverse order).
+    prev = compute.Launch(cpu,
+                          2.0 * w_.root_post_flops_per_sample * batch /
+                                  flops_rate +
+                              c_.kernel_launch_gpu_us,
+                          {prev});
+    cpu += pm.CpuIssueTime(4);
+    sim::SimTime last_comm_end = 0;
+    int64_t bucket_fill = 0;
+    const double recompute = cfg_.activation_checkpointing ? 1.0 : 0.0;
+    for (size_t i = w_.units.size(); i-- > 0;) {
+      const auto& u = w_.units[i];
+      const double bwd =
+          (2.0 + recompute) * u.fwd_flops_per_sample * batch / flops_rate +
+          2 * u.n_kernels * c_.kernel_launch_gpu_us;
+      prev = compute.Launch(cpu, bwd, {prev});
+      cpu += pm.CpuIssueTime(2 * u.n_kernels);
+      if (last_iter) iter_flops += bwd * flops_rate;
+      bucket_fill += u.param_numel * esize;
+      if (bucket_fill >= cfg_.bucket_bytes || i == 0) {
+        last_comm_end = comm.Launch(
+            cpu, cm.AllReduce(bucket_fill, world_g), {prev});
+        cpu += c_.cpu_issue_us_per_kernel;
+        if (last_iter && world_g.hosts > 1) {
+          m.cross_host_bytes_per_gpu +=
+              2.0 * (world_g.size - 1) / world_g.size * bucket_fill;
+        }
+        bucket_fill = 0;
+      }
+    }
+    // Root params reduce in the final bucket.
+    last_comm_end = comm.Launch(
+        cpu, cm.AllReduce(w_.root_param_numel * esize, world_g),
+        {prev});
+    cpu += c_.cpu_issue_us_per_kernel;
+    if (last_iter && world_g.hosts > 1) {
+      m.cross_host_bytes_per_gpu += 2.0 * (world_g.size - 1) / world_g.size *
+                                    w_.root_param_numel * esize;
+    }
+
+    const double opt_us =
+        7.0 * total_params * 4 / kHbmBytesPerUs + c_.kernel_launch_gpu_us;
+    sim::SimTime opt_end = compute.Launch(cpu, opt_us, {last_comm_end});
+    cpu = std::max({cpu, opt_end, comm.available_at()});
+
+    if (last_iter) {
+      m.iter_time_us = cpu - prev_iter_end;
+      m.compute_busy_us = compute.busy_us() - compute_busy_before;
+      m.comm_busy_us = comm.busy_us() - comm_busy_before;
+      const auto& st = alloc.stats(cpu);
+      m.peak_allocated = st.peak_allocated;
+      m.peak_active = st.peak_active;
+      m.peak_reserved = st.peak_reserved;
+      m.num_alloc_retries = st.num_alloc_retries;
+      m.tflops_per_gpu = iter_flops / m.iter_time_us / 1e6;
+      m.qps_per_gpu = batch / (m.iter_time_us / 1e6);
+      m.exposed_comm_us = std::max(0.0, m.iter_time_us - m.compute_busy_us);
+    }
+    prev_iter_end = cpu;
+  }
+  m.oom = oom;
+  return m;
+}
+
+double AnalyticCrossHostTraffic(double model_bytes, const sim::Topology& topo,
+                                int sharding_factor, bool full_replication) {
+  const double w = topo.world();
+  const double g = topo.gpus_per_host;
+  if (full_replication) return 2.0 * model_bytes * (w - 1) / w;
+  if (sharding_factor >= topo.world()) {
+    return 3.0 * model_bytes * (w - 1) / w;
+  }
+  // Hybrid with intra-host shard groups: only the gradient AllReduce crosses
+  // hosts. Exact form 2M(W-G)/(GW); the paper approximates 2M(W-1)/(GW).
+  return 2.0 * model_bytes * (w - g) / (g * w);
+}
+
+}  // namespace fsdp::simfsdp

@@ -1,0 +1,112 @@
+// FSDP / DDP execution-schedule simulators.
+//
+// Replays one training schedule per representative rank against the
+// virtual-time substrate (streams + caching allocator + cost models):
+//
+//  * forward: per unit — rate-limiter gate, unsharded-buffer allocation on
+//    the communication stream, AllGather, compute (dependent on the
+//    AllGather), record_stream, reshard-after-forward free; optional forward
+//    prefetch moves the next AllGather's *issue* ahead of the current
+//    compute issue (Sec 3.3.3 — matters when the CPU thread is the
+//    bottleneck);
+//  * backward: per unit in reverse — re-AllGather under RAF (with backward
+//    prefetch the next AllGather is issued before the current ReduceScatter,
+//    Sec 3.3.2; both share ONE communication stream, reproducing the
+//    ProcessGroupNCCL single-internal-stream serialization the paper
+//    describes), backward compute (2x forward, + recompute under activation
+//    checkpointing), ReduceScatter (+ AllReduce across replicas for hybrid
+//    sharding), frees;
+//  * optimizer step joins the iteration.
+//
+// Multiple iterations run back-to-back so the allocator reaches steady state
+// (the first iteration populates the cache); metrics report the last
+// iteration. Gradient accumulation with/without communication follows
+// Sec 3.3.4: without communication, ReduceScatters are skipped and unsharded
+// gradient buffers persist across microbatches.
+#pragma once
+
+#include "sim/allocator.h"
+#include "sim/topology.h"
+#include "simfsdp/workload.h"
+
+namespace fsdp::simfsdp {
+
+struct FsdpSimConfig {
+  int sharding_factor = 0;  // 0 = full shard (F = world)
+  bool reshard_after_forward = true;
+  bool backward_prefetch = true;
+  bool forward_prefetch = false;
+  int limit_all_gathers = 2;  // 0 disables the rate limiter
+  /// CPU offload of sharded parameters/gradients/optimizer state (FSDP's
+  /// CPUOffload option): persistent shards live in host memory; every
+  /// unshard pays an H2D copy of the shard, every gradient shard a D2H
+  /// copy, and the optimizer steps on the CPU.
+  bool cpu_offload_params = false;
+  DType param_dtype = DType::kBF16;
+  DType reduce_dtype = DType::kBF16;
+  bool activation_checkpointing = true;
+  int batch_per_gpu = 1;
+  int microbatches = 1;        // gradient accumulation
+  bool accum_with_comm = true; // Sec 3.3.4 variant
+  int iterations = 3;          // first iterations warm the allocator
+};
+
+struct DdpSimConfig {
+  int batch_per_gpu = 1;
+  DType dtype = DType::kF32;
+  int64_t bucket_bytes = 25 << 20;
+  bool activation_checkpointing = false;
+  int iterations = 3;
+};
+
+struct SimMetrics {
+  bool oom = false;
+  double iter_time_us = 0;
+  double tflops_per_gpu = 0;   // executed dense FLOPs / iteration time
+  double qps_per_gpu = 0;      // samples / GPU / second
+  double compute_busy_us = 0;  // per iteration
+  double comm_busy_us = 0;
+  double exposed_comm_us = 0;  // iteration time - compute busy (lower bound)
+  int64_t peak_allocated = 0;
+  int64_t peak_active = 0;
+  int64_t peak_reserved = 0;
+  int64_t num_alloc_retries = 0;  // across all simulated iterations
+  double cross_host_bytes_per_gpu = 0;  // per iteration
+};
+
+class FsdpSimulator {
+ public:
+  FsdpSimulator(Workload workload, sim::Topology topo,
+                sim::SimConstants constants, FsdpSimConfig config);
+
+  SimMetrics Run();
+
+ private:
+  Workload w_;
+  sim::Topology topo_;
+  sim::SimConstants c_;
+  FsdpSimConfig cfg_;
+};
+
+class DdpSimulator {
+ public:
+  DdpSimulator(Workload workload, sim::Topology topo,
+               sim::SimConstants constants, DdpSimConfig config);
+
+  SimMetrics Run();
+
+ private:
+  Workload w_;
+  sim::Topology topo_;
+  sim::SimConstants c_;
+  DdpSimConfig cfg_;
+};
+
+/// Analytic per-GPU cross-host traffic for an M-byte model (paper Sec 3.2.2):
+/// full replication 2M(W-1)/W, full sharding 3M(W-1)/W, hybrid sharding with
+/// intra-host shard groups 2M(W-G)/(GW) (the paper approximates the last as
+/// 2M(W-1)/(GW)).
+double AnalyticCrossHostTraffic(double model_bytes, const sim::Topology& topo,
+                                int sharding_factor, bool full_replication);
+
+}  // namespace fsdp::simfsdp

@@ -1,0 +1,182 @@
+#include "simfsdp/workload.h"
+
+#include <algorithm>
+
+namespace fsdp::simfsdp {
+
+namespace {
+/// Activation footprint of one transformer block per token, in elements,
+/// following the standard accounting (attention + MLP intermediates); see
+/// Korthikanti et al. 2022. BF16 compute halves the byte cost.
+constexpr int64_t kActElemsPerTokenFactor = 44;
+}  // namespace
+
+Workload MakeTransformer(const TransformerShape& shape) {
+  Workload w;
+  w.name = shape.name;
+  w.tokens_per_sample = shape.seq;
+
+  const int64_t h = shape.hidden;
+  const int64_t s = shape.seq;
+  const int64_t ffn = shape.ffn_mult * h;
+
+  // Per-block parameters: attention qkv (3h^2) + out proj (h^2) + MLP
+  // (2*ffn*h) + norms/biases.
+  const int64_t block_params = 4 * h * h + 2 * ffn * h + 9 * h;
+  // Per-block forward FLOPs per sample: 2*params*s for the matmuls plus the
+  // attention score/context matmuls 4*s^2*h.
+  const double block_flops =
+      2.0 * static_cast<double>(block_params) * s + 4.0 * double(s) * s * h;
+
+  for (int64_t l = 0; l < shape.layers; ++l) {
+    UnitSpec u;
+    u.name = "block." + std::to_string(l);
+    u.param_numel = block_params;
+    u.fwd_flops_per_sample = block_flops;
+    // Token activations plus the attention probability matrices (the paper
+    // predates FlashAttention; s^2-per-head memory is real).
+    u.act_bytes_per_sample =
+        s * h * kActElemsPerTokenFactor * 2 + 2 * s * s * shape.heads * 2;
+    u.ckpt_bytes_per_sample = s * h * 2;  // block input only
+    u.n_kernels = 14;  // qkv, attn matmuls, proj, 2xMLP, norms, adds
+    w.units.push_back(u);
+  }
+
+  // Root: token + position embeddings, final norm, untied head.
+  w.root_param_numel = shape.vocab * h + s * h + 2 * h + shape.vocab * h;
+  w.root_pre_flops_per_sample = 0;  // lookups are bandwidth, not FLOPs
+  w.root_post_flops_per_sample = 2.0 * double(s) * h * shape.vocab;
+  w.root_act_bytes_per_sample = s * h * 2;
+  // Logits in FP32 plus gradient plus softmax scratch.
+  w.head_act_bytes_per_sample = 3 * s * shape.vocab * 4;
+  return w;
+}
+
+Workload T5_611M(int64_t seq) {
+  // T5-large-class stack: 1024 hidden, 48 blocks (24 enc + 24 dec flattened)
+  // ~611M parameters.
+  TransformerShape s;
+  s.name = "T5-611M";
+  s.hidden = 1024;
+  s.layers = 48;
+  s.heads = 16;
+  s.seq = seq;
+  s.vocab = 32128;
+  return MakeTransformer(s);
+}
+
+Workload T5_2_28B(int64_t seq) {
+  TransformerShape s;
+  s.name = "T5-2.28B";
+  s.hidden = 2048;
+  s.layers = 44;
+  s.heads = 32;
+  s.seq = seq;
+  s.vocab = 32128;
+  return MakeTransformer(s);
+}
+
+Workload T5_11B(int64_t seq) {
+  TransformerShape s;
+  s.name = "T5-11B";
+  s.hidden = 4096;
+  s.layers = 54;
+  s.heads = 64;
+  s.seq = seq;
+  s.vocab = 32128;
+  return MakeTransformer(s);
+}
+
+Workload GPT_175B() {
+  TransformerShape s;
+  s.name = "minGPT-175B";
+  s.hidden = 12288;
+  s.layers = 96;
+  s.heads = 96;
+  s.seq = 2048;
+  s.vocab = 50000;
+  return MakeTransformer(s);
+}
+
+Workload DHEN(int num_gpus) {
+  // 550M dense parameters in 8 interaction stages + 768B sparse parameters
+  // sharded across GPUs outside FSDP (embedding-table model parallelism).
+  Workload w;
+  w.name = "DHEN";
+  w.tokens_per_sample = 1;
+  const int kStages = 8;
+  const int64_t stage_params = 550'000'000 / kStages;
+  for (int i = 0; i < kStages; ++i) {
+    UnitSpec u;
+    u.name = "stage." + std::to_string(i);
+    u.param_numel = stage_params;
+    // Dense interaction stacks are matmul-dominated: ~2 FLOPs per param per
+    // sample.
+    u.fwd_flops_per_sample = 2.0 * static_cast<double>(stage_params);
+    u.act_bytes_per_sample = 1 << 18;  // 256 KiB of interaction state
+    u.ckpt_bytes_per_sample = 1 << 14;
+    u.n_kernels = 20;  // many small interaction kernels
+    w.units.push_back(u);
+  }
+  w.root_param_numel = 1'000'000;  // projections / head
+  w.root_post_flops_per_sample = 2'000'000;
+  w.root_act_bytes_per_sample = 1 << 12;
+  // Sparse side: 768B params * 4B spread over the cluster. The HBM-resident
+  // working set per GPU is capped at 16 GiB — production recommendation
+  // systems keep cold embedding rows in host memory / UVM and cache hot rows
+  // on the device, so small clusters do not need terabytes of HBM.
+  w.non_fsdp_state_bytes =
+      std::min<int64_t>(768LL * 1'000'000'000 * 4 / num_gpus, 16LL << 30);
+  // Pooled embeddings exchanged via all-to-all: ~1000 features * 64 dims *
+  // 2B per sample.
+  w.sparse_exchange_bytes_per_sample = 1000 * 64 * 2;
+  return w;
+}
+
+Workload RegNet_9B() {
+  // Scaled RegNet: convolutional trunk, 16 stages of ~560M params. Convs
+  // reuse weights across spatial positions (high FLOPs per parameter), and
+  // a vision trunk launches on the order of a thousand kernels per pass, so
+  // the CPU thread stays busy and never runs far ahead of the GPU -> no
+  // over-allocation pressure, rate limiter neutral (Fig 6(c)).
+  Workload w;
+  w.name = "RegNet-9B";
+  w.tokens_per_sample = 1;
+  const int kStages = 16;
+  const int64_t stage_params = 9'000'000'000LL / kStages;
+  for (int i = 0; i < kStages; ++i) {
+    UnitSpec u;
+    u.name = "stage." + std::to_string(i);
+    u.param_numel = stage_params;
+    // ~40 FLOPs per parameter per sample (spatial weight reuse).
+    u.fwd_flops_per_sample = 40.0 * static_cast<double>(stage_params);
+    u.act_bytes_per_sample = 8LL << 20;  // feature maps, downsampled stages
+    u.ckpt_bytes_per_sample = 2LL << 20;
+    u.n_kernels = 1800;  // conv/BN/ReLU soup keeps the CPU thread busy
+    w.units.push_back(u);
+  }
+  w.root_param_numel = 2'000'000;
+  w.root_post_flops_per_sample = 4'000'000;
+  w.root_act_bytes_per_sample = 1 << 16;
+  return w;
+}
+
+Workload DeepViT_8B() {
+  // DeepViT-8B: 48 transformer blocks of hidden 3712, patch tokens 257.
+  // Short sequence -> modest per-block compute against 170M-param units:
+  // communication-dominant, so delaying AllGathers costs throughput (the
+  // Fig 6(c) regression case).
+  TransformerShape s;
+  s.name = "DeepViT-8B";
+  s.hidden = 3712;
+  s.layers = 48;
+  s.heads = 32;
+  s.seq = 257;
+  s.vocab = 1000;  // classification head
+  Workload w = MakeTransformer(s);
+  w.name = "DeepViT-8B";
+  for (auto& u : w.units) u.n_kernels = 100;  // ViT kernel soup
+  return w;
+}
+
+}  // namespace fsdp::simfsdp

@@ -1,0 +1,150 @@
+// Data types and software-emulated reduced precision.
+//
+// The functional layer computes in FP32 but *stores* values with the rounding
+// behaviour of the tagged dtype: casting to BF16/FP16 quantizes through the
+// real bit format (round-to-nearest-even) and back. This reproduces the
+// numeric effects FSDP's native mixed precision cares about — BF16's shorter
+// mantissa, FP16's narrow dynamic range (overflow to inf drives the sharded
+// gradient scaler, paper Sec 4.4) — while byte-size accounting uses the true
+// element width.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace fsdp {
+
+enum class DType : uint8_t {
+  kF32 = 0,
+  kBF16 = 1,
+  kF16 = 2,
+  kI64 = 3,  // index tensors (embedding lookups); never quantized
+};
+
+/// Bytes per element of the dtype (used for memory/communication accounting).
+inline int64_t SizeOf(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return 4;
+    case DType::kBF16: return 2;
+    case DType::kF16: return 2;
+    case DType::kI64: return 8;
+  }
+  return 4;
+}
+
+inline const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kBF16: return "bf16";
+    case DType::kF16: return "f16";
+    case DType::kI64: return "i64";
+  }
+  return "?";
+}
+
+/// True if the dtype participates in gradient computation.
+inline bool IsFloatingPoint(DType dtype) { return dtype != DType::kI64; }
+
+/// Rounds an FP32 value through BF16 (truncate 16 mantissa bits with
+/// round-to-nearest-even). NaN is preserved; overflow cannot occur since BF16
+/// shares FP32's exponent range.
+inline float QuantizeBF16(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  if ((bits & 0x7FFFFFFFu) > 0x7F800000u) {  // NaN: keep quiet NaN
+    bits = (bits & 0xFFFF0000u) | 0x00410000u;
+  } else {
+    const uint32_t rounding_bias = 0x7FFFu + ((bits >> 16) & 1u);
+    bits += rounding_bias;
+    bits &= 0xFFFF0000u;
+  }
+  float out;
+  std::memcpy(&out, &bits, 4);
+  return out;
+}
+
+/// Rounds an FP32 value through IEEE FP16. Values above 65504 overflow to
+/// +-inf (this is what makes an un-scaled FP16 gradient blow up, motivating
+/// the gradient scaler). Subnormals flush through the real FP16 subnormal
+/// grid.
+inline float QuantizeF16(float v) {
+  uint32_t f;
+  std::memcpy(&f, &v, 4);
+  const uint32_t sign = f & 0x80000000u;
+  const uint32_t abs = f & 0x7FFFFFFFu;
+
+  uint16_t h;
+  if (abs > 0x7F800000u) {
+    h = 0x7E00;  // NaN
+  } else if (abs >= 0x47800000u) {
+    // >= 65536 in magnitude (or would round to >= 65536): FP16 infinity.
+    // 65504 is the max finite; the exact cutoff for round-to-nearest is
+    // 65519.996..., i.e. abs >= 0x477FF000 rounds to inf.
+    if (abs >= 0x477FF000u) {
+      h = 0x7C00;
+    } else {
+      h = 0x7BFF;  // max finite 65504
+    }
+  } else if (abs < 0x38800000u) {
+    // Subnormal or zero in FP16 (|v| < 2^-14): the subnormal quantum is
+    // 2^-24, so round |v| * 2^24 to the nearest integer (ties-to-even).
+    // A result of 1024 carries into the smallest normal encoding, which is
+    // exactly how the IEEE bit layout behaves.
+    float av_bits_f;
+    std::memcpy(&av_bits_f, &abs, 4);
+    const float scaled = av_bits_f * 16777216.f;  // * 2^24
+    const float integral = scaled - static_cast<float>(
+        static_cast<int32_t>(scaled));
+    int32_t rounded = static_cast<int32_t>(scaled);
+    if (integral > 0.5f || (integral == 0.5f && (rounded & 1))) ++rounded;
+    h = static_cast<uint16_t>(rounded);
+  } else {
+    // Normal range: re-bias exponent, round mantissa to 10 bits (RNE).
+    uint32_t rounded = abs + 0x00000FFFu + ((abs >> 13) & 1u);
+    rounded = ((rounded - 0x38000000u) >> 13);
+    h = static_cast<uint16_t>(rounded);
+  }
+
+  // Decode back to float.
+  const uint16_t hs = static_cast<uint16_t>(h | (sign >> 16));
+  const uint32_t hsign = static_cast<uint32_t>(hs & 0x8000u) << 16;
+  const uint32_t hexp = (hs >> 10) & 0x1Fu;
+  const uint32_t hmant = hs & 0x3FFu;
+  uint32_t out_bits;
+  if (hexp == 0) {
+    if (hmant == 0) {
+      out_bits = hsign;
+    } else {
+      // Subnormal FP16 -> normal FP32.
+      int e = -1;
+      uint32_t m = hmant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      out_bits = hsign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+    }
+  } else if (hexp == 0x1Fu) {
+    out_bits = hsign | 0x7F800000u | (hmant << 13);
+  } else {
+    out_bits = hsign | ((hexp - 15 + 127) << 23) | (hmant << 13);
+  }
+  float out;
+  std::memcpy(&out, &out_bits, 4);
+  return out;
+}
+
+/// Quantizes `v` through `dtype`'s storage format.
+inline float Quantize(float v, DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return v;
+    case DType::kBF16: return QuantizeBF16(v);
+    case DType::kF16: return QuantizeF16(v);
+    case DType::kI64: return v;
+  }
+  return v;
+}
+
+}  // namespace fsdp

@@ -1,0 +1,310 @@
+// Autograd tests: per-op gradient checks against finite differences, and
+// engine semantics FSDP depends on (hooks, accumulation, view gradients,
+// multiple forwards, unused parameters, final callbacks).
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace fsdp {
+namespace {
+
+using fsdp::testing::CheckGradients;
+using fsdp::testing::ExpectAllClose;
+
+Tensor Leaf(Shape shape, Rng& rng) {
+  Tensor t = Tensor::Randn(std::move(shape), rng);
+  t.set_requires_grad(true);
+  return t;
+}
+
+TEST(AutogradOps, AddSubMulGradients) {
+  Rng rng(1, 0);
+  Tensor a = Leaf({3, 4}, rng), b = Leaf({3, 4}, rng);
+  CheckGradients([&] { return ops::Sum(ops::Add(a, b)); }, {a, b});
+  CheckGradients([&] { return ops::Sum(ops::Sub(a, b)); }, {a, b});
+  CheckGradients([&] { return ops::Sum(ops::Mul(a, b)); }, {a, b});
+  CheckGradients([&] { return ops::Sum(ops::ScalarMul(a, -2.5f)); }, {a});
+}
+
+TEST(AutogradOps, SquareUsesSameTensorTwice) {
+  // x*x: the engine must route two contributions to x.
+  Rng rng(2, 0);
+  Tensor x = Leaf({5}, rng);
+  CheckGradients([&] { return ops::Sum(ops::Mul(x, x)); }, {x});
+  Tensor loss = ops::Sum(ops::Mul(x, x));
+  x.zero_grad();
+  autograd::RunBackward(loss);
+  Tensor expect = x.Clone();
+  expect.Mul_(2.f);
+  ExpectAllClose(x.grad(), expect, 1e-4f, 1e-5f);
+}
+
+TEST(AutogradOps, MatMulAndLinearGradients) {
+  Rng rng(3, 0);
+  Tensor a = Leaf({4, 3}, rng), b = Leaf({3, 5}, rng);
+  CheckGradients([&] { return ops::Sum(ops::MatMul(a, b)); }, {a, b});
+
+  Tensor x = Leaf({6, 3}, rng), w = Leaf({4, 3}, rng), bias = Leaf({4}, rng);
+  CheckGradients([&] { return ops::Sum(ops::Linear(x, w, bias)); },
+                 {x, w, bias});
+  // Bias-free variant.
+  CheckGradients([&] { return ops::Sum(ops::Linear(x, w, Tensor())); },
+                 {x, w});
+}
+
+TEST(AutogradOps, ActivationGradients) {
+  Rng rng(4, 0);
+  Tensor x = Leaf({17}, rng);
+  CheckGradients([&] { return ops::Sum(ops::Gelu(x)); }, {x});
+  CheckGradients([&] { return ops::Sum(ops::Sigmoid(x)); }, {x});
+  CheckGradients([&] { return ops::Sum(ops::Tanh(x)); }, {x});
+  // ReLU away from the kink.
+  Tensor y = Tensor::FromVector({-2, -1, 0.5, 1, 3}, {5});
+  y.set_requires_grad(true);
+  CheckGradients([&] { return ops::Sum(ops::Relu(y)); }, {y});
+}
+
+TEST(AutogradOps, SoftmaxAndLayerNormGradients) {
+  Rng rng(5, 0);
+  Tensor x = Leaf({3, 6}, rng);
+  Tensor weights = Tensor::Randn({3, 6}, rng);  // project to non-trivial loss
+  CheckGradients(
+      [&] { return ops::Sum(ops::Mul(ops::Softmax(x), weights)); }, {x});
+
+  Tensor g = Leaf({6}, rng), b = Leaf({6}, rng);
+  CheckGradients(
+      [&] {
+        return ops::Sum(ops::Mul(ops::LayerNorm(x, g, b), weights));
+      },
+      {x, g, b}, 1e-2f, 8e-2f, 2e-3f);
+}
+
+TEST(AutogradOps, TransposeSliceConcatGradients) {
+  Rng rng(6, 0);
+  Tensor x = Leaf({4, 6}, rng);
+  Tensor weights = Tensor::Randn({6, 4}, rng);
+  CheckGradients(
+      [&] { return ops::Sum(ops::Mul(ops::Transpose(x), weights)); }, {x});
+
+  Tensor w2 = Tensor::Randn({4, 2}, rng);
+  CheckGradients(
+      [&] { return ops::Sum(ops::Mul(ops::SliceCols(x, 1, 3), w2)); }, {x});
+
+  Tensor w3 = Tensor::Randn({2, 6}, rng);
+  CheckGradients(
+      [&] { return ops::Sum(ops::Mul(ops::SliceRows(x, 1, 3), w3)); }, {x});
+
+  Tensor y = Leaf({4, 3}, rng);
+  CheckGradients(
+      [&] {
+        Tensor cat = ops::ConcatCols({x, y});
+        return ops::Sum(ops::Mul(cat, cat));
+      },
+      {x, y});
+  Tensor z = Leaf({2, 6}, rng);
+  CheckGradients(
+      [&] {
+        Tensor cat = ops::ConcatRows({x, z});
+        return ops::Sum(ops::Mul(cat, cat));
+      },
+      {x, z});
+}
+
+TEST(AutogradOps, EmbeddingAndCrossEntropyGradients) {
+  Rng rng(7, 0);
+  Tensor table = Leaf({5, 3}, rng);
+  Tensor idx = ops::IndexTensor({1, 4, 1}, {3});
+  CheckGradients([&] { return ops::Sum(ops::Embedding(table, idx)); },
+                 {table});
+
+  Tensor logits = Leaf({4, 6}, rng);
+  Tensor targets = ops::IndexTensor({0, 5, 2, 2}, {4});
+  CheckGradients([&] { return ops::CrossEntropy(logits, targets); },
+                 {logits});
+}
+
+TEST(AutogradOps, MseAndMeanGradients) {
+  Rng rng(8, 0);
+  Tensor pred = Leaf({7}, rng);
+  Tensor target = Tensor::Randn({7}, rng);
+  CheckGradients([&] { return ops::MseLoss(pred, target); }, {pred});
+  CheckGradients([&] { return ops::Mean(ops::Mul(pred, pred)); }, {pred});
+}
+
+TEST(AutogradOps, CastPassesGradThrough) {
+  Rng rng(9, 0);
+  Tensor x = Leaf({8}, rng);
+  Tensor loss = ops::Sum(ops::Cast(x, DType::kBF16));
+  autograd::RunBackward(loss);
+  ExpectAllClose(x.grad(), Tensor::Ones({8}), 0, 0);
+}
+
+// ----- FlatParameter view mechanics (the core of Sec 3.2.3) -----
+
+TEST(AutogradEngine, SliceViewGradsLandAtOffsets) {
+  // A flat leaf with two views used in a computation: the flat gradient must
+  // contain each view's gradient at its offset and zeros elsewhere (padding).
+  Tensor flat = Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 0}, {8});
+  flat.set_requires_grad(true);
+  Tensor w = ops::SliceView(flat, 0, {2, 2});   // elems 0..3
+  Tensor b = ops::SliceView(flat, 4, {3});      // elems 4..6; elem 7 = pad
+  Tensor x = Tensor::FromVector({1, 1}, {1, 2});
+  Tensor y = ops::MatMul(x, w);                  // (1,2)
+  Tensor loss = ops::Add(ops::Sum(y), ops::Sum(b));
+  autograd::RunBackward(loss);
+
+  Tensor g = flat.grad();
+  ASSERT_TRUE(g.defined());
+  // dW = x^T @ dy = all ones; db = ones; pad = 0.
+  ExpectAllClose(g, Tensor::FromVector({1, 1, 1, 1, 1, 1, 1, 0}, {8}), 0, 0);
+}
+
+TEST(AutogradEngine, UnusedViewContributesZeros) {
+  Tensor flat = Tensor::Ones({6});
+  flat.set_requires_grad(true);
+  Tensor used = ops::SliceView(flat, 0, {3});
+  Tensor unused = ops::SliceView(flat, 3, {3});
+  (void)unused;
+  autograd::RunBackward(ops::Sum(used));
+  Tensor g = flat.grad();
+  ExpectAllClose(g, Tensor::FromVector({1, 1, 1, 0, 0, 0}, {6}), 0, 0);
+}
+
+TEST(AutogradEngine, LeafGradAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::Ones({3});
+  x.set_requires_grad(true);
+  autograd::RunBackward(ops::Sum(x));
+  autograd::RunBackward(ops::Sum(ops::ScalarMul(x, 2.f)));
+  ExpectAllClose(x.grad(), Tensor::Full({3}, 3.f), 0, 0);
+}
+
+TEST(AutogradEngine, TensorHookFiresBeforePropagation) {
+  Tensor x = Tensor::Ones({2});
+  x.set_requires_grad(true);
+  Tensor mid = ops::ScalarMul(x, 3.f);
+  std::vector<int> order;
+  mid.register_hook([&](const Tensor& g) {
+    order.push_back(1);
+    EXPECT_FLOAT_EQ(g.data()[0], 1.f);  // grad of Sum output
+    return Tensor();
+  });
+  x.register_hook([&](const Tensor&) {
+    order.push_back(2);
+    return Tensor();
+  });
+  autograd::RunBackward(ops::Sum(mid));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // intermediate hook before leaf hook
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(AutogradEngine, HookCanReplaceGradient) {
+  Tensor x = Tensor::Ones({2});
+  x.set_requires_grad(true);
+  Tensor mid = ops::ScalarMul(x, 1.f);
+  mid.register_hook([](const Tensor& g) {
+    Tensor scaled = g.Clone();
+    scaled.Mul_(10.f);
+    return scaled;
+  });
+  autograd::RunBackward(ops::Sum(mid));
+  ExpectAllClose(x.grad(), Tensor::Full({2}, 10.f), 0, 0);
+}
+
+TEST(AutogradEngine, PostAccumulateHookFiresOncePerBackward) {
+  Tensor x = Tensor::Ones({4});
+  x.set_requires_grad(true);
+  int fired = 0;
+  x.register_post_accumulate_grad_hook([&] { ++fired; });
+  // Two consumers of x in one graph: hook still fires once.
+  Tensor loss = ops::Add(ops::Sum(x), ops::Sum(ops::Mul(x, x)));
+  autograd::RunBackward(loss);
+  EXPECT_EQ(fired, 1);
+  autograd::RunBackward(ops::Sum(x));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(AutogradEngine, PostAccumulateHookSeesFinalizedGrad) {
+  Tensor x = Tensor::Ones({2});
+  x.set_requires_grad(true);
+  float seen = 0;
+  x.register_post_accumulate_grad_hook([&] { seen = x.grad().data()[0]; });
+  autograd::RunBackward(ops::Sum(ops::ScalarMul(x, 7.f)));
+  EXPECT_FLOAT_EQ(seen, 7.f);
+}
+
+TEST(AutogradEngine, QueueCallbackRunsAtEndOfBackward) {
+  Tensor x = Tensor::Ones({2});
+  x.set_requires_grad(true);
+  std::vector<int> order;
+  x.register_post_accumulate_grad_hook([&] {
+    order.push_back(1);
+    autograd::QueueCallback([&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  autograd::RunBackward(ops::Sum(x));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[2], 3);  // callback after all hooks
+  EXPECT_FALSE(autograd::InBackward());
+}
+
+TEST(AutogradEngine, QueueCallbackOutsideBackwardDies) {
+  EXPECT_DEATH(autograd::QueueCallback([] {}), "outside");
+}
+
+TEST(AutogradEngine, MultipleForwardsBeforeBackward) {
+  // Two independent graphs over the same leaf; backwards run separately and
+  // accumulate — the FSDP "multiple forwards before backward" case.
+  Tensor w = Tensor::Ones({2});
+  w.set_requires_grad(true);
+  Tensor l1 = ops::Sum(ops::ScalarMul(w, 2.f));
+  Tensor l2 = ops::Sum(ops::ScalarMul(w, 5.f));
+  autograd::RunBackward(l1);
+  autograd::RunBackward(l2);
+  ExpectAllClose(w.grad(), Tensor::Full({2}, 7.f), 0, 0);
+}
+
+TEST(AutogradEngine, UnusedLeafGetsNoGrad) {
+  Tensor used = Tensor::Ones({2});
+  Tensor unused = Tensor::Ones({2});
+  used.set_requires_grad(true);
+  unused.set_requires_grad(true);
+  autograd::RunBackward(ops::Sum(used));
+  EXPECT_TRUE(used.grad().defined());
+  EXPECT_FALSE(unused.grad().defined());
+}
+
+TEST(AutogradEngine, NoGradGuardSuppressesGraph) {
+  Tensor x = Tensor::Ones({2});
+  x.set_requires_grad(true);
+  NoGradGuard guard;
+  Tensor y = ops::ScalarMul(x, 2.f);
+  EXPECT_EQ(y.grad_fn(), nullptr);
+}
+
+TEST(AutogradEngine, DiamondGraphAccumulatesCorrectly) {
+  // x -> (a = 2x, b = 3x) -> loss = sum(a*b) ; dloss/dx = 12x.
+  Rng rng(10, 0);
+  Tensor x = Leaf({4}, rng);
+  Tensor a = ops::ScalarMul(x, 2.f);
+  Tensor b = ops::ScalarMul(x, 3.f);
+  autograd::RunBackward(ops::Sum(ops::Mul(a, b)));
+  Tensor expect = x.Clone();
+  expect.Mul_(12.f);
+  ExpectAllClose(x.grad(), expect, 1e-5f, 1e-6f);
+}
+
+TEST(AutogradEngine, NonScalarRootNeedsGradOutput) {
+  Tensor x = Tensor::Ones({3});
+  x.set_requires_grad(true);
+  Tensor y = ops::ScalarMul(x, 2.f);
+  Tensor seed = Tensor::FromVector({1, 2, 3}, {3});
+  autograd::RunBackward(y, seed);
+  ExpectAllClose(x.grad(), Tensor::FromVector({2, 4, 6}, {3}), 0, 0);
+}
+
+}  // namespace
+}  // namespace fsdp

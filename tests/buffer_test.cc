@@ -1,0 +1,151 @@
+// Non-trainable buffer handling: the sinusoidal positional-encoding module,
+// FSDP buffer_dtype casting (Sec 4.4), DDP buffer broadcast, and buffers in
+// full state dicts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/engine.h"
+#include "core/fsdp.h"
+#include "ddp/ddp.h"
+#include "nn/layers.h"
+#include "tests/test_util.h"
+
+namespace fsdp {
+namespace {
+
+struct PosEncModel : nn::Module {
+  std::shared_ptr<nn::SinusoidalPositionalEncoding> pe;
+  std::shared_ptr<nn::Linear> proj;
+  explicit PosEncModel(nn::InitCtx& ctx) {
+    pe = std::make_shared<nn::SinusoidalPositionalEncoding>(8, 6, ctx);
+    proj = std::make_shared<nn::Linear>(6, 4, true, ctx);
+    RegisterModule("pe", pe);
+    RegisterModule("proj", proj);
+  }
+  Tensor Forward(const Tensor& x) override {
+    Tensor h = (*pe)(x);
+    return (*proj)(ops::Reshape(h, {h.size(0) * h.size(1), h.size(2)}));
+  }
+  std::string TypeName() const override { return "PosEncModel"; }
+};
+
+TEST(BufferTest, SinusoidalValuesAndNoGradient) {
+  nn::InitCtx ctx(Device::kCpu, 1);
+  nn::SinusoidalPositionalEncoding pe(16, 8, ctx);
+  // pos 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+  EXPECT_FLOAT_EQ(pe.table().at({0, 0}), 0.f);
+  EXPECT_FLOAT_EQ(pe.table().at({0, 1}), 1.f);
+  EXPECT_NEAR(pe.table().at({1, 0}), std::sin(1.0), 1e-6);
+  // Registered as buffer, not parameter.
+  EXPECT_EQ(pe.NamedParameters().size(), 0u);
+  ASSERT_EQ(pe.NamedBuffers().size(), 1u);
+  EXPECT_EQ(pe.NamedBuffers()[0].first, "table");
+
+  // Gradient flows through the add to the input, not to the buffer.
+  Rng rng(2, 0);
+  Tensor x = Tensor::Randn({2, 4, 8}, rng);
+  x.set_requires_grad(true);
+  Tensor y = pe(x);
+  autograd::RunBackward(ops::Sum(ops::Reshape(y, {2 * 4 * 8})));
+  EXPECT_TRUE(x.grad().defined());
+  EXPECT_FALSE(pe.table().grad().defined());
+  EXPECT_FALSE(pe.table().requires_grad());
+}
+
+TEST(BufferTest, FsdpBufferDtypeCastsOnce) {
+  comm::DeviceMesh mesh(2, 2);
+  RunOnRanks(2, [&](int r) {
+    nn::InitCtx ctx(Device::kCpu, 3);
+    auto model = std::make_shared<PosEncModel>(ctx);
+    core::FsdpOptions opts;
+    opts.mixed_precision.param_dtype = DType::kBF16;
+    opts.mixed_precision.buffer_dtype = DType::kBF16;
+    auto state = core::FullyShard(model, mesh, r, opts);
+    (void)state;
+    // Every buffer value is now exactly bf16-representable.
+    const Tensor& t = model->pe->table();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      ASSERT_EQ(t.data()[i], QuantizeBF16(t.data()[i])) << i;
+    }
+  });
+}
+
+TEST(BufferTest, FsdpStateDictIncludesBuffers) {
+  comm::DeviceMesh mesh(2, 2);
+  RunOnRanks(2, [&](int r) {
+    nn::InitCtx ctx(Device::kCpu, 4);
+    auto model = std::make_shared<PosEncModel>(ctx);
+    auto state = core::FullyShard(model, mesh, r, {});
+    auto sd = state->FullStateDict();
+    bool found = false;
+    for (auto& [fqn, value] : sd) {
+      if (fqn == "pe.table") {
+        found = true;
+        ASSERT_TRUE(value.AllClose(model->pe->table(), 0, 0));
+      }
+    }
+    ASSERT_TRUE(found) << "buffer missing from state dict";
+    // Round trip through load.
+    Tensor before = model->pe->table().Clone();
+    model->pe->table().Fill_(0.f);
+    state->LoadFullStateDict(sd);
+    ASSERT_TRUE(model->pe->table().AllClose(before, 0, 0));
+  });
+}
+
+TEST(BufferTest, DdpBroadcastsBuffers) {
+  const int w = 3;
+  auto comm = std::make_shared<comm::Communicator>(w);
+  RunOnRanks(w, [&](int r) {
+    nn::InitCtx ctx(Device::kCpu, 5);
+    auto model = std::make_shared<PosEncModel>(ctx);
+    // Desynchronize buffers before wrapping.
+    model->pe->table().Mul_(static_cast<float>(r + 1));
+    ddp::DistributedDataParallel ddp(model, comm::ProcessGroup(comm, r));
+    // After construction all ranks hold rank 0's buffer (scaled by 1).
+    nn::InitCtx ref_ctx(Device::kCpu, 5);
+    nn::SinusoidalPositionalEncoding ref(8, 6, ref_ctx);
+    ASSERT_TRUE(model->pe->table().AllClose(ref.table(), 0, 0))
+        << "rank " << r;
+  });
+}
+
+TEST(BufferTest, TrainingWithBufferModelUnderFsdpMatchesLocal) {
+  const int w = 2;
+  // Local reference.
+  std::vector<Tensor> ref_grads;
+  {
+    nn::InitCtx ctx(Device::kCpu, 6);
+    PosEncModel model(ctx);
+    for (int r = 0; r < w; ++r) {
+      Rng rng(10 + r, 0);
+      Tensor x = Tensor::Randn({1, 4, 6}, rng);
+      Tensor y = model(x);
+      autograd::RunBackward(
+          ops::ScalarMul(ops::Sum(ops::Mul(y, y)), 1.f / w));
+    }
+    for (Tensor* slot : model.ParameterSlots()) {
+      ref_grads.push_back(slot->grad());
+    }
+  }
+  comm::DeviceMesh mesh(w, w);
+  RunOnRanks(w, [&](int r) {
+    nn::InitCtx ctx(Device::kCpu, 6);
+    auto model = std::make_shared<PosEncModel>(ctx);
+    auto state = core::FullyShard(model, mesh, r, {});
+    Rng rng(10 + r, 0);
+    Tensor x = Tensor::Randn({1, 4, 6}, rng);
+    Tensor y = (*model)(x);
+    autograd::RunBackward(ops::Sum(ops::Mul(y, y)));
+    auto grads = state->unit_handle(0).GatherFullGrads();
+    ASSERT_EQ(grads.size(), ref_grads.size());
+    for (size_t i = 0; i < grads.size(); ++i) {
+      ASSERT_TRUE(grads[i].second.AllClose(ref_grads[i], 1e-4f, 1e-5f))
+          << grads[i].first;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace fsdp

@@ -1,0 +1,209 @@
+// Additional coverage: numeric grad-checks of the composite modules
+// (attention, transformer block, TP layers), mixed-precision configuration
+// corners, DDP bucket boundaries, hook management, and dtype interactions.
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "core/fsdp.h"
+#include "ddp/ddp.h"
+#include "nn/tensor_parallel.h"
+#include "nn/transformer.h"
+#include "tests/test_util.h"
+
+namespace fsdp {
+namespace {
+
+using fsdp::testing::CheckGradients;
+
+TEST(ModuleGradCheck, MultiheadSelfAttention) {
+  nn::InitCtx ctx(Device::kCpu, 3);
+  nn::MultiheadSelfAttention attn(4, 2, /*causal=*/true, ctx);
+  Rng rng(7, 0);
+  Tensor x = Tensor::Randn({1, 3, 4}, rng, 0.f, 0.5f);
+  Tensor weights = Tensor::Randn({1, 3, 4}, rng);
+  std::vector<Tensor> params;
+  for (Tensor* slot : attn.ParameterSlots()) params.push_back(*slot);
+  CheckGradients(
+      [&] {
+        Tensor y = attn(x);
+        Tensor prod = ops::Mul(ops::Reshape(y, {12}),
+                               ops::Reshape(weights, {12}));
+        return ops::Sum(prod);
+      },
+      params, 1e-2f, 8e-2f, 3e-3f);
+}
+
+TEST(ModuleGradCheck, TransformerBlock) {
+  nn::InitCtx ctx(Device::kCpu, 4);
+  nn::TransformerBlock block(4, 2, 8, /*causal=*/false, ctx);
+  Rng rng(8, 0);
+  Tensor x = Tensor::Randn({1, 2, 4}, rng, 0.f, 0.5f);
+  Tensor weights = Tensor::Randn({1, 2, 4}, rng);
+  // Probe a subset of parameters (the block has 10).
+  std::vector<Tensor> params;
+  for (auto& [name, slot] : block.NamedParameters()) {
+    if (name.find("weight") != std::string::npos) params.push_back(*slot);
+  }
+  CheckGradients(
+      [&] {
+        Tensor y = block(x);
+        return ops::Sum(
+            ops::Mul(ops::Reshape(y, {8}), ops::Reshape(weights, {8})));
+      },
+      params, 1e-2f, 1e-1f, 4e-3f);
+}
+
+TEST(ModuleGradCheck, RowParallelBiasGradient) {
+  // BroadcastRows backward (column sum) through the single-rank TP path.
+  auto comm = std::make_shared<comm::Communicator>(1);
+  nn::InitCtx ctx(Device::kCpu, 5);
+  nn::RowParallelLinear row(4, 3, comm::ProcessGroup(comm, 0), ctx);
+  Rng rng(9, 0);
+  Tensor x = Tensor::Randn({5, 4}, rng);
+  std::vector<Tensor> params;
+  for (Tensor* slot : row.ParameterSlots()) params.push_back(*slot);
+  CheckGradients(
+      [&] {
+        Tensor y = row(x);
+        return ops::Sum(ops::Mul(y, y));
+      },
+      params, 1e-3f, 5e-2f, 1e-3f);
+}
+
+TEST(MixedPrecisionConfig, ReduceDtypeOnly) {
+  // Low-precision reduction with full-precision parameters: the collectives
+  // quantize, the compute does not.
+  const int w = 2;
+  comm::DeviceMesh mesh(w, w);
+  RunOnRanks(w, [&](int r) {
+    nn::InitCtx ctx(Device::kCpu, 6);
+    auto mlp = std::make_shared<nn::MLP>(8, 16, ctx);
+    core::FsdpOptions opts;
+    opts.mixed_precision.reduce_dtype = DType::kBF16;  // param stays FP32
+    auto state = core::FullyShard(mlp, mesh, r, opts);
+    state->unit_handle(0).Unshard();
+    ASSERT_EQ(state->unit_handle(0).unsharded_param().dtype(), DType::kF32);
+    state->unit_handle(0).Reshard();
+    Rng rng(r + 1, 0);
+    Tensor y = (*mlp)(Tensor::Randn({2, 8}, rng));
+    autograd::RunBackward(ops::Sum(y));
+    ASSERT_TRUE(state->unit_handle(0).sharded_param().grad().defined());
+  });
+}
+
+TEST(MixedPrecisionConfig, ParamDtypeOnlyKeepsFp32Reduction) {
+  const int w = 2;
+  comm::DeviceMesh mesh(w, w);
+  RunOnRanks(w, [&](int r) {
+    nn::InitCtx ctx(Device::kCpu, 7);
+    auto mlp = std::make_shared<nn::MLP>(8, 16, ctx);
+    core::FsdpOptions opts;
+    opts.mixed_precision.param_dtype = DType::kBF16;
+    auto state = core::FullyShard(mlp, mesh, r, opts);
+    ASSERT_TRUE(opts.mixed_precision.enabled());
+    Rng rng(r + 1, 0);
+    Tensor y = (*mlp)(Tensor::Randn({2, 8}, rng));
+    autograd::RunBackward(ops::Sum(y));
+    // Training proceeds with finite grads.
+    ASSERT_FALSE(
+        state->unit_handle(0).sharded_param().grad().HasNonFinite());
+  });
+}
+
+TEST(DdpBuckets, ParamLargerThanCapGetsOwnBucket) {
+  auto comm = std::make_shared<comm::Communicator>(1);
+  nn::InitCtx ctx(Device::kCpu, 8);
+  auto seq = std::make_shared<nn::Sequential>();
+  seq->Append(std::make_shared<nn::Linear>(4, 100, false, ctx));  // 400 elems
+  seq->Append(std::make_shared<nn::Linear>(100, 4, false, ctx));  // 400 elems
+  ddp::DistributedDataParallel ddp(seq, comm::ProcessGroup(comm, 0),
+                                   {.bucket_cap_numel = 16});
+  // Each oversized parameter becomes its own bucket.
+  EXPECT_EQ(ddp.num_buckets(), 2);
+  Rng rng(1, 0);
+  Tensor y = ddp.Forward(Tensor::Randn({2, 4}, rng));
+  autograd::RunBackward(ops::Sum(y));
+  for (auto& [name, slot] : seq->NamedParameters()) {
+    ASSERT_TRUE(slot->grad().defined()) << name;
+  }
+}
+
+TEST(HookManagement, ClearHooksDropsBothKinds) {
+  Tensor t = Tensor::Ones({2});
+  t.set_requires_grad(true);
+  int fired = 0;
+  t.register_hook([&](const Tensor&) {
+    ++fired;
+    return Tensor();
+  });
+  t.register_post_accumulate_grad_hook([&] { ++fired; });
+  t.clear_hooks();
+  autograd::RunBackward(ops::Sum(t));
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(t.grad().defined());
+}
+
+TEST(DtypeInteraction, IndexTensorsNeverQuantize) {
+  Tensor idx = ops::IndexTensor({1000000, 3}, {2});
+  Tensor cast = idx.CastTo(DType::kI64);
+  EXPECT_EQ(ops::IndexValues(cast)[0], 1000000);
+  // Quantize() is the identity for kI64.
+  EXPECT_EQ(Quantize(123456.f, DType::kI64), 123456.f);
+}
+
+TEST(DtypeInteraction, NbytesFollowsTag) {
+  Tensor t = Tensor::Zeros({100}, DType::kBF16);
+  EXPECT_EQ(t.nbytes(), 200);
+  EXPECT_EQ(t.CastTo(DType::kF32).nbytes(), 400);
+}
+
+TEST(EngineEdge, BackwardThroughConcatAndSlicesMix) {
+  // A graph mixing row/col slices, concats, and views over one flat leaf —
+  // the worst-case plumbing FSDP generates.
+  Tensor flat = Tensor::Ones({24});
+  flat.set_requires_grad(true);
+  Tensor a = ops::SliceView(flat, 0, {2, 6});
+  Tensor b = ops::SliceView(flat, 12, {2, 6});
+  Tensor left = ops::SliceCols(a, 0, 3);
+  Tensor right = ops::SliceCols(b, 3, 6);
+  Tensor cat = ops::ConcatCols({left, right});          // (2 x 6)
+  Tensor stack = ops::ConcatRows({cat, ops::Transpose(ops::Transpose(cat))});
+  autograd::RunBackward(ops::Sum(stack));
+  Tensor g = flat.grad();
+  ASSERT_TRUE(g.defined());
+  // Elements 0..2 and 6..8 (a's left cols) get grad 2 (used twice via the
+  // row-stack); 15..17 and 21..23 likewise; the rest zero.
+  for (int64_t i : {0, 1, 2, 6, 7, 8, 15, 16, 17, 21, 22, 23}) {
+    EXPECT_FLOAT_EQ(g.data()[i], 2.f) << i;
+  }
+  for (int64_t i : {3, 4, 5, 9, 10, 11, 12, 13, 14, 18, 19, 20}) {
+    EXPECT_FLOAT_EQ(g.data()[i], 0.f) << i;
+  }
+}
+
+TEST(WorldSizeOne, FsdpDegeneratesGracefully) {
+  comm::DeviceMesh mesh(1, 1);
+  nn::InitCtx ctx(Device::kCpu, 9);
+  auto mlp = std::make_shared<nn::MLP>(6, 12, ctx);
+  auto state = core::FullyShard(mlp, mesh, 0, {});
+  ASSERT_EQ(state->unit_handle(0).shard_numel(),
+            state->unit_handle(0).padded_numel());
+  Rng rng(2, 0);
+  Tensor x = Tensor::Randn({3, 6}, rng);
+  Tensor y = (*mlp)(x);
+  autograd::RunBackward(ops::Sum(y));
+  // Equivalent local model agrees exactly.
+  nn::InitCtx ctx2(Device::kCpu, 9);
+  nn::MLP local(6, 12, ctx2);
+  Tensor y2 = local(x);
+  autograd::RunBackward(ops::Sum(y2));
+  auto grads = state->unit_handle(0).GatherFullGrads();
+  auto named = local.NamedParameters();
+  for (size_t i = 0; i < named.size(); ++i) {
+    ASSERT_TRUE(grads[i].second.AllClose(named[i].second->grad(), 1e-6f,
+                                         1e-7f));
+  }
+}
+
+}  // namespace
+}  // namespace fsdp

@@ -1,0 +1,298 @@
+// nn module tests: registration/traversal, layer forward/backward shapes,
+// deferred-init recording, and end-to-end trainability of each model family.
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "nn/dhen.h"
+#include "nn/transformer.h"
+#include "optim/optimizer.h"
+#include "tests/test_util.h"
+
+namespace fsdp {
+namespace {
+
+using fsdp::testing::CheckGradients;
+using fsdp::testing::ExpectAllClose;
+
+TEST(ModuleTest, ParameterRegistryAndTraversal) {
+  nn::InitCtx ctx(Device::kCpu, 1);
+  auto mlp = std::make_shared<nn::MLP>(4, 8, ctx);
+  auto named = mlp->NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc1.weight");
+  EXPECT_EQ(named[1].first, "fc1.bias");
+  EXPECT_EQ(named[2].first, "fc2.weight");
+  EXPECT_EQ(named[3].first, "fc2.bias");
+  EXPECT_EQ(mlp->NumParameters(), 4 * 8 + 8 + 8 * 4 + 4);
+
+  auto modules = mlp->NamedModules();
+  ASSERT_EQ(modules.size(), 3u);
+  EXPECT_EQ(modules[0].first, "");
+  EXPECT_EQ(modules[1].first, "fc1");
+  EXPECT_EQ(modules[1].second->TypeName(), "Linear");
+}
+
+TEST(ModuleTest, ParameterSlotSwapPropagates) {
+  // The mechanism FSDP uses: replacing the slot's Tensor changes what the
+  // module computes with.
+  nn::InitCtx ctx(Device::kCpu, 1);
+  auto lin = std::make_shared<nn::Linear>(2, 2, /*bias=*/false, ctx);
+  Tensor* slot = lin->NamedParameters()[0].second;
+  *slot = Tensor::FromVector({1, 0, 0, 1}, {2, 2});  // identity
+  Tensor x = Tensor::FromVector({3, 4}, {1, 2});
+  Tensor y = (*lin)(x);
+  ExpectAllClose(y, x, 0, 0);
+}
+
+TEST(ModuleTest, ForwardHooksRunInOrderAndCanReplace) {
+  nn::InitCtx ctx(Device::kCpu, 1);
+  auto relu = std::make_shared<nn::Relu>();
+  std::vector<int> order;
+  relu->RegisterForwardPreHook([&](nn::Module&, const Tensor& in) {
+    order.push_back(1);
+    Tensor shifted = in.Clone();
+    shifted.Add_(Tensor::Ones(in.shape()), 5.f);  // make all positive
+    return shifted;
+  });
+  relu->RegisterForwardPostHook(
+      [&](nn::Module&, const Tensor&, const Tensor& out) {
+        order.push_back(2);
+        Tensor doubled = out.Clone();
+        doubled.Mul_(2.f);
+        return doubled;
+      });
+  Tensor y = (*relu)(Tensor::FromVector({-1, 2}, {2}));
+  ASSERT_EQ(order.size(), 2u);
+  ExpectAllClose(y, Tensor::FromVector({8, 14}, {2}), 0, 0);
+}
+
+TEST(ModuleTest, HookRemoval) {
+  auto relu = std::make_shared<nn::Relu>();
+  int fired = 0;
+  int h = relu->RegisterForwardPreHook([&](nn::Module&, const Tensor&) {
+    ++fired;
+    return Tensor();
+  });
+  (*relu)(Tensor::Ones({2}));
+  relu->RemoveForwardPreHook(h);
+  (*relu)(Tensor::Ones({2}));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(InitTest, DeferredRecordingAndReplayMatchesEager) {
+  // Same seed: eager init and fake-device record/replay must agree bitwise —
+  // the property FSDP's deferred initialization relies on (Sec 3.1).
+  nn::InitCtx eager(Device::kCpu, 77);
+  nn::InitCtx fake(Device::kFake, 77);
+  Tensor e1 = eager.Normal({4, 3}, 0.f, 0.02f);
+  Tensor e2 = eager.Uniform({5}, -1.f, 1.f);
+
+  Tensor f1 = fake.Normal({4, 3}, 0.f, 0.02f);
+  Tensor f2 = fake.Uniform({5}, -1.f, 1.f);
+  EXPECT_EQ(f1.device(), Device::kFake);
+
+  // Replay out of order: stream-per-parameter makes order irrelevant.
+  nn::InitOp op2, op1;
+  ASSERT_TRUE(nn::InitRecorder::Lookup(f2, &op2));
+  ASSERT_TRUE(nn::InitRecorder::Lookup(f1, &op1));
+  Tensor r2 = Tensor::Empty({5});
+  Tensor r1 = Tensor::Empty({4, 3});
+  nn::ExecuteInitOp(op2, r2);
+  nn::ExecuteInitOp(op1, r1);
+  ExpectAllClose(r1, e1, 0, 0);
+  ExpectAllClose(r2, e2, 0, 0);
+  nn::InitRecorder::Erase(f1);
+  nn::InitRecorder::Erase(f2);
+}
+
+TEST(InitTest, FakeModelAllocatesNoStorage) {
+  const int64_t before = Storage::live_bytes();
+  nn::InitCtx fake(Device::kFake, 1);
+  nn::TransformerConfig cfg;
+  cfg.dim = 64;
+  cfg.num_layers = 4;
+  auto model = std::make_shared<nn::TransformerModel>(cfg, fake);
+  EXPECT_TRUE(model->HasFakeParameters());
+  EXPECT_EQ(Storage::live_bytes(), before);  // zero real bytes
+  EXPECT_GT(model->NumParameters(), 100000);
+}
+
+TEST(LayerTest, LinearMatchesManual) {
+  nn::InitCtx ctx(Device::kCpu, 1);
+  auto lin = std::make_shared<nn::Linear>(3, 2, /*bias=*/true, ctx);
+  *lin->NamedParameters()[0].second =
+      Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  *lin->NamedParameters()[1].second = Tensor::FromVector({10, 20}, {2});
+  Tensor y = (*lin)(Tensor::FromVector({1, 1, 1}, {1, 3}));
+  ExpectAllClose(y, Tensor::FromVector({16, 35}, {1, 2}), 0, 0);
+}
+
+TEST(LayerTest, SequentialChains) {
+  nn::InitCtx ctx(Device::kCpu, 1);
+  auto seq = std::make_shared<nn::Sequential>();
+  seq->Append(std::make_shared<nn::Linear>(4, 8, true, ctx));
+  seq->Append(std::make_shared<nn::Relu>());
+  seq->Append(std::make_shared<nn::Linear>(8, 2, true, ctx));
+  Rng rng(1, 0);
+  Tensor y = (*seq)(Tensor::Randn({5, 4}, rng));
+  EXPECT_EQ(y.shape(), (Shape{5, 2}));
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  // With causal masking, output at position 0 must not depend on position 1.
+  nn::InitCtx ctx(Device::kCpu, 3);
+  auto attn = std::make_shared<nn::MultiheadSelfAttention>(8, 2, true, ctx);
+  Rng rng(2, 0);
+  Tensor x1 = Tensor::Randn({1, 3, 8}, rng);
+  Tensor x2 = x1.Clone().ViewAs({1, 3, 8});
+  // Perturb the last position only.
+  for (int64_t i = 0; i < 8; ++i) x2.set_at({0, 2, i}, 99.f);
+  NoGradGuard no_grad;
+  Tensor y1 = (*attn)(x1);
+  Tensor y2 = (*attn)(x2);
+  for (int64_t s = 0; s < 2; ++s) {
+    for (int64_t i = 0; i < 8; ++i) {
+      EXPECT_FLOAT_EQ(y1.at({0, s, i}), y2.at({0, s, i}))
+          << "position " << s << " leaked future information";
+    }
+  }
+  // And the last position must differ.
+  EXPECT_NE(y1.at({0, 2, 0}), y2.at({0, 2, 0}));
+}
+
+TEST(AttentionTest, NonCausalAttendsEverywhere) {
+  nn::InitCtx ctx(Device::kCpu, 3);
+  auto attn = std::make_shared<nn::MultiheadSelfAttention>(8, 2, false, ctx);
+  Rng rng(2, 0);
+  Tensor x1 = Tensor::Randn({1, 3, 8}, rng);
+  Tensor x2 = x1.Clone().ViewAs({1, 3, 8});
+  for (int64_t i = 0; i < 8; ++i) x2.set_at({0, 2, i}, 99.f);
+  NoGradGuard no_grad;
+  Tensor y1 = (*attn)(x1);
+  Tensor y2 = (*attn)(x2);
+  EXPECT_NE(y1.at({0, 0, 0}), y2.at({0, 0, 0}));
+}
+
+TEST(AttentionTest, GradientsFlowToAllProjections) {
+  nn::InitCtx ctx(Device::kCpu, 4);
+  auto attn = std::make_shared<nn::MultiheadSelfAttention>(4, 2, true, ctx);
+  Rng rng(5, 0);
+  Tensor x = Tensor::Randn({2, 3, 4}, rng);
+  Tensor loss = ops::Sum(ops::Reshape((*attn)(x), {2 * 3 * 4}));
+  autograd::RunBackward(loss);
+  for (auto& [name, slot] : attn->NamedParameters()) {
+    EXPECT_TRUE(slot->grad().defined()) << name;
+    EXPECT_GT(slot->grad().MaxAbsValue(), 0.f) << name;
+  }
+}
+
+TEST(TransformerTest, ForwardShapeAndBackward) {
+  nn::InitCtx ctx(Device::kCpu, 6);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 19;
+  cfg.max_seq = 8;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  auto model = std::make_shared<nn::TransformerModel>(cfg, ctx);
+  Tensor tokens = ops::IndexTensor({1, 2, 3, 4, 5, 6, 7, 8}, {2, 4});
+  Tensor logits = (*model)(tokens);
+  EXPECT_EQ(logits.shape(), (Shape{8, 19}));
+  Tensor targets = ops::IndexTensor({2, 3, 4, 5, 6, 7, 8, 9}, {8});
+  Tensor loss = ops::CrossEntropy(logits, targets);
+  autograd::RunBackward(loss);
+  for (auto& [name, slot] : model->NamedParameters()) {
+    EXPECT_TRUE(slot->grad().defined()) << name;
+  }
+}
+
+TEST(TransformerTest, TrainingReducesLoss) {
+  nn::InitCtx ctx(Device::kCpu, 7);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 11;
+  cfg.max_seq = 6;
+  cfg.dim = 16;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  auto model = std::make_shared<nn::TransformerModel>(cfg, ctx);
+  std::vector<Tensor> params;
+  for (Tensor* slot : model->ParameterSlots()) params.push_back(*slot);
+  optim::Adam adam(params, {.lr = 1e-2f});
+
+  Tensor tokens = ops::IndexTensor({1, 2, 3, 4, 5, 6}, {1, 6});
+  Tensor targets = ops::IndexTensor({2, 3, 4, 5, 6, 7}, {6});
+  float first = 0, last = 0;
+  for (int step = 0; step < 30; ++step) {
+    adam.ZeroGrad();
+    Tensor loss = ops::CrossEntropy((*model)(tokens), targets);
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    autograd::RunBackward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, first * 0.2f) << "loss did not drop: " << first << " -> "
+                                << last;
+}
+
+TEST(DhenTest, DenseTowerTrains) {
+  nn::InitCtx ctx(Device::kCpu, 8);
+  nn::DhenConfig cfg;
+  cfg.input_dim = 8;
+  cfg.dim = 8;
+  cfg.hidden = 16;
+  cfg.num_layers = 2;
+  auto tower = std::make_shared<nn::DhenDenseTower>(cfg, ctx);
+  std::vector<Tensor> params;
+  for (Tensor* slot : tower->ParameterSlots()) params.push_back(*slot);
+  optim::SGD sgd(params, 0.1f);
+
+  Rng rng(9, 0);
+  Tensor x = Tensor::Randn({16, 8}, rng);
+  Tensor y = Tensor::Zeros({16, 1});
+  for (int64_t i = 0; i < 16; ++i) {
+    y.set_at({i, 0}, x.at({i, 0}) > 0 ? 1.f : 0.f);
+  }
+  float first = 0, last = 0;
+  for (int step = 0; step < 40; ++step) {
+    sgd.ZeroGrad();
+    Tensor loss = ops::MseLoss(ops::Sigmoid((*tower)(x)), y);
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    autograd::RunBackward(loss);
+    sgd.Step();
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(DhenTest, SparseArchLooksUpPerFeature) {
+  nn::InitCtx ctx(Device::kCpu, 10);
+  auto sparse = std::make_shared<nn::DhenSparseArch>(
+      std::vector<int64_t>{10, 20}, 4, ctx);
+  EXPECT_EQ(sparse->output_dim(), 8);
+  Tensor idx = ops::IndexTensor({3, 15, 0, 19}, {2, 2});
+  Tensor out = (*sparse)(idx);
+  EXPECT_EQ(out.shape(), (Shape{2, 8}));
+  // Gradients reach both tables.
+  autograd::RunBackward(ops::Sum(ops::Mul(out, out)));
+  for (auto& [name, slot] : sparse->NamedParameters()) {
+    EXPECT_TRUE(slot->grad().defined()) << name;
+  }
+}
+
+TEST(TransformerTest, BlockIsNaturalWrapBoundary) {
+  // The type-based policy the benches use must match blocks, nothing else.
+  nn::InitCtx ctx(Device::kCpu, 11);
+  nn::TransformerConfig cfg;
+  cfg.dim = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 3;
+  auto model = std::make_shared<nn::TransformerModel>(cfg, ctx);
+  int blocks = 0;
+  for (auto& [fqn, mod] : model->NamedModules()) {
+    if (mod->TypeName() == "TransformerBlock") ++blocks;
+  }
+  EXPECT_EQ(blocks, 3);
+}
+
+}  // namespace
+}  // namespace fsdp

@@ -1,0 +1,361 @@
+// Property-based tests: randomized sweeps over models, shapes, partitions,
+// and the full FP16 value space, driven by parameterized gtest suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "autograd/engine.h"
+#include "core/fsdp.h"
+#include "nn/layers.h"
+#include "optim/optimizer.h"
+#include "tensor/kernels.h"
+#include "tests/test_util.h"
+
+namespace fsdp {
+namespace {
+
+// ---------------------------------------------------------------- FP16/BF16
+
+float DecodeHalfBits(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  const uint32_t mant = h & 0x3FFu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;
+    } else {
+      // Subnormal: value = mant * 2^-24.
+      float v = std::ldexp(static_cast<float>(mant), -24);
+      std::memcpy(&bits, &v, 4);
+      bits |= sign;
+    }
+  } else if (exp == 31) {
+    bits = sign | 0x7F800000u | (mant << 13);
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, 4);
+  return out;
+}
+
+TEST(Fp16Property, ExhaustiveIdempotence) {
+  // Every one of the 65536 FP16 values must quantize to itself.
+  for (uint32_t h = 0; h < 0x10000u; ++h) {
+    const float v = DecodeHalfBits(static_cast<uint16_t>(h));
+    const float q = QuantizeF16(v);
+    if (std::isnan(v)) {
+      ASSERT_TRUE(std::isnan(q)) << "bits " << h;
+    } else {
+      ASSERT_EQ(q, v) << "bits " << h << " value " << v;
+    }
+  }
+}
+
+TEST(Fp16Property, RoundsToNearestRepresentable) {
+  Rng rng(77, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>(rng.NextUniform(-70000, 70000));
+    const float q = QuantizeF16(x);
+    if (std::isinf(q)) {
+      ASSERT_GT(std::fabs(x), 65504.f * (1 - 1.f / 2048));
+      continue;
+    }
+    // q must be representable and no further than half a local ULP.
+    ASSERT_EQ(QuantizeF16(q), q);
+    const float ulp = std::fabs(q) > 1e-7f
+                          ? std::fabs(q) / 1024.f
+                          : std::ldexp(1.f, -24);
+    ASSERT_LE(std::fabs(q - x), ulp * 0.5001f + 1e-12f) << x;
+  }
+}
+
+TEST(Bf16Property, IdempotentAndMonotone) {
+  Rng rng(78, 0);
+  float prev_in = -1e30f, prev_out = QuantizeBF16(prev_in);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>(rng.NextNormal(0, 1e10));
+    const float q = QuantizeBF16(x);
+    ASSERT_EQ(QuantizeBF16(q), q);
+    // Monotone: order of two random values is preserved.
+    if (x >= prev_in) {
+      ASSERT_GE(q, prev_out) << x << " vs " << prev_in;
+    } else {
+      ASSERT_LE(q, prev_out);
+    }
+    prev_in = x;
+    prev_out = q;
+  }
+}
+
+// ------------------------------------------------------------------- GEMM
+
+class GemmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmProperty, MatchesNaiveReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()), 0);
+  const int64_t m = 1 + static_cast<int64_t>(rng.NextBelow(17));
+  const int64_t n = 1 + static_cast<int64_t>(rng.NextBelow(17));
+  const int64_t k = 1 + static_cast<int64_t>(rng.NextBelow(17));
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  Tensor at = Tensor::Empty({k, m});
+  Tensor bt = Tensor::Empty({n, k});
+  kernels::Transpose2D(a.data(), at.data(), m, k);
+  kernels::Transpose2D(b.data(), bt.data(), k, n);
+
+  Tensor ref = Tensor::Zeros({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at({i, p})) * b.at({p, j});
+      }
+      ref.set_at({i, j}, static_cast<float>(acc));
+    }
+  }
+  Tensor c = Tensor::Empty({m, n});
+  struct Case {
+    const float* a;
+    const float* b;
+    bool ta, tb;
+  };
+  for (const Case& cs : {Case{a.data(), b.data(), false, false},
+                         Case{at.data(), b.data(), true, false},
+                         Case{a.data(), bt.data(), false, true},
+                         Case{at.data(), bt.data(), true, true}}) {
+    kernels::Gemm(cs.a, cs.b, c.data(), m, n, k, cs.ta, cs.tb, false);
+    ASSERT_TRUE(c.AllClose(ref, 1e-4f, 1e-5f))
+        << "ta=" << cs.ta << " tb=" << cs.tb << " " << m << "x" << n << "x"
+        << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, GemmProperty, ::testing::Range(0, 24));
+
+// ----------------------------------------------------------- flat params
+
+class FlatParamProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatParamProperty, RandomPartitionRoundTripsAndCovers) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100, 0);
+  const int f = 1 + static_cast<int>(rng.NextBelow(8));
+  const int n_params = 1 + static_cast<int>(rng.NextBelow(6));
+  auto comm = std::make_shared<comm::Communicator>(f);
+  RunOnRanks(f, [&](int r) {
+    Rng local_rng(static_cast<uint64_t>(GetParam()) + 100, 1);
+    std::vector<Tensor> owners;
+    std::vector<std::pair<std::string, Tensor*>> named;
+    for (int i = 0; i < n_params; ++i) {
+      Shape shape;
+      const int dims = 1 + static_cast<int>(local_rng.NextBelow(3));
+      for (int d = 0; d < dims; ++d) {
+        shape.push_back(1 + static_cast<int64_t>(local_rng.NextBelow(7)));
+      }
+      owners.push_back(Tensor::Randn(shape, local_rng));
+    }
+    for (int i = 0; i < n_params; ++i) {
+      named.emplace_back("p" + std::to_string(i), &owners[i]);
+    }
+    std::vector<Tensor> originals;
+    for (auto& t : owners) originals.push_back(t.Clone());
+
+    core::FlatParamHandle h("prop", core::BuildParamInfos(named),
+                            comm::ProcessGroup(comm, r),
+                            comm::ProcessGroup(), core::MixedPrecision{});
+    ASSERT_LT(h.padding_numel(), f);
+    h.MaterializeAndShard(false);
+
+    // Round trip: gather returns the original values and shapes.
+    auto full = h.GatherFullParams();
+    ASSERT_EQ(full.size(), static_cast<size_t>(n_params));
+    for (int i = 0; i < n_params; ++i) {
+      ASSERT_EQ(full[i].second.shape(), originals[i].shape());
+      ASSERT_TRUE(full[i].second.AllClose(originals[i], 0, 0));
+    }
+    // Unshard restores views.
+    h.Unshard();
+    h.UseUnshardedViews();
+    for (int i = 0; i < n_params; ++i) {
+      ASSERT_TRUE(owners[i].AllClose(originals[i], 0, 0));
+    }
+  });
+  // Extents: union over ranks covers each param exactly once.
+  std::vector<std::vector<core::FlatParamHandle::ShardExtent>> extents(f);
+  auto comm2 = std::make_shared<comm::Communicator>(f);
+  RunOnRanks(f, [&](int r) {
+    Rng local_rng(static_cast<uint64_t>(GetParam()) + 100, 1);
+    std::vector<Tensor> owners;
+    std::vector<std::pair<std::string, Tensor*>> named;
+    for (int i = 0; i < n_params; ++i) {
+      Shape shape;
+      const int dims = 1 + static_cast<int>(local_rng.NextBelow(3));
+      for (int d = 0; d < dims; ++d) {
+        shape.push_back(1 + static_cast<int64_t>(local_rng.NextBelow(7)));
+      }
+      owners.push_back(Tensor::Randn(shape, local_rng));
+    }
+    for (int i = 0; i < n_params; ++i) {
+      named.emplace_back("p" + std::to_string(i), &owners[i]);
+    }
+    core::FlatParamHandle h("prop", core::BuildParamInfos(named),
+                            comm::ProcessGroup(comm2, r),
+                            comm::ProcessGroup(), core::MixedPrecision{});
+    extents[r] = h.LocalShardExtents();
+  });
+  for (int i = 0; i < n_params; ++i) {
+    int64_t covered = 0, param_numel = -1;
+    int64_t expect_end = 0;
+    for (int r = 0; r < f; ++r) {
+      covered += extents[r][i].end - extents[r][i].start;
+      if (extents[r][i].end > extents[r][i].start) {
+        ASSERT_EQ(extents[r][i].start, expect_end) << "gap/overlap";
+        expect_end = extents[r][i].end;
+      }
+      param_numel = std::max(param_numel, extents[r][i].end);
+    }
+    ASSERT_EQ(covered, expect_end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPartitions, FlatParamProperty,
+                         ::testing::Range(0, 16));
+
+// --------------------------------------------------- random-model sweeps
+
+/// Random module tree: a Sequential of 2-4 blocks, each randomly an MLP or
+/// a Linear(+LayerNorm) pair, random widths; the wrap policy randomly
+/// annotates block types.
+nn::ModulePtr RandomModel(uint64_t seed, int64_t dim) {
+  nn::InitCtx ctx(Device::kCpu, seed);
+  Rng rng(seed, 7);
+  auto seq = std::make_shared<nn::Sequential>();
+  const int blocks = 2 + static_cast<int>(rng.NextBelow(3));
+  for (int b = 0; b < blocks; ++b) {
+    if (rng.NextUniform() < 0.5) {
+      seq->Append(std::make_shared<nn::MLP>(
+          dim, dim + static_cast<int64_t>(rng.NextBelow(9)), ctx,
+          rng.NextUniform() < 0.5));
+    } else {
+      auto inner = std::make_shared<nn::Sequential>();
+      inner->Append(std::make_shared<nn::Linear>(dim, dim, true, ctx));
+      inner->Append(std::make_shared<nn::LayerNorm>(dim, ctx));
+      seq->Append(inner);
+    }
+  }
+  seq->Append(std::make_shared<nn::Linear>(dim, 3, true, ctx));
+  return seq;
+}
+
+struct RandomSweepCase {
+  int seed;
+  int world;
+  core::ShardingStrategy strategy;
+  int factor;
+};
+
+class RandomModelSweep : public ::testing::TestWithParam<RandomSweepCase> {};
+
+TEST_P(RandomModelSweep, FsdpGradsMatchLocal) {
+  const auto& c = GetParam();
+  const int64_t dim = 6;
+  Rng data_rng(static_cast<uint64_t>(c.seed) + 500, 0);
+  std::vector<Tensor> batches;
+  for (int r = 0; r < c.world; ++r) {
+    batches.push_back(Tensor::Randn({2, dim}, data_rng));
+  }
+
+  // Local reference gradients.
+  std::map<std::string, Tensor> ref;
+  {
+    auto model = RandomModel(static_cast<uint64_t>(c.seed), dim);
+    for (int r = 0; r < c.world; ++r) {
+      Tensor y = (*model)(batches[r]);
+      autograd::RunBackward(
+          ops::ScalarMul(ops::Mean(ops::Mul(y, y)), 1.f / c.world));
+    }
+    for (auto& [name, slot] : model->NamedParameters()) {
+      ref[name] = slot->grad();
+    }
+  }
+
+  comm::DeviceMesh mesh(c.world, c.factor);
+  RunOnRanks(c.world, [&](int r) {
+    auto model = RandomModel(static_cast<uint64_t>(c.seed), dim);
+    core::FsdpOptions opts;
+    opts.strategy = c.strategy;
+    // Randomly wrap MLPs and/or Sequentials based on the seed.
+    if (c.seed % 3 == 0) {
+      opts.auto_wrap_policy = core::ModuleTypePolicy({"MLP"});
+    } else if (c.seed % 3 == 1) {
+      opts.auto_wrap_policy = core::ModuleTypePolicy({"MLP", "Sequential"});
+    }  // else: single root unit
+    auto state = core::FullyShard(model, mesh, r, opts);
+    Tensor y = (*model)(batches[r]);
+    autograd::RunBackward(ops::Mean(ops::Mul(y, y)));
+    for (int u = 0; u < state->num_units(); ++u) {
+      for (auto& [fqn, grad] : state->unit_handle(u).GatherFullGrads()) {
+        ASSERT_TRUE(grad.defined()) << fqn;
+        ASSERT_TRUE(grad.AllClose(ref.at(fqn), 2e-4f, 1e-5f))
+            << "seed " << c.seed << " rank " << r << " " << fqn;
+      }
+    }
+  });
+}
+
+std::vector<RandomSweepCase> MakeSweep() {
+  std::vector<RandomSweepCase> cases;
+  const core::ShardingStrategy strategies[] = {
+      core::ShardingStrategy::kFullShard,
+      core::ShardingStrategy::kShardGradOp,
+      core::ShardingStrategy::kHybridShard,
+  };
+  int seed = 0;
+  for (int world : {2, 4}) {
+    for (auto s : strategies) {
+      for (int rep = 0; rep < 3; ++rep) {
+        int factor = world;
+        if (s == core::ShardingStrategy::kHybridShard) factor = world / 2;
+        if (factor < 1) factor = 1;
+        cases.push_back({seed++, world, s, factor});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomModelSweep,
+                         ::testing::ValuesIn(MakeSweep()));
+
+// --------------------------------------------------- collective properties
+
+class CollectiveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveProperty, ReduceScatterThenAllGatherEqualsAllReduce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 900, 0);
+  const int w = 2 + static_cast<int>(rng.NextBelow(5));
+  const int64_t per_rank = 1 + static_cast<int64_t>(rng.NextBelow(33));
+  auto comm = std::make_shared<comm::Communicator>(w);
+  RunOnRanks(w, [&](int r) {
+    comm::ProcessGroup pg(comm, r);
+    Rng vrng(static_cast<uint64_t>(GetParam()) + 900, 10 + r);
+    Tensor src = Tensor::Randn({w * per_rank}, vrng);
+    // Path A: AllReduce.
+    Tensor a = src.Clone();
+    pg.AllReduce(a);
+    // Path B: ReduceScatter then AllGatherBase.
+    Tensor chunk = Tensor::Empty({per_rank});
+    pg.ReduceScatter(chunk, src);
+    Tensor b = Tensor::Empty({w * per_rank});
+    pg.AllGatherBase(b, chunk);
+    ASSERT_TRUE(a.AllClose(b, 1e-5f, 1e-6f)) << "w=" << w;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorlds, CollectiveProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace fsdp

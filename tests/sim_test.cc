@@ -1,0 +1,310 @@
+// Simulator substrate tests: virtual streams, the caching allocator
+// (per-stream pools, record_stream gating, splitting, retry/flush, stats),
+// and the topology / collective cost models.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/allocator.h"
+#include "sim/stream.h"
+#include "sim/topology.h"
+
+namespace fsdp::sim {
+namespace {
+
+TEST(SimStreamTest, SequentialOrdering) {
+  SimStream s("compute");
+  EXPECT_DOUBLE_EQ(s.Launch(0, 10), 10);
+  // Issued early but queued behind the first op.
+  EXPECT_DOUBLE_EQ(s.Launch(1, 5), 15);
+  // Issued after the stream drained: starts at issue time.
+  EXPECT_DOUBLE_EQ(s.Launch(100, 5), 105);
+  EXPECT_DOUBLE_EQ(s.busy_us(), 20);
+}
+
+TEST(SimStreamTest, CrossStreamDependencies) {
+  SimStream a("a"), b("b");
+  SimTime e1 = a.Launch(0, 50);
+  // b's op waits for a's completion even though issued at t=0.
+  EXPECT_DOUBLE_EQ(b.Launch(0, 10, {e1}), 60);
+  // Independent op on b queues behind it.
+  EXPECT_DOUBLE_EQ(b.Launch(0, 10), 70);
+}
+
+// ------------------------------------------------------------- allocator
+
+AllocatorConfig SmallConfig() {
+  AllocatorConfig cfg;
+  cfg.capacity_bytes = 100 << 20;  // 100 MiB
+  cfg.cudamalloc_us = 10;
+  cfg.cudamalloc_us_per_gb = 0;
+  cfg.retry_flush_us = 500;
+  cfg.flush_us_per_gb = 0;
+  return cfg;
+}
+
+TEST(AllocatorTest, RoundingAndSplit) {
+  CachingAllocator alloc(SmallConfig());
+  auto sync = [] { return 0.0; };
+  auto a = alloc.Malloc(100, /*stream=*/1, 0, sync);  // rounds to 512
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(alloc.block_bytes(a.block), 512);
+  auto b = alloc.Malloc((3 << 20) - 7, 1, 0, sync);  // large: 2 MiB rounding
+  EXPECT_EQ(alloc.block_bytes(b.block), 4 << 20);
+
+  // Free the 4 MiB block, then request 2 MiB: reuse with a split remainder.
+  alloc.Free(b.block, 0);
+  const int64_t reserved = alloc.stats(0).reserved_bytes;
+  auto c = alloc.Malloc(2 << 20, 1, 0, sync);
+  EXPECT_EQ(alloc.block_bytes(c.block), 2 << 20);
+  EXPECT_EQ(alloc.stats(0).reserved_bytes, reserved);  // no new segment
+  // The remainder serves another 2 MiB without cudaMalloc.
+  auto d = alloc.Malloc(2 << 20, 1, 1, sync);
+  EXPECT_EQ(alloc.stats(1).reserved_bytes, reserved);
+  (void)d;
+}
+
+TEST(AllocatorTest, PerStreamPoolsDoNotMix) {
+  CachingAllocator alloc(SmallConfig());
+  auto sync = [] { return 0.0; };
+  auto a = alloc.Malloc(8 << 20, /*stream=*/1, 0, sync);
+  alloc.Free(a.block, 0);
+  // Same size from another stream cannot reuse the cached block.
+  const int64_t reserved = alloc.stats(0).reserved_bytes;
+  auto b = alloc.Malloc(8 << 20, /*stream=*/2, 0, sync);
+  ASSERT_TRUE(b.ok);
+  EXPECT_GT(alloc.stats(0).reserved_bytes, reserved);
+  // But the original stream can.
+  auto c = alloc.Malloc(8 << 20, /*stream=*/1, 0, sync);
+  EXPECT_EQ(alloc.stats(0).reserved_bytes, reserved + (8 << 20));
+  (void)c;
+}
+
+TEST(AllocatorTest, RecordStreamGatesReuse) {
+  // The Sec 3.4 mechanism: a block consumed by another stream's kernel is
+  // unusable until that kernel completes in GPU time.
+  CachingAllocator alloc(SmallConfig());
+  auto sync = [] { return 1000.0; };
+  auto a = alloc.Malloc(8 << 20, /*stream=*/1, 0, sync);
+  alloc.RecordStreamUse(a.block, /*consumer_stream=*/2, /*completes_at=*/500);
+  alloc.Free(a.block, /*cpu_now=*/10);
+  // CPU at t=20 (< 500): cannot reuse; a new segment is allocated.
+  const int64_t reserved = alloc.stats(20).reserved_bytes;
+  auto b = alloc.Malloc(8 << 20, 1, 20, sync);
+  EXPECT_GT(alloc.stats(20).reserved_bytes, reserved);
+  alloc.Free(b.block, 30);
+  // CPU at t=600 (> 500): the original block is reusable.
+  auto c = alloc.Malloc(8 << 20, 1, 600, sync);
+  EXPECT_EQ(alloc.stats(600).reserved_bytes, reserved + (8 << 20));
+  (void)c;
+}
+
+TEST(AllocatorTest, SameStreamReuseNeedsNoEvent) {
+  CachingAllocator alloc(SmallConfig());
+  auto sync = [] { return 0.0; };
+  auto a = alloc.Malloc(8 << 20, 1, 0, sync);
+  // Consumed by its own stream: ordering guarantees safety.
+  alloc.RecordStreamUse(a.block, 1, 1e9);
+  alloc.Free(a.block, 1);
+  const int64_t reserved = alloc.stats(1).reserved_bytes;
+  auto b = alloc.Malloc(8 << 20, 1, 2, sync);
+  EXPECT_EQ(alloc.stats(2).reserved_bytes, reserved);
+  (void)b;
+}
+
+TEST(AllocatorTest, RetryFlushesAndSyncs) {
+  CachingAllocator alloc(SmallConfig());
+  auto sync = [] { return 5000.0; };
+  // Fill the device with pending blocks.
+  std::vector<CachingAllocator::BlockId> blocks;
+  for (int i = 0; i < 10; ++i) {
+    auto out = alloc.Malloc(10 << 20, 1, 0, sync);
+    ASSERT_TRUE(out.ok);
+    blocks.push_back(out.block);
+  }
+  for (auto id : blocks) {
+    alloc.RecordStreamUse(id, 2, 9000);  // pending far in the future
+    alloc.Free(id, 1);
+  }
+  // Device full of event-pending cache; next alloc must retry.
+  auto out = alloc.Malloc(10 << 20, 1, 2, sync);
+  ASSERT_TRUE(out.ok);
+  EXPECT_TRUE(out.retried);
+  EXPECT_GE(out.cpu_time_after, 5000.0);  // synchronized with the device
+  EXPECT_EQ(alloc.stats(out.cpu_time_after).num_alloc_retries, 1);
+  // Cache flushed: reserved dropped to just the new block.
+  EXPECT_EQ(alloc.stats(out.cpu_time_after).reserved_bytes, 10 << 20);
+}
+
+TEST(AllocatorTest, TrueOomAfterRetry) {
+  CachingAllocator alloc(SmallConfig());
+  auto sync = [] { return 0.0; };
+  auto a = alloc.Malloc(90 << 20, 1, 0, sync);
+  ASSERT_TRUE(a.ok);
+  auto b = alloc.Malloc(50 << 20, 1, 0, sync);  // in-use blocks can't flush
+  EXPECT_FALSE(b.ok);
+  EXPECT_TRUE(b.retried);
+}
+
+TEST(AllocatorTest, StatsTrackAllocatedActiveReserved) {
+  CachingAllocator alloc(SmallConfig());
+  auto sync = [] { return 0.0; };
+  auto a = alloc.Malloc(10 << 20, 1, 0, sync);
+  auto b = alloc.Malloc(20 << 20, 1, 0, sync);
+  EXPECT_EQ(alloc.stats(0).allocated_bytes, 30 << 20);
+  EXPECT_EQ(alloc.stats(0).reserved_bytes, 30 << 20);
+  alloc.RecordStreamUse(a.block, 2, 100);
+  alloc.Free(a.block, 1);
+  // Freed-but-pending counts as active, not allocated.
+  EXPECT_EQ(alloc.stats(1).allocated_bytes, 20 << 20);
+  EXPECT_EQ(alloc.stats(1).active_bytes, 30 << 20);
+  EXPECT_EQ(alloc.stats(1).reserved_bytes, 30 << 20);
+  // After the event passes, active drops.
+  EXPECT_EQ(alloc.stats(101).active_bytes, 20 << 20);
+  EXPECT_EQ(alloc.stats(101).peak_active, 30 << 20);
+  alloc.Free(b.block, 102);
+  EXPECT_EQ(alloc.stats(102).allocated_bytes, 0);
+  EXPECT_EQ(alloc.stats(102).peak_allocated, 30 << 20);
+}
+
+TEST(AllocatorTest, DoubleFreeDies) {
+  CachingAllocator alloc(SmallConfig());
+  auto sync = [] { return 0.0; };
+  auto a = alloc.Malloc(1 << 20, 1, 0, sync);
+  alloc.Free(a.block, 0);
+  EXPECT_DEATH(alloc.Free(a.block, 0), "double free");
+}
+
+TEST(AllocatorPropertyTest, ConservationUnderRandomWorkload) {
+  // Invariants under random malloc/free: allocated <= active <= reserved <=
+  // capacity; allocated equals the sum of live requests.
+  CachingAllocator alloc(SmallConfig());
+  Rng rng(123, 0);
+  auto sync = [] { return 1e9; };
+  std::vector<std::pair<CachingAllocator::BlockId, int64_t>> live;
+  double cpu = 0;
+  for (int step = 0; step < 2000; ++step) {
+    cpu += 1;
+    if (live.size() < 20 && rng.NextUniform() < 0.6) {
+      const int64_t req = 512 * (1 + static_cast<int64_t>(rng.NextBelow(64)));
+      const int stream = 1 + static_cast<int>(rng.NextBelow(3));
+      auto out = alloc.Malloc(req, stream, cpu, sync);
+      cpu = out.cpu_time_after;
+      if (out.ok) {
+        live.emplace_back(out.block, alloc.block_bytes(out.block));
+        if (rng.NextUniform() < 0.3) {
+          alloc.RecordStreamUse(out.block, 1 + (stream % 3),
+                                cpu + rng.NextUniform(0, 100));
+        }
+      }
+    } else if (!live.empty()) {
+      const size_t idx = rng.NextBelow(live.size());
+      alloc.Free(live[idx].first, cpu);
+      live.erase(live.begin() + static_cast<int64_t>(idx));
+    }
+    int64_t expect_allocated = 0;
+    for (auto& [id, bytes] : live) expect_allocated += bytes;
+    const auto& st = alloc.stats(cpu);
+    ASSERT_EQ(st.allocated_bytes, expect_allocated);
+    ASSERT_LE(st.allocated_bytes, st.active_bytes);
+    ASSERT_LE(st.active_bytes, st.reserved_bytes);
+    ASSERT_LE(st.reserved_bytes, SmallConfig().capacity_bytes);
+  }
+}
+
+// ---------------------------------------------------- topology / cost model
+
+TEST(TopologyTest, GroupFormation) {
+  Topology topo{4, 8};  // 32 GPUs
+  EXPECT_EQ(topo.world(), 32);
+  // F=8: shard groups fit within hosts.
+  EXPECT_EQ(ShardGroup(topo, 8).size, 8);
+  EXPECT_TRUE(ShardGroup(topo, 8).intra_host());
+  // F=16 spans 2 hosts.
+  EXPECT_EQ(ShardGroup(topo, 16).hosts, 2);
+  // Replicate group for F=8: 4 replicas, one per host.
+  Group repl = ReplicateGroup(topo, 8);
+  EXPECT_EQ(repl.size, 4);
+  EXPECT_EQ(repl.hosts, 4);
+  // F = world: single replica.
+  EXPECT_EQ(ReplicateGroup(topo, 32).size, 1);
+  EXPECT_EQ(WorldGroup(topo).hosts, 4);
+}
+
+TEST(CollectiveModelTest, MonotoneInSizeAndGroup) {
+  SimConstants c;
+  Topology topo{4, 8};
+  CollectiveModel cm(c, topo);
+  const Group intra{8, 1};
+  const Group inter{32, 4};
+  // More bytes -> more time.
+  EXPECT_LT(cm.AllGatherBase(1 << 20, intra), cm.AllGatherBase(64 << 20, intra));
+  // Intra-host beats inter-host for the same shard size.
+  EXPECT_LT(cm.AllGatherBase(8 << 20, intra), cm.AllGatherBase(8 << 20, inter));
+  // Degenerate group: launch overhead only.
+  EXPECT_DOUBLE_EQ(cm.AllGatherBase(8 << 20, Group{1, 1}),
+                   c.collective_launch_us);
+}
+
+TEST(CollectiveModelTest, Fig2aOrdering) {
+  // Paper Fig 2(a): All-Gather Base < All-Gather (list) << uneven fallback.
+  SimConstants c;
+  Topology topo{2, 8};
+  CollectiveModel cm(c, topo);
+  const Group g{16, 2};
+  const int64_t shard = 32 << 20;
+  const double base = cm.AllGatherBase(shard, g);
+  const double list = cm.AllGatherListOutput(shard, g);
+  const double uneven = cm.AllGatherUneven(shard * 16, g);
+  EXPECT_LT(base, list);
+  EXPECT_LT(list, uneven);
+  // Serialized broadcasts pay per-op launch/latency and unsaturated
+  // bandwidth on W smaller messages.
+  EXPECT_GT(uneven, 1.8 * base);
+}
+
+TEST(CollectiveModelTest, Fig2bKnee) {
+  // Fixed total volume, varying per-collective size: total time explodes as
+  // the per-op size shrinks (launch overhead + unsaturated bandwidth).
+  SimConstants c;
+  Topology topo{2, 8};
+  CollectiveModel cm(c, topo);
+  const Group g{16, 2};
+  const int64_t total = 1LL << 32;  // 2^30 fp32 elements
+  auto total_time = [&](int64_t per_op) {
+    const int64_t ops = total / per_op;
+    return ops * cm.AllGatherBase(per_op / 16, g);
+  };
+  const double at_128mb = total_time(128 << 20);
+  const double at_8mb = total_time(8 << 20);
+  const double at_1mb = total_time(1 << 20);
+  EXPECT_LT(at_128mb, at_8mb);
+  EXPECT_LT(at_8mb, at_1mb);
+  EXPECT_GT(at_1mb, 3 * at_128mb);  // rapid growth below the knee
+}
+
+TEST(CollectiveModelTest, AllReduceTwiceReduceScatter) {
+  // Ring AllReduce moves ~2x a ReduceScatter of the same buffer.
+  SimConstants c;
+  c.collective_launch_us = 0;
+  c.hop_latency_us = 0;
+  Topology topo{2, 8};
+  CollectiveModel cm(c, topo);
+  const Group g{16, 2};
+  const double rs = cm.ReduceScatter(256 << 20, g);
+  const double ar = cm.AllReduce(256 << 20, g);
+  EXPECT_NEAR(ar / rs, 2.0, 0.2);
+}
+
+TEST(ComputeModelTest, DtypeAndEfficiency) {
+  SimConstants c;
+  ComputeModel pm(c);
+  const double flops = 1e12;
+  // BF16 tensor cores are ~2x the TF32 path in this calibration.
+  EXPECT_LT(pm.MatmulTime(flops, DType::kBF16),
+            pm.MatmulTime(flops, DType::kF32));
+  // 1 TFLOP at 312*0.62 TFLOPS ~ 5.2 ms.
+  EXPECT_NEAR(pm.MatmulTime(flops, DType::kBF16), 1e12 / (312e6 * 0.62), 50);
+}
+
+}  // namespace
+}  // namespace fsdp::sim

@@ -1,0 +1,63 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "tensor/tensor.h"
+
+namespace fsdp::testing {
+
+/// Checks analytic gradients of `fn` w.r.t. every tensor in `inputs` against
+/// central finite differences. `fn` must return a scalar tensor and be pure.
+inline void CheckGradients(
+    const std::function<Tensor()>& fn, const std::vector<Tensor>& inputs,
+    float eps = 1e-3f, float rtol = 5e-2f, float atol = 1e-3f) {
+  // Analytic pass.
+  for (const Tensor& t : inputs) {
+    Tensor(t).zero_grad();
+  }
+  Tensor loss = fn();
+  autograd::RunBackward(loss);
+
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor t = inputs[ti];
+    Tensor grad = t.grad();
+    ASSERT_TRUE(grad.defined()) << "no grad for input " << ti;
+    float* data = t.data();
+    const float* g = grad.data();
+    const int64_t n = t.numel();
+    // Probe a bounded number of coordinates to keep tests fast.
+    const int64_t stride = std::max<int64_t>(1, n / 13);
+    for (int64_t i = 0; i < n; i += stride) {
+      const float orig = data[i];
+      data[i] = orig + eps;
+      const float up = fn().item();
+      data[i] = orig - eps;
+      const float down = fn().item();
+      data[i] = orig;
+      const float numeric = (up - down) / (2.f * eps);
+      EXPECT_NEAR(g[i], numeric, atol + rtol * std::fabs(numeric))
+          << "input " << ti << " coord " << i;
+    }
+  }
+}
+
+/// EXPECT that two tensors match elementwise within tolerances.
+inline void ExpectAllClose(const Tensor& a, const Tensor& b,
+                           float rtol = 1e-5f, float atol = 1e-6f) {
+  ASSERT_TRUE(a.defined() && b.defined());
+  ASSERT_EQ(a.numel(), b.numel());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(pa[i], pb[i], atol + rtol * std::fabs(pb[i]))
+        << "at flat index " << i;
+  }
+}
+
+}  // namespace fsdp::testing

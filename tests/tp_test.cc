@@ -1,0 +1,228 @@
+// Tensor parallelism and 2D (TP x FSDP) composition tests (paper Sec 7.1.2).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "autograd/engine.h"
+#include "comm/functional.h"
+#include "core/fsdp.h"
+#include "nn/tensor_parallel.h"
+#include "optim/optimizer.h"
+#include "tests/test_util.h"
+
+namespace fsdp {
+namespace {
+
+using fsdp::testing::ExpectAllClose;
+
+// ------------------------------------------- differentiable collectives
+
+TEST(FunctionalCollectives, AllReduceSumForwardAndBackward) {
+  const int w = 4;
+  auto comm = std::make_shared<comm::Communicator>(w);
+  RunOnRanks(w, [&](int r) {
+    comm::ProcessGroup pg(comm, r);
+    Tensor x = Tensor::Full({3}, static_cast<float>(r + 1));
+    x.set_requires_grad(true);
+    Tensor y = comm::AllReduceSum(x, pg);
+    ASSERT_FLOAT_EQ(y.data()[0], 10.f);  // 1+2+3+4
+    autograd::RunBackward(ops::Sum(y));
+    // d(sum of allreduce)/dx = ones on every rank.
+    ASSERT_TRUE(x.grad().AllClose(Tensor::Ones({3}), 0, 0));
+  });
+}
+
+TEST(FunctionalCollectives, AllGatherColsRoundTrip) {
+  const int w = 2;
+  auto comm = std::make_shared<comm::Communicator>(w);
+  RunOnRanks(w, [&](int r) {
+    comm::ProcessGroup pg(comm, r);
+    // rank 0 holds cols {0,1}, rank 1 holds cols {2,3} of a (2 x 4) matrix.
+    Tensor local = Tensor::FromVector(
+        r == 0 ? std::vector<float>{0, 1, 4, 5}
+               : std::vector<float>{2, 3, 6, 7},
+        {2, 2});
+    local.set_requires_grad(true);
+    Tensor full = comm::AllGatherCols(local, pg);
+    ExpectAllClose(full, Tensor::FromVector({0, 1, 2, 3, 4, 5, 6, 7}, {2, 4}),
+                   0, 0);
+    // Backward: weight the gathered output by column index.
+    Tensor weights = Tensor::FromVector({1, 2, 3, 4, 1, 2, 3, 4}, {2, 4});
+    autograd::RunBackward(ops::Sum(ops::Mul(full, weights)));
+    Tensor expect = r == 0 ? Tensor::FromVector({1, 2, 1, 2}, {2, 2})
+                           : Tensor::FromVector({3, 4, 3, 4}, {2, 2});
+    ASSERT_TRUE(local.grad().AllClose(expect, 0, 0));
+  });
+}
+
+TEST(FunctionalCollectives, ScatterColsInvertsGather) {
+  const int w = 2;
+  auto comm = std::make_shared<comm::Communicator>(w);
+  RunOnRanks(w, [&](int r) {
+    comm::ProcessGroup pg(comm, r);
+    Tensor full = Tensor::FromVector({0, 1, 2, 3, 4, 5, 6, 7}, {2, 4});
+    full.set_requires_grad(true);
+    Tensor mine = comm::ScatterCols(full, pg);
+    Tensor back = comm::AllGatherCols(mine, pg);
+    ASSERT_TRUE(back.AllClose(full, 0, 0));
+    autograd::RunBackward(ops::Sum(back));
+    ASSERT_TRUE(full.grad().AllClose(Tensor::Ones({2, 4}), 0, 0));
+  });
+}
+
+// ---------------------------------------------------- TP layer equivalence
+
+/// Builds a local reference MLP and a TP MLP whose slices are copied from
+/// it, so outputs/gradients must match bitwise-ish.
+struct TpSetup {
+  Tensor w1, b1, w2, b2;  // reference (hidden x in), (hidden), (out x hidden), (out)
+};
+
+TpSetup MakeRef(int64_t in, int64_t hidden, int64_t out, uint64_t seed) {
+  Rng rng(seed, 0);
+  TpSetup s;
+  s.w1 = Tensor::Randn({hidden, in}, rng, 0.f, 0.3f);
+  s.b1 = Tensor::Randn({hidden}, rng, 0.f, 0.3f);
+  s.w2 = Tensor::Randn({out, hidden}, rng, 0.f, 0.3f);
+  s.b2 = Tensor::Randn({out}, rng, 0.f, 0.3f);
+  return s;
+}
+
+Tensor RefForward(const TpSetup& s, const Tensor& x) {
+  return ops::Linear(ops::Gelu(ops::Linear(x, s.w1, s.b1)), s.w2, s.b2);
+}
+
+/// Copies the reference slices into the TP modules for TP rank `tp`.
+void LoadSlices(nn::TensorParallelMLP& mlp, const TpSetup& s, int tp,
+                int tp_degree) {
+  NoGradGuard no_grad;
+  const int64_t hidden = s.w1.size(0);
+  const int64_t local_h = hidden / tp_degree;
+  // Column-parallel fc1: rows [tp*local_h, (tp+1)*local_h) of w1/b1.
+  mlp.fc1().weight().CopyFrom_(
+      s.w1.SliceView(tp * local_h * s.w1.size(1), {local_h, s.w1.size(1)}));
+  mlp.fc1().bias().CopyFrom_(s.b1.SliceView(tp * local_h, {local_h}));
+  // Row-parallel fc2: columns [tp*local_h, ...) of w2 — strided copy.
+  Tensor w2_local = mlp.fc2().weight();
+  for (int64_t r = 0; r < s.w2.size(0); ++r) {
+    for (int64_t c = 0; c < local_h; ++c) {
+      w2_local.set_at({r, c}, s.w2.at({r, tp * local_h + c}));
+    }
+  }
+  mlp.fc2().bias().CopyFrom_(s.b2);
+}
+
+TEST(TensorParallelTest, MlpForwardAndGradientsMatchLocal) {
+  const int tp_degree = 2;
+  const int64_t dim = 6, hidden = 8;
+  auto comm = std::make_shared<comm::Communicator>(tp_degree);
+  TpSetup ref = MakeRef(dim, hidden, dim, 21);
+  Rng rng(5, 0);
+  Tensor x = Tensor::Randn({4, dim}, rng);
+
+  // Local reference forward/backward.
+  TpSetup local = ref;
+  local.w1 = ref.w1.Clone();
+  local.b1 = ref.b1.Clone();
+  local.w2 = ref.w2.Clone();
+  local.b2 = ref.b2.Clone();
+  for (Tensor* t : {&local.w1, &local.b1, &local.w2, &local.b2}) {
+    t->set_requires_grad(true);
+  }
+  Tensor ref_out = RefForward(local, x);
+  autograd::RunBackward(ops::Sum(ops::Mul(ref_out, ref_out)));
+
+  RunOnRanks(tp_degree, [&](int tp) {
+    nn::InitCtx ctx(Device::kCpu, 77);
+    nn::TensorParallelMLP mlp(dim, hidden, comm::ProcessGroup(comm, tp),
+                              ctx);
+    LoadSlices(mlp, ref, tp, tp_degree);
+    Tensor out = mlp(x);
+    ASSERT_TRUE(out.AllClose(ref_out, 1e-4f, 1e-5f)) << "tp rank " << tp;
+    autograd::RunBackward(ops::Sum(ops::Mul(out, out)));
+    // fc1 grads: this rank's row block of the reference w1 grad.
+    const int64_t local_h = hidden / tp_degree;
+    Tensor gw1 = mlp.fc1().weight().grad();
+    ASSERT_TRUE(gw1.AllClose(
+        local.w1.grad().SliceView(tp * local_h * dim, {local_h, dim}),
+        1e-3f, 1e-4f));
+    Tensor gb2 = mlp.fc2().bias().grad();
+    ASSERT_TRUE(gb2.AllClose(local.b2.grad(), 1e-3f, 1e-4f));
+  });
+}
+
+// ------------------------------------------------------- 2D: TP x FSDP
+
+/// 4 ranks as a 2x2 mesh: TP pairs {0,1},{2,3}; data-parallel pairs {0,2},
+/// {1,3}. FSDP shards each TP slice over the DP dimension; gradients reduce
+/// over DP; activations communicate over TP — the Sec 7.1.2 arrangement.
+TEST(TwoDParallelTest, TpTimesFsdpMatchesLocal) {
+  const int tp_degree = 2, dp_degree = 2;
+  const int64_t dim = 6, hidden = 8;
+  TpSetup ref = MakeRef(dim, hidden, dim, 31);
+
+  auto batch_for = [&](int dp) {
+    Rng rng(100 + dp, 0);
+    return Tensor::Randn({3, dim}, rng);
+  };
+
+  // Local reference: mean-over-DP loss, one SGD step.
+  TpSetup local = ref;
+  local.w1 = ref.w1.Clone();
+  local.b1 = ref.b1.Clone();
+  local.w2 = ref.w2.Clone();
+  local.b2 = ref.b2.Clone();
+  std::vector<Tensor> local_params = {local.w1, local.b1, local.w2, local.b2};
+  for (Tensor& t : local_params) t.set_requires_grad(true);
+  optim::SGD ref_sgd(local_params, 0.1f);
+  for (int dp = 0; dp < dp_degree; ++dp) {
+    Tensor out = RefForward(local, batch_for(dp));
+    autograd::RunBackward(
+        ops::ScalarMul(ops::Mean(ops::Mul(out, out)), 1.f / dp_degree));
+  }
+  ref_sgd.Step();
+
+  // TP communicators: one per TP pair. FSDP meshes: one per TP index (its
+  // ranks are the DP pair holding the same slice).
+  std::vector<std::shared_ptr<comm::Communicator>> tp_comms = {
+      std::make_shared<comm::Communicator>(tp_degree),
+      std::make_shared<comm::Communicator>(tp_degree)};
+  std::vector<std::unique_ptr<comm::DeviceMesh>> dp_meshes;
+  dp_meshes.push_back(std::make_unique<comm::DeviceMesh>(dp_degree,
+                                                         dp_degree));
+  dp_meshes.push_back(std::make_unique<comm::DeviceMesh>(dp_degree,
+                                                         dp_degree));
+
+  RunOnRanks(tp_degree * dp_degree, [&](int rank) {
+    const int tp = rank % tp_degree;  // position within the TP pair
+    const int dp = rank / tp_degree;  // which data-parallel replica
+    nn::InitCtx ctx(Device::kCpu, 55);
+    auto mlp = std::make_shared<nn::TensorParallelMLP>(
+        dim, hidden, comm::ProcessGroup(tp_comms[dp], tp), ctx);
+    LoadSlices(*mlp, ref, tp, tp_degree);
+
+    core::FsdpOptions opts;
+    opts.sync_module_states = false;  // slices differ per TP rank by design
+    auto state = core::FullyShard(mlp, *dp_meshes[tp], dp, opts);
+    optim::SGD sgd(state->Parameters(), 0.1f);
+    Tensor out = (*mlp)(batch_for(dp));
+    autograd::RunBackward(ops::Mean(ops::Mul(out, out)));
+    sgd.Step();
+
+    // Compare this TP slice's full (DP-gathered) parameters against the
+    // locally-trained reference slices.
+    const int64_t local_h = hidden / tp_degree;
+    std::map<std::string, Tensor> full;
+    for (auto& [fqn, value] : state->FullStateDict()) full[fqn] = value;
+    ASSERT_TRUE(full.at("fc1.weight")
+                    .AllClose(local.w1.SliceView(tp * local_h * dim,
+                                                 {local_h, dim}),
+                              1e-4f, 1e-5f))
+        << "rank " << rank;
+    ASSERT_TRUE(full.at("fc2.bias").AllClose(local.b2, 1e-4f, 1e-5f))
+        << "rank " << rank;
+  });
+}
+
+}  // namespace
+}  // namespace fsdp
