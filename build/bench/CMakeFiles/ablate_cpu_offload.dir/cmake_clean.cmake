@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cpu_offload.dir/ablate_cpu_offload.cc.o"
+  "CMakeFiles/ablate_cpu_offload.dir/ablate_cpu_offload.cc.o.d"
+  "ablate_cpu_offload"
+  "ablate_cpu_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cpu_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

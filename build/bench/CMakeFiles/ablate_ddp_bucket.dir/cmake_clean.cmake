@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ddp_bucket.dir/ablate_ddp_bucket.cc.o"
+  "CMakeFiles/ablate_ddp_bucket.dir/ablate_ddp_bucket.cc.o.d"
+  "ablate_ddp_bucket"
+  "ablate_ddp_bucket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ddp_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

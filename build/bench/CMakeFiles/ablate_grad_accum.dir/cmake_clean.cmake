@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_grad_accum.dir/ablate_grad_accum.cc.o"
+  "CMakeFiles/ablate_grad_accum.dir/ablate_grad_accum.cc.o.d"
+  "ablate_grad_accum"
+  "ablate_grad_accum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_grad_accum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_grad_accum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_hybrid_factor.dir/ablate_hybrid_factor.cc.o"
+  "CMakeFiles/ablate_hybrid_factor.dir/ablate_hybrid_factor.cc.o.d"
+  "ablate_hybrid_factor"
+  "ablate_hybrid_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hybrid_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

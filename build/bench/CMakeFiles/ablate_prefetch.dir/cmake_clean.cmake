@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_prefetch.dir/ablate_prefetch.cc.o"
+  "CMakeFiles/ablate_prefetch.dir/ablate_prefetch.cc.o.d"
+  "ablate_prefetch"
+  "ablate_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rate_limit.dir/ablate_rate_limit.cc.o"
+  "CMakeFiles/ablate_rate_limit.dir/ablate_rate_limit.cc.o.d"
+  "ablate_rate_limit"
+  "ablate_rate_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rate_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

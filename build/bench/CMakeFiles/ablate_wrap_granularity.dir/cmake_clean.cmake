@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_wrap_granularity.dir/ablate_wrap_granularity.cc.o"
+  "CMakeFiles/ablate_wrap_granularity.dir/ablate_wrap_granularity.cc.o.d"
+  "ablate_wrap_granularity"
+  "ablate_wrap_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_wrap_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_allgather_variants.dir/fig2a_allgather_variants.cc.o"
+  "CMakeFiles/fig2a_allgather_variants.dir/fig2a_allgather_variants.cc.o.d"
+  "fig2a_allgather_variants"
+  "fig2a_allgather_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_allgather_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

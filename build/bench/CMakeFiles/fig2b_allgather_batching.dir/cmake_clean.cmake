@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_allgather_batching.dir/fig2b_allgather_batching.cc.o"
+  "CMakeFiles/fig2b_allgather_batching.dir/fig2b_allgather_batching.cc.o.d"
+  "fig2b_allgather_batching"
+  "fig2b_allgather_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_allgather_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

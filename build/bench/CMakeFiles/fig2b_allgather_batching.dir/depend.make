@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2b_allgather_batching.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_model_scale.dir/fig6a_model_scale.cc.o"
+  "CMakeFiles/fig6a_model_scale.dir/fig6a_model_scale.cc.o.d"
+  "fig6a_model_scale"
+  "fig6a_model_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_model_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_backward_prefetch.dir/fig6b_backward_prefetch.cc.o"
+  "CMakeFiles/fig6b_backward_prefetch.dir/fig6b_backward_prefetch.cc.o.d"
+  "fig6b_backward_prefetch"
+  "fig6b_backward_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_backward_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_rate_limiter.dir/fig6c_rate_limiter.cc.o"
+  "CMakeFiles/fig6c_rate_limiter.dir/fig6c_rate_limiter.cc.o.d"
+  "fig6c_rate_limiter"
+  "fig6c_rate_limiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_rate_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

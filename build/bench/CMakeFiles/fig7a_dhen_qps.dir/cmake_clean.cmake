@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_dhen_qps.dir/fig7a_dhen_qps.cc.o"
+  "CMakeFiles/fig7a_dhen_qps.dir/fig7a_dhen_qps.cc.o.d"
+  "fig7a_dhen_qps"
+  "fig7a_dhen_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_dhen_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

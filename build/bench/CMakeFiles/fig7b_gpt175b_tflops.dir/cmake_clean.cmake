@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_gpt175b_tflops.dir/fig7b_gpt175b_tflops.cc.o"
+  "CMakeFiles/fig7b_gpt175b_tflops.dir/fig7b_gpt175b_tflops.cc.o.d"
+  "fig7b_gpt175b_tflops"
+  "fig7b_gpt175b_tflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_gpt175b_tflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

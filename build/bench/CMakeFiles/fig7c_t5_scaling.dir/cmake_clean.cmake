@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_t5_scaling.dir/fig7c_t5_scaling.cc.o"
+  "CMakeFiles/fig7c_t5_scaling.dir/fig7c_t5_scaling.cc.o.d"
+  "fig7c_t5_scaling"
+  "fig7c_t5_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_t5_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

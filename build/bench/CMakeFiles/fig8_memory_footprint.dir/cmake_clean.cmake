@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_memory_footprint.dir/fig8_memory_footprint.cc.o"
+  "CMakeFiles/fig8_memory_footprint.dir/fig8_memory_footprint.cc.o.d"
+  "fig8_memory_footprint"
+  "fig8_memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

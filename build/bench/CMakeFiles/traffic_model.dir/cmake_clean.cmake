@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_model.dir/traffic_model.cc.o"
+  "CMakeFiles/traffic_model.dir/traffic_model.cc.o.d"
+  "traffic_model"
+  "traffic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

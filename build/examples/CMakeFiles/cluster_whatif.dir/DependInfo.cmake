@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_whatif.cc" "examples/CMakeFiles/cluster_whatif.dir/cluster_whatif.cc.o" "gcc" "examples/CMakeFiles/cluster_whatif.dir/cluster_whatif.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simfsdp/CMakeFiles/fsdp_simfsdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fsdp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

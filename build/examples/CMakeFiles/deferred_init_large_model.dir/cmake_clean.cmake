@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deferred_init_large_model.dir/deferred_init_large_model.cc.o"
+  "CMakeFiles/deferred_init_large_model.dir/deferred_init_large_model.cc.o.d"
+  "deferred_init_large_model"
+  "deferred_init_large_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deferred_init_large_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for deferred_init_large_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_vs_ddp.dir/fsdp_vs_ddp.cc.o"
+  "CMakeFiles/fsdp_vs_ddp.dir/fsdp_vs_ddp.cc.o.d"
+  "fsdp_vs_ddp"
+  "fsdp_vs_ddp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_vs_ddp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_sharding_mixed_precision.dir/hybrid_sharding_mixed_precision.cc.o"
+  "CMakeFiles/hybrid_sharding_mixed_precision.dir/hybrid_sharding_mixed_precision.cc.o.d"
+  "hybrid_sharding_mixed_precision"
+  "hybrid_sharding_mixed_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_sharding_mixed_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

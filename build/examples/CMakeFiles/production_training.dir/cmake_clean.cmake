@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_training.dir/production_training.cc.o"
+  "CMakeFiles/production_training.dir/production_training.cc.o.d"
+  "production_training"
+  "production_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

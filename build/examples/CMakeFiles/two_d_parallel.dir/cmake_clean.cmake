@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_d_parallel.dir/two_d_parallel.cc.o"
+  "CMakeFiles/two_d_parallel.dir/two_d_parallel.cc.o.d"
+  "two_d_parallel"
+  "two_d_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_d_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_autograd.dir/engine.cc.o"
+  "CMakeFiles/fsdp_autograd.dir/engine.cc.o.d"
+  "CMakeFiles/fsdp_autograd.dir/ops.cc.o"
+  "CMakeFiles/fsdp_autograd.dir/ops.cc.o.d"
+  "libfsdp_autograd.a"
+  "libfsdp_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

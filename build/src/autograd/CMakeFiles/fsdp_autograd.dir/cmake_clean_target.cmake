@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsdp_autograd.a"
+)

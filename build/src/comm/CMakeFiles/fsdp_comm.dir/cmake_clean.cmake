@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_comm.dir/functional.cc.o"
+  "CMakeFiles/fsdp_comm.dir/functional.cc.o.d"
+  "CMakeFiles/fsdp_comm.dir/process_group.cc.o"
+  "CMakeFiles/fsdp_comm.dir/process_group.cc.o.d"
+  "libfsdp_comm.a"
+  "libfsdp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

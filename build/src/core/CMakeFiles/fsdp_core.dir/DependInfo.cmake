@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/flat_param.cc" "src/core/CMakeFiles/fsdp_core.dir/flat_param.cc.o" "gcc" "src/core/CMakeFiles/fsdp_core.dir/flat_param.cc.o.d"
+  "/root/repo/src/core/fsdp.cc" "src/core/CMakeFiles/fsdp_core.dir/fsdp.cc.o" "gcc" "src/core/CMakeFiles/fsdp_core.dir/fsdp.cc.o.d"
+  "/root/repo/src/core/fsdp_utils.cc" "src/core/CMakeFiles/fsdp_core.dir/fsdp_utils.cc.o" "gcc" "src/core/CMakeFiles/fsdp_core.dir/fsdp_utils.cc.o.d"
+  "/root/repo/src/core/optim_state.cc" "src/core/CMakeFiles/fsdp_core.dir/optim_state.cc.o" "gcc" "src/core/CMakeFiles/fsdp_core.dir/optim_state.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/fsdp_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/fsdp_core.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fsdp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fsdp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/fsdp_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fsdp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_core.dir/flat_param.cc.o"
+  "CMakeFiles/fsdp_core.dir/flat_param.cc.o.d"
+  "CMakeFiles/fsdp_core.dir/fsdp.cc.o"
+  "CMakeFiles/fsdp_core.dir/fsdp.cc.o.d"
+  "CMakeFiles/fsdp_core.dir/fsdp_utils.cc.o"
+  "CMakeFiles/fsdp_core.dir/fsdp_utils.cc.o.d"
+  "CMakeFiles/fsdp_core.dir/optim_state.cc.o"
+  "CMakeFiles/fsdp_core.dir/optim_state.cc.o.d"
+  "CMakeFiles/fsdp_core.dir/serialize.cc.o"
+  "CMakeFiles/fsdp_core.dir/serialize.cc.o.d"
+  "libfsdp_core.a"
+  "libfsdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_ddp.dir/ddp.cc.o"
+  "CMakeFiles/fsdp_ddp.dir/ddp.cc.o.d"
+  "libfsdp_ddp.a"
+  "libfsdp_ddp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_ddp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/fsdp_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/fsdp_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/fsdp_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/fsdp_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/dhen.cc" "src/nn/CMakeFiles/fsdp_nn.dir/dhen.cc.o" "gcc" "src/nn/CMakeFiles/fsdp_nn.dir/dhen.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/fsdp_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/fsdp_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/fsdp_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/fsdp_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/fsdp_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/fsdp_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/tensor_parallel.cc" "src/nn/CMakeFiles/fsdp_nn.dir/tensor_parallel.cc.o" "gcc" "src/nn/CMakeFiles/fsdp_nn.dir/tensor_parallel.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/fsdp_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/fsdp_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/fsdp_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fsdp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fsdp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_nn.dir/attention.cc.o"
+  "CMakeFiles/fsdp_nn.dir/attention.cc.o.d"
+  "CMakeFiles/fsdp_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/fsdp_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/fsdp_nn.dir/dhen.cc.o"
+  "CMakeFiles/fsdp_nn.dir/dhen.cc.o.d"
+  "CMakeFiles/fsdp_nn.dir/init.cc.o"
+  "CMakeFiles/fsdp_nn.dir/init.cc.o.d"
+  "CMakeFiles/fsdp_nn.dir/layers.cc.o"
+  "CMakeFiles/fsdp_nn.dir/layers.cc.o.d"
+  "CMakeFiles/fsdp_nn.dir/module.cc.o"
+  "CMakeFiles/fsdp_nn.dir/module.cc.o.d"
+  "CMakeFiles/fsdp_nn.dir/tensor_parallel.cc.o"
+  "CMakeFiles/fsdp_nn.dir/tensor_parallel.cc.o.d"
+  "CMakeFiles/fsdp_nn.dir/transformer.cc.o"
+  "CMakeFiles/fsdp_nn.dir/transformer.cc.o.d"
+  "libfsdp_nn.a"
+  "libfsdp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

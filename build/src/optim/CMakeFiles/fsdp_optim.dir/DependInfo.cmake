@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/grad_scaler.cc" "src/optim/CMakeFiles/fsdp_optim.dir/grad_scaler.cc.o" "gcc" "src/optim/CMakeFiles/fsdp_optim.dir/grad_scaler.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/optim/CMakeFiles/fsdp_optim.dir/optimizer.cc.o" "gcc" "src/optim/CMakeFiles/fsdp_optim.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/fsdp_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fsdp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fsdp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

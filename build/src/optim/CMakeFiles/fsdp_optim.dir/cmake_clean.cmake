@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_optim.dir/grad_scaler.cc.o"
+  "CMakeFiles/fsdp_optim.dir/grad_scaler.cc.o.d"
+  "CMakeFiles/fsdp_optim.dir/optimizer.cc.o"
+  "CMakeFiles/fsdp_optim.dir/optimizer.cc.o.d"
+  "libfsdp_optim.a"
+  "libfsdp_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

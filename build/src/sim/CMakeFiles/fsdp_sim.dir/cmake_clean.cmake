@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_sim.dir/allocator.cc.o"
+  "CMakeFiles/fsdp_sim.dir/allocator.cc.o.d"
+  "CMakeFiles/fsdp_sim.dir/topology.cc.o"
+  "CMakeFiles/fsdp_sim.dir/topology.cc.o.d"
+  "libfsdp_sim.a"
+  "libfsdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

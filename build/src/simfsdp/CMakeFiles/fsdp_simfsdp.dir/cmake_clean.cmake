@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_simfsdp.dir/schedule.cc.o"
+  "CMakeFiles/fsdp_simfsdp.dir/schedule.cc.o.d"
+  "CMakeFiles/fsdp_simfsdp.dir/workload.cc.o"
+  "CMakeFiles/fsdp_simfsdp.dir/workload.cc.o.d"
+  "libfsdp_simfsdp.a"
+  "libfsdp_simfsdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_simfsdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_tensor.dir/kernels.cc.o"
+  "CMakeFiles/fsdp_tensor.dir/kernels.cc.o.d"
+  "CMakeFiles/fsdp_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fsdp_tensor.dir/tensor.cc.o.d"
+  "libfsdp_tensor.a"
+  "libfsdp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

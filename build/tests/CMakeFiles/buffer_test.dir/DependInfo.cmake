@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/buffer_test.cc" "tests/CMakeFiles/buffer_test.dir/buffer_test.cc.o" "gcc" "tests/CMakeFiles/buffer_test.dir/buffer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fsdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddp/CMakeFiles/fsdp_ddp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/fsdp_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fsdp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/fsdp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/fsdp_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fsdp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

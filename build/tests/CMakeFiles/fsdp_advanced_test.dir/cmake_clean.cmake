@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_advanced_test.dir/fsdp_advanced_test.cc.o"
+  "CMakeFiles/fsdp_advanced_test.dir/fsdp_advanced_test.cc.o.d"
+  "fsdp_advanced_test"
+  "fsdp_advanced_test.pdb"
+  "fsdp_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_test.dir/fsdp_test.cc.o"
+  "CMakeFiles/fsdp_test.dir/fsdp_test.cc.o.d"
+  "fsdp_test"
+  "fsdp_test.pdb"
+  "fsdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

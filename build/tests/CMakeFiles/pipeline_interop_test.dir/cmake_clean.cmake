@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_interop_test.dir/pipeline_interop_test.cc.o"
+  "CMakeFiles/pipeline_interop_test.dir/pipeline_interop_test.cc.o.d"
+  "pipeline_interop_test"
+  "pipeline_interop_test.pdb"
+  "pipeline_interop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_interop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simfsdp_test.dir/simfsdp_test.cc.o"
+  "CMakeFiles/simfsdp_test.dir/simfsdp_test.cc.o.d"
+  "simfsdp_test"
+  "simfsdp_test.pdb"
+  "simfsdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simfsdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

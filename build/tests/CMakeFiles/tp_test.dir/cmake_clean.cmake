@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_test.dir/tp_test.cc.o"
+  "CMakeFiles/tp_test.dir/tp_test.cc.o.d"
+  "tp_test"
+  "tp_test.pdb"
+  "tp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
