@@ -5,13 +5,20 @@
 // configuration, prints the series the figure plots, and annotates the
 // paper-reported numbers where the paper states them, so paper-vs-measured
 // is visible directly in the output (EXPERIMENTS.md aggregates these).
+// Besides the human-readable tables, benches write machine-readable rows to
+// BENCH_<name>.json (JsonRow/WriteBenchJson below) so perf trajectories can
+// be tracked across commits without screen-scraping.
 #pragma once
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "sim/topology.h"
 #include "simfsdp/schedule.h"
 #include "simfsdp/workload.h"
@@ -41,5 +48,73 @@ inline sim::Topology TopoFor(int gpus) {
 inline const char* Mark(bool oom) { return oom ? "OOM" : "ok"; }
 
 inline double GiB(int64_t bytes) { return static_cast<double>(bytes) / (1ULL << 30); }
+
+/// One JSON object with insertion-ordered fields. Values are rendered
+/// eagerly, so a row is just a list of (key, token) pairs.
+class JsonRow {
+ public:
+  JsonRow& Set(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + obs::JsonEscape(v) + "\"");
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, const char* v) {
+    return Set(key, std::string(v));
+  }
+  JsonRow& Set(const std::string& key, double v) {
+    if (!std::isfinite(v)) {
+      fields_.emplace_back(key, "null");
+      return *this;
+    }
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << v;
+    fields_.emplace_back(key, oss.str());
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, int64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, int v) {
+    return Set(key, static_cast<int64_t>(v));
+  }
+  JsonRow& Set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + obs::JsonEscape(fields_[i].first) +
+             "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes {"bench": <name>, "rows": [...]} to BENCH_<name>.json in the
+/// current directory and says so on stdout. The output parses with
+/// obs::ParseJson (obs_test validates the writers against the parser).
+inline void WriteBenchJson(const std::string& name,
+                           const std::vector<JsonRow>& rows) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\"bench\": \"" << obs::JsonEscape(name) << "\", \"rows\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << rows[i].ToJson();
+  }
+  out << "]}\n";
+  std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
 
 }  // namespace fsdp::bench

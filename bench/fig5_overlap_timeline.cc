@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "autograd/engine.h"
+#include "bench/bench_util.h"
 #include "core/fsdp.h"
 #include "nn/transformer.h"
 
@@ -18,10 +19,11 @@ using namespace fsdp;
 
 namespace {
 
-void PrintTimeline(bool prefetch) {
+void PrintTimeline(bool prefetch, std::vector<bench::JsonRow>& rows) {
   const int world = 2;
   comm::DeviceMesh mesh(world, world);
   std::vector<std::string> events;
+  std::vector<obs::TraceEvent> trace;
   RunOnRanks(world, [&](int rank) {
     nn::InitCtx ctx(Device::kCpu, 5);
     nn::TransformerConfig cfg;
@@ -39,7 +41,10 @@ void PrintTimeline(bool prefetch) {
     Tensor targets = ops::IndexTensor({2, 3, 4, 5}, {4});
     Tensor loss = ops::CrossEntropy((*model)(tokens), targets);
     autograd::RunBackward(loss);
-    if (rank == 0) events = state->events();
+    if (rank == 0) {
+      events = state->events();
+      trace = state->trace_events();
+    }
   });
   std::printf("\nbackward prefetch %s — rank 0 event sequence "
               "(unit0=[root], unit1=blocks.0, unit2=blocks.1):\n",
@@ -47,6 +52,17 @@ void PrintTimeline(bool prefetch) {
   int i = 0;
   for (const auto& e : events) {
     std::printf("  %2d. %s\n", ++i, e.c_str());
+  }
+  for (size_t k = 0; k < trace.size(); ++k) {
+    const auto& e = trace[k];
+    rows.push_back(bench::JsonRow()
+                       .Set("prefetch", prefetch)
+                       .Set("idx", static_cast<int64_t>(k))
+                       .Set("kind", obs::EventKindName(e.kind))
+                       .Set("unit", e.unit)
+                       .Set("t_begin_us", e.t_begin_us)
+                       .Set("t_end_us", e.t_end_us)
+                       .Set("bytes", e.bytes));
   }
 }
 
@@ -56,13 +72,15 @@ int main() {
   std::printf("================================================================\n");
   std::printf("Figure 5 — overlap schedule on the real functional runtime\n");
   std::printf("================================================================\n");
-  PrintTimeline(/*prefetch=*/false);
-  PrintTimeline(/*prefetch=*/true);
+  std::vector<bench::JsonRow> rows;
+  PrintTimeline(/*prefetch=*/false, rows);
+  PrintTimeline(/*prefetch=*/true, rows);
   std::printf(
       "\npaper shape: forward gathers unit-by-unit ahead of compute; in\n"
       "backward, WITHOUT prefetch each ReduceScatter precedes the next\n"
       "AllGather on the single NCCL stream, WITH prefetch the order flips\n"
       "(AG:blocks.0 before RS:blocks.1); the backward pass has one less\n"
       "AllGather because the outermost unit stays in memory (Sec 3.3.1).\n");
+  bench::WriteBenchJson("fig5_overlap_timeline", rows);
   return 0;
 }

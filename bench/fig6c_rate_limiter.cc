@@ -35,6 +35,7 @@ int main() {
       {"T5-11B", T5_11B(), 2, 2, DType::kF32, false},
       {"DeepViT-8B", DeepViT_8B(), 6, 6, DType::kBF16, true},
   };
+  std::vector<JsonRow> rows;
   for (int nodes : {2, 4}) {
     for (auto& cs : cases) {
       const int batch = nodes == 2 ? cs.batch2n : cs.batch4n;
@@ -53,6 +54,14 @@ int main() {
           batch, m_off.iter_time_us / 1e3, m_on.iter_time_us / 1e3,
           m_off.iter_time_us / m_on.iter_time_us,
           static_cast<long long>(m_off.num_alloc_retries));
+      rows.push_back(JsonRow()
+                         .Set("model", cs.name)
+                         .Set("nodes", nodes)
+                         .Set("batch", batch)
+                         .Set("no_limit_ms", m_off.iter_time_us / 1e3)
+                         .Set("limit2_ms", m_on.iter_time_us / 1e3)
+                         .Set("speedup", m_off.iter_time_us / m_on.iter_time_us)
+                         .Set("retries_no_limit", m_off.num_alloc_retries));
     }
   }
 
@@ -73,8 +82,17 @@ int main() {
     Row("  %d nodes: no limit %.1fms, limit=1 %.1fms (%.1f%% overhead)",
         nodes, m0.iter_time_us / 1e3, m1.iter_time_us / 1e3,
         100.0 * (m1.iter_time_us / m0.iter_time_us - 1.0));
+    rows.push_back(JsonRow()
+                       .Set("model", "DeepViT-8B")
+                       .Set("nodes", nodes)
+                       .Set("batch", 6)
+                       .Set("no_limit_ms", m0.iter_time_us / 1e3)
+                       .Set("limit1_ms", m1.iter_time_us / 1e3)
+                       .Set("overhead_pct",
+                            100.0 * (m1.iter_time_us / m0.iter_time_us - 1.0)));
   }
   Row("\npaper shape: T5 speeds up sharply (defrag rescued); RegNet "
       "unchanged; DeepViT regresses when comm dominates.");
+  WriteBenchJson("fig6c_rate_limiter", rows);
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
   using namespace fsdp::simfsdp;
   sim::SimConstants c;
 
+  std::vector<JsonRow> rows;
   auto print = [&](const char* fig, const char* name, auto make_workload,
                    int batch, int factor, bool raf, bool ckpt,
                    std::vector<int> gpu_counts) {
@@ -30,6 +31,15 @@ int main() {
       Row("%-6d | %11.1f %11.1f %11.1f | %8lld", gpus, GiB(m.peak_allocated),
           GiB(m.peak_active), GiB(m.peak_reserved),
           static_cast<long long>(m.num_alloc_retries));
+      rows.push_back(JsonRow()
+                         .Set("fig", fig)
+                         .Set("model", name)
+                         .Set("gpus", gpus)
+                         .Set("batch", batch)
+                         .Set("allocated_gib", GiB(m.peak_allocated))
+                         .Set("active_gib", GiB(m.peak_active))
+                         .Set("reserved_gib", GiB(m.peak_reserved))
+                         .Set("retries", m.num_alloc_retries));
     }
   };
 
@@ -44,5 +54,6 @@ int main() {
 
   Row("\npaper shape: memory shrinks with cluster size; GPT-175B@128 "
       "reserved hits the 80GiB capacity; T5 comfortable everywhere.");
+  WriteBenchJson("fig8_memory_footprint", rows);
   return 0;
 }

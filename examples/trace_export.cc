@@ -1,0 +1,136 @@
+// Exports Chrome-trace JSON from both execution layers:
+//
+//   1. a real 4-rank functional FSDP training step (thread-per-rank), traced
+//      via the global obs::TraceCollector -> trace_fsdp_step.json;
+//   2. a simulated Figure-5 style run (T5-11B, 2x8 GPUs, backward prefetch)
+//      with virtual timestamps -> trace_fig5_sim.json.
+//
+// Both files load in chrome://tracing or https://ui.perfetto.dev. The binary
+// self-validates: it re-parses each file with the in-repo JSON parser, checks
+// the trace_event structure, and asserts on span intervals that AllGathers
+// overlap compute in the simulated timeline (the paper's Sec 3.3 claim).
+// Build & run:   cmake --build build && ./build/examples/trace_export
+// It doubles as the `trace_export_smoke` ctest entry.
+#include <cstdio>
+
+#include "autograd/engine.h"
+#include "core/fsdp.h"
+#include "nn/transformer.h"
+#include "obs/chrome_trace.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "simfsdp/schedule.h"
+#include "simfsdp/workload.h"
+
+using namespace fsdp;
+
+namespace {
+
+// Re-parses an exported trace and checks the trace_event shape: an object
+// with a traceEvents array whose "X" entries carry name/cat/ph/ts/dur/pid/tid.
+int ValidateTraceFile(const std::string& path) {
+  auto parsed = obs::ParseJsonFile(path);
+  FSDP_CHECK_MSG(parsed.ok(), "parse " << path << ": "
+                                       << parsed.status().message());
+  const obs::JsonValue& doc = parsed.ValueOrDie();
+  const auto& events = doc["traceEvents"].AsArray();
+  int complete = 0;
+  for (const auto& ev : events) {
+    const std::string& ph = ev["ph"].AsString();
+    if (ph == "M") continue;  // process/thread name metadata
+    FSDP_CHECK_MSG(ph == "X", "unexpected phase '" << ph << "'");
+    (void)ev["name"].AsString();
+    (void)ev["cat"].AsString();
+    FSDP_CHECK(ev["ts"].is_number());
+    FSDP_CHECK(ev["dur"].AsNumber() >= 0);
+    FSDP_CHECK(ev["pid"].is_number());
+    FSDP_CHECK(ev["tid"].is_number());
+    ++complete;
+  }
+  FSDP_CHECK_MSG(complete > 0, path << " has no complete events");
+  std::printf("  %-22s OK (%d spans)\n", path.c_str(), complete);
+  return complete;
+}
+
+// True if any comm-lane AllGather span overlaps any compute-lane span.
+bool AllGatherOverlapsCompute(const std::vector<obs::TraceEvent>& events) {
+  for (const auto& ag : events) {
+    if (ag.kind != obs::EventKind::kAllGather || ag.lane != "comm") continue;
+    for (const auto& cp : events) {
+      if (cp.lane != "compute") continue;
+      if (cp.kind != obs::EventKind::kForward &&
+          cp.kind != obs::EventKind::kBackward) {
+        continue;
+      }
+      if (ag.t_begin_us < cp.t_end_us && cp.t_begin_us < ag.t_end_us) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ExportFunctionalStep() {
+  auto& collector = obs::TraceCollector::Get();
+  collector.Clear();
+  collector.set_enabled(true);
+  const int world = 4;
+  comm::DeviceMesh mesh(world, world);
+  RunOnRanks(world, [&](int rank) {
+    nn::InitCtx ctx(Device::kCpu, 11);
+    nn::TransformerConfig cfg;
+    cfg.vocab_size = 31;
+    cfg.max_seq = 8;
+    cfg.dim = 16;
+    cfg.num_heads = 4;
+    cfg.num_layers = 3;
+    auto model = std::make_shared<nn::TransformerModel>(cfg, ctx);
+    core::FsdpOptions opts;
+    opts.auto_wrap_policy = core::ModuleTypePolicy({"TransformerBlock"});
+    opts.backward_prefetch = true;
+    auto state = core::FullyShard(model, mesh, rank, opts);
+    Tensor tokens = ops::IndexTensor({1, 2, 3, 4, 5, 6, 7, 8}, {1, 8});
+    Tensor targets = ops::IndexTensor({2, 3, 4, 5, 6, 7, 8, 9}, {8});
+    Tensor loss = ops::CrossEntropy((*model)(tokens), targets);
+    autograd::RunBackward(loss);
+  });
+  collector.set_enabled(false);
+  Status st = obs::WriteChromeTrace("trace_fsdp_step.json",
+                                    collector.Snapshot());
+  FSDP_CHECK_MSG(st.ok(), st.message());
+  ValidateTraceFile("trace_fsdp_step.json");
+}
+
+void ExportSimulatedFig5() {
+  auto& collector = obs::TraceCollector::Get();
+  collector.Clear();
+  simfsdp::FsdpSimConfig cfg;
+  cfg.backward_prefetch = true;
+  cfg.iterations = 1;
+  cfg.record_trace = true;
+  sim::SimConstants c;
+  simfsdp::FsdpSimulator(simfsdp::T5_11B(), sim::Topology{2, 8}, c, cfg)
+      .Run();
+  auto events = collector.Snapshot();
+  Status st = obs::WriteChromeTrace("trace_fig5_sim.json", events);
+  FSDP_CHECK_MSG(st.ok(), st.message());
+  ValidateTraceFile("trace_fig5_sim.json");
+  FSDP_CHECK_MSG(AllGatherOverlapsCompute(events),
+                 "no AllGather span overlaps a compute span — the Sec 3.3 "
+                 "overlap schedule is broken");
+  std::printf("  overlap check          OK (AllGather runs under compute)\n");
+  collector.Clear();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("exporting Chrome traces (open in chrome://tracing or "
+              "https://ui.perfetto.dev)\n");
+  ExportFunctionalStep();
+  ExportSimulatedFig5();
+  std::printf("\nfinal metrics snapshot (functional step + simulated run):\n%s\n",
+              obs::MetricsRegistry::Get().SnapshotJson().c_str());
+  return 0;
+}

@@ -2,7 +2,50 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fsdp::comm {
+
+namespace {
+
+/// Registry handles resolved once; afterwards each collective pays only
+/// relaxed atomic adds. Names are the stable `comm.*` metric scheme.
+struct CommMetrics {
+  obs::Counter& ag_count;
+  obs::Counter& ag_bytes;
+  obs::Counter& rs_count;
+  obs::Counter& rs_bytes;
+  obs::Counter& ar_count;
+  obs::Counter& ar_bytes;
+  obs::Counter& bcast_count;
+  obs::Counter& bcast_bytes;
+
+  CommMetrics()
+      : ag_count(obs::MetricsRegistry::Get().GetCounter(
+            "comm.allgather.count")),
+        ag_bytes(obs::MetricsRegistry::Get().GetCounter(
+            "comm.allgather.bytes")),
+        rs_count(obs::MetricsRegistry::Get().GetCounter(
+            "comm.reducescatter.count")),
+        rs_bytes(obs::MetricsRegistry::Get().GetCounter(
+            "comm.reducescatter.bytes")),
+        ar_count(obs::MetricsRegistry::Get().GetCounter(
+            "comm.allreduce.count")),
+        ar_bytes(obs::MetricsRegistry::Get().GetCounter(
+            "comm.allreduce.bytes")),
+        bcast_count(obs::MetricsRegistry::Get().GetCounter(
+            "comm.broadcast.count")),
+        bcast_bytes(obs::MetricsRegistry::Get().GetCounter(
+            "comm.broadcast.bytes")) {}
+};
+
+CommMetrics& Metrics() {
+  static CommMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Communicator::Communicator(int size)
     : size_(size), barrier_(size), src_slots_(size, nullptr),
@@ -22,6 +65,8 @@ void ProcessGroup::Barrier() { comm_->barrier_.Wait(); }
 Work ProcessGroup::AllGatherBase(float* dst, const float* src,
                                  int64_t numel_per_rank) {
   const int w = size();
+  FSDP_TRACE_SPAN(kAllGather, "allgather_base", "comm",
+                  (w - 1) * numel_per_rank * 4);
   comm_->src_slots_[rank_] = src;
   comm_->barrier_.Wait();
   for (int k = 0; k < w; ++k) {
@@ -32,6 +77,8 @@ Work ProcessGroup::AllGatherBase(float* dst, const float* src,
   comm_->barrier_.Wait();  // nobody may free src until all copies are done
   ++mutable_stats().allgather_ops;
   mutable_stats().allgather_bytes += (w - 1) * numel_per_rank * 4;
+  Metrics().ag_count.Add(1);
+  Metrics().ag_bytes.Add((w - 1) * numel_per_rank * 4);
   return Work();
 }
 
@@ -45,11 +92,13 @@ Work ProcessGroup::AllGather(const std::vector<float*>& dsts, const float* src,
   std::vector<float> consolidated(static_cast<size_t>(w * numel_per_rank));
   AllGatherBase(consolidated.data(), src, numel_per_rank);
   --mutable_stats().allgather_ops;  // counted below as one list-variant op
+  Metrics().ag_count.Add(-1);
   for (int k = 0; k < w; ++k) {
     std::memcpy(dsts[k], consolidated.data() + k * numel_per_rank,
                 static_cast<size_t>(numel_per_rank) * 4);
   }
   ++mutable_stats().allgather_ops;
+  Metrics().ag_count.Add(1);
   return Work();
 }
 
@@ -59,6 +108,7 @@ Work ProcessGroup::AllGatherUneven(const std::vector<float*>& dsts,
   const int w = size();
   FSDP_CHECK(static_cast<int>(dsts.size()) == w &&
              static_cast<int>(counts.size()) == w);
+  FSDP_TRACE_SPAN(kAllGather, "allgather_uneven", "comm");
   // Emulates ProcessGroup's uneven-input fallback: one Broadcast per rank.
   for (int root = 0; root < w; ++root) {
     if (rank_ == root) {
@@ -66,10 +116,16 @@ Work ProcessGroup::AllGatherUneven(const std::vector<float*>& dsts,
     }
     Broadcast(dsts[root], counts[root], root);
     --mutable_stats().broadcast_ops;  // folded into the all-gather accounting below
+    Metrics().bcast_count.Add(-1);
+    if (rank_ != root) Metrics().bcast_bytes.Add(-counts[root] * 4);
   }
   ++mutable_stats().allgather_ops;
+  Metrics().ag_count.Add(1);
   for (int k = 0; k < w; ++k) {
-    if (k != rank_) mutable_stats().allgather_bytes += counts[k] * 4;
+    if (k != rank_) {
+      mutable_stats().allgather_bytes += counts[k] * 4;
+      Metrics().ag_bytes.Add(counts[k] * 4);
+    }
   }
   return Work();
 }
@@ -78,6 +134,8 @@ Work ProcessGroup::ReduceScatter(float* dst, const float* src,
                                  int64_t numel_per_rank, ReduceOp op,
                                  DType comm_dtype) {
   const int w = size();
+  FSDP_TRACE_SPAN(kReduceScatter, "reduce_scatter", "comm",
+                  (w - 1) * numel_per_rank * 4);
   comm_->src_slots_[rank_] = src;
   comm_->barrier_.Wait();
   const int64_t off = static_cast<int64_t>(rank_) * numel_per_rank;
@@ -97,12 +155,16 @@ Work ProcessGroup::ReduceScatter(float* dst, const float* src,
   comm_->barrier_.Wait();
   ++mutable_stats().reducescatter_ops;
   mutable_stats().reducescatter_bytes += (w - 1) * numel_per_rank * 4;
+  Metrics().rs_count.Add(1);
+  Metrics().rs_bytes.Add((w - 1) * numel_per_rank * 4);
   return Work();
 }
 
 Work ProcessGroup::AllReduce(float* buf, int64_t numel, ReduceOp op,
                              DType comm_dtype) {
   const int w = size();
+  FSDP_TRACE_SPAN(kAllReduce, "all_reduce", "comm",
+                  2 * (w - 1) * (numel / std::max(w, 1)) * 4);
   comm_->src_slots_[rank_] = buf;
   // One rank resizes the shared scratch; guarded by a barrier on both sides.
   comm_->barrier_.Wait();
@@ -136,12 +198,15 @@ Work ProcessGroup::AllReduce(float* buf, int64_t numel, ReduceOp op,
   ++mutable_stats().allreduce_ops;
   // Ring all-reduce moves 2*(w-1)/w of the buffer per rank.
   mutable_stats().allreduce_bytes += 2 * (w - 1) * (numel / std::max(w, 1)) * 4;
+  Metrics().ar_count.Add(1);
+  Metrics().ar_bytes.Add(2 * (w - 1) * (numel / std::max(w, 1)) * 4);
   return Work();
 }
 
 Work ProcessGroup::AllToAll(float* dst, const float* src,
                             int64_t chunk_numel) {
   const int w = size();
+  FSDP_TRACE_SPAN(kAllToAll, "all_to_all", "comm", (w - 1) * chunk_numel * 4);
   comm_->src_slots_[rank_] = src;
   comm_->barrier_.Wait();
   for (int k = 0; k < w; ++k) {
@@ -154,10 +219,14 @@ Work ProcessGroup::AllToAll(float* dst, const float* src,
   comm_->barrier_.Wait();
   ++mutable_stats().allgather_ops;  // accounted with the gather family
   mutable_stats().allgather_bytes += (w - 1) * chunk_numel * 4;
+  Metrics().ag_count.Add(1);
+  Metrics().ag_bytes.Add((w - 1) * chunk_numel * 4);
   return Work();
 }
 
 Work ProcessGroup::Broadcast(float* buf, int64_t numel, int root) {
+  FSDP_TRACE_SPAN(kBroadcast, "broadcast", "comm",
+                  rank_ == root ? 0 : numel * 4);
   comm_->src_slots_[rank_] = buf;
   comm_->barrier_.Wait();
   if (rank_ != root) {
@@ -165,7 +234,11 @@ Work ProcessGroup::Broadcast(float* buf, int64_t numel, int root) {
   }
   comm_->barrier_.Wait();
   ++mutable_stats().broadcast_ops;
-  if (rank_ != root) mutable_stats().broadcast_bytes += numel * 4;
+  Metrics().bcast_count.Add(1);
+  if (rank_ != root) {
+    mutable_stats().broadcast_bytes += numel * 4;
+    Metrics().bcast_bytes.Add(numel * 4);
+  }
   return Work();
 }
 

@@ -1,20 +1,48 @@
-// Minimal leveled logging. Off by default above WARNING; tests and benches can
-// raise verbosity via SetLogLevel. Thread-safe line-at-a-time output.
+// Minimal leveled logging. Off by default above WARNING; the threshold can
+// be set programmatically (SetLogLevel) or via the FSDP_LOG_LEVEL
+// environment variable, read once at startup ("debug"/"info"/"warning"/
+// "error" or 0-3). Thread-safe line-at-a-time output.
+//
+// Each line is prefixed with a monotonic timestamp (ms since process start,
+// shared with the trace-event clock) and the calling thread's rank from the
+// thread-local rank context, so multi-rank interleavings are attributable:
+//   [  12.345ms r2] [INFO] message
 #pragma once
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/rank_context.h"
 
 namespace fsdp {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 namespace internal {
+
+inline int LogLevelFromEnv() {
+  const char* env = std::getenv("FSDP_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "debug" || v == "0") return static_cast<int>(LogLevel::kDebug);
+  if (v == "info" || v == "1") return static_cast<int>(LogLevel::kInfo);
+  if (v == "warning" || v == "warn" || v == "2") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (v == "error" || v == "3") return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kWarning);
+}
+
 inline std::atomic<int>& LogThreshold() {
-  static std::atomic<int> level{static_cast<int>(LogLevel::kWarning)};
+  static std::atomic<int> level{LogLevelFromEnv()};
   return level;
 }
 inline std::mutex& LogMutex() {
@@ -34,9 +62,17 @@ inline bool LogEnabled(LogLevel level) {
 inline void LogLine(LogLevel level, const std::string& msg) {
   if (!LogEnabled(level)) return;
   static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const double ms = MonotonicMicros() / 1000.0;
+  const int rank = CurrentRank();
+  char rank_buf[16];
+  if (rank >= 0) {
+    std::snprintf(rank_buf, sizeof(rank_buf), "r%d", rank);
+  } else {
+    std::snprintf(rank_buf, sizeof(rank_buf), "r-");
+  }
   std::lock_guard<std::mutex> lock(internal::LogMutex());
-  std::fprintf(stderr, "[%s] %s\n", names[static_cast<int>(level)],
-               msg.c_str());
+  std::fprintf(stderr, "[%10.3fms %s] [%s] %s\n", ms, rank_buf,
+               names[static_cast<int>(level)], msg.c_str());
 }
 
 }  // namespace fsdp

@@ -1,0 +1,49 @@
+// Thread-local rank context + a process-wide monotonic clock.
+//
+// The functional layer runs W ranks as W threads; anything that wants to
+// attribute work to a rank without threading an `int rank` through every
+// call (logging prefixes, trace-event emission inside ProcessGroup
+// collectives) reads the ambient rank from here. RunOnRanks() installs it
+// automatically; ad-hoc threads can use RankScope directly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace fsdp {
+
+namespace internal {
+inline thread_local int tls_rank = -1;
+}  // namespace internal
+
+/// Rank of the calling thread, or -1 outside any rank context.
+inline int CurrentRank() { return internal::tls_rank; }
+
+inline void SetCurrentRank(int rank) { internal::tls_rank = rank; }
+
+/// RAII rank context: restores the previous rank on scope exit (nesting-safe
+/// for re-entrant rank launches, e.g. a rank thread spawning helpers).
+class RankScope {
+ public:
+  explicit RankScope(int rank) : prev_(internal::tls_rank) {
+    internal::tls_rank = rank;
+  }
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+  ~RankScope() { internal::tls_rank = prev_; }
+
+ private:
+  int prev_;
+};
+
+/// Microseconds since the first call in this process (monotonic). One shared
+/// epoch so log lines and trace events from different threads interleave on
+/// a common axis.
+inline double MonotonicMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+}  // namespace fsdp

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rank_context.h"
 #include "common/status.h"
 
 namespace fsdp {
@@ -57,11 +58,16 @@ class Barrier {
 
 /// Runs `fn(rank)` on `world_size` threads and joins them all. Any FSDP_CHECK
 /// failure aborts the process (tests rely on this to surface rank errors).
+/// Each thread runs under a RankScope, so logging and trace events emitted
+/// anywhere below are attributed to the right rank automatically.
 inline void RunOnRanks(int world_size, const std::function<void(int)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(world_size);
   for (int r = 0; r < world_size; ++r) {
-    threads.emplace_back([&fn, r] { fn(r); });
+    threads.emplace_back([&fn, r] {
+      RankScope scope(r);
+      fn(r);
+    });
   }
   for (auto& t : threads) t.join();
 }

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "autograd/engine.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace fsdp::core {
 
@@ -168,8 +170,23 @@ void FsdpState::InstallHooks() {
   }
 }
 
-void FsdpState::Emit(const std::string& event) {
-  if (options_.record_events) events_.push_back(event);
+void FsdpState::Emit(obs::EventKind kind, const std::string& unit,
+                     double t_begin, double t_end, int64_t bytes) {
+  if (!options_.record_events) return;
+  obs::TraceEvent e;
+  e.rank = rank_;
+  e.kind = kind;
+  e.unit = unit;
+  e.lane = "runtime";
+  const double now = MonotonicMicros();
+  e.t_begin_us = t_begin < 0 ? now : t_begin;
+  e.t_end_us = t_end < 0 ? e.t_begin_us : t_end;
+  e.bytes = bytes;
+  events_.push_back(obs::RenderEvent(e));
+  if (obs::TraceCollector::Get().enabled()) {
+    obs::TraceCollector::Get().Record(e);
+  }
+  trace_.push_back(std::move(e));
 }
 
 void FsdpState::ArmIteration() {
@@ -184,8 +201,12 @@ void FsdpState::ArmIteration() {
 
 void FsdpState::IssueUnshard(Unit& unit) {
   if (unit.handle->is_unsharded()) return;
-  Emit("AG:" + unit.name);
+  const double t0 = MonotonicMicros();
   unit.handle->Unshard();
+  FSDP_LOG(kDebug, "AG " << unit.name << " ("
+                         << unit.handle->padded_numel() * 4 << " bytes)");
+  Emit(obs::EventKind::kAllGather, unit.name, t0, MonotonicMicros(),
+       unit.handle->padded_numel() * 4);
   unit.inflight = true;
   ++inflight_;
   max_inflight_ = std::max(max_inflight_, inflight_);
@@ -214,17 +235,31 @@ void FsdpState::OnPreForward(Unit& unit) {
       if (options_.limit_all_gathers > 0 &&
           inflight_ >= options_.limit_all_gathers) {
         ++throttled_prefetches_;
-        Emit("THROTTLE:" + next->name);
+        obs::MetricsRegistry::Get()
+            .GetCounter("fsdp.throttled_prefetches")
+            .Add(1);
+        FSDP_LOG(kDebug, "throttle " << next->name << " (inflight "
+                                     << inflight_ << ")");
+        Emit(obs::EventKind::kThrottle, next->name);
       } else {
         IssueUnshard(*next);
       }
     }
   }
-  Emit("FWD:" + unit.name);
+  unit.fwd_begin_us = MonotonicMicros();
+  Emit(obs::EventKind::kForward, unit.name);
   ConsumeUnshard(unit);
 }
 
 void FsdpState::OnPostForward(Unit& unit, const Tensor& output) {
+  // Collector-only forward span (compute lane): pre-forward marked the
+  // begin; the unit's own compute ran in between. The state log keeps the
+  // instant FWD event for sequence assertions.
+  if (options_.record_events && obs::TraceCollector::Get().enabled()) {
+    obs::TraceCollector::Get().Record(obs::TraceEvent{
+        rank_, obs::EventKind::kForward, unit.name, "compute",
+        unit.fwd_begin_us, MonotonicMicros(), 0});
+  }
   // An activation-checkpoint recompute re-enters this unit's forward from
   // inside the backward pass: keep the parameters unsharded (the imminent
   // nested backward needs them; its post-backward reshards) and skip the
@@ -234,8 +269,9 @@ void FsdpState::OnPostForward(Unit& unit, const Tensor& output) {
   // forward (Sec 3.3.1), covering custom parameters between wrapped
   // submodules; inner units reshard under RAF strategies.
   if (ReshardAfterForward(options_.strategy) && !unit.is_root) {
-    Emit("RESHARD:" + unit.name);
+    const double t0 = MonotonicMicros();
     unit.handle->Reshard();
+    Emit(obs::EventKind::kReshard, unit.name, t0, MonotonicMicros());
   }
   // Pre-backward anchor: a Tensor hook on the unit's forward output fires
   // when the output's gradient is ready, just before backward enters the
@@ -250,7 +286,7 @@ void FsdpState::OnPostForward(Unit& unit, const Tensor& output) {
 }
 
 void FsdpState::OnPreBackward(Unit& unit) {
-  Emit("PREBWD:" + unit.name);
+  Emit(obs::EventKind::kPreBackward, unit.name);
   if (!final_callback_queued_) {
     final_callback_queued_ = true;
     autograd::QueueCallback([this] { OnBackwardFinal(); });
@@ -269,18 +305,31 @@ void FsdpState::OnPostBackward(Unit& unit) {
       if (options_.limit_all_gathers > 0 &&
           inflight_ >= options_.limit_all_gathers) {
         ++throttled_prefetches_;
-        Emit("THROTTLE:" + next->name);
+        obs::MetricsRegistry::Get()
+            .GetCounter("fsdp.throttled_prefetches")
+            .Add(1);
+        FSDP_LOG(kDebug, "throttle " << next->name << " (inflight "
+                                     << inflight_ << ")");
+        Emit(obs::EventKind::kThrottle, next->name);
       } else {
         IssueUnshard(*next);
       }
     }
   }
   if (require_sync_) {
-    Emit("RS:" + unit.name);
-    if (unit.handle->replicate_pg().valid()) Emit("AR:" + unit.name);
+    const int64_t grad_bytes = unit.handle->padded_numel() * 4;
+    const double t0 = MonotonicMicros();
     unit.handle->PrepareGradient(static_cast<float>(world_size_));
-    Emit("RESHARD:" + unit.name);
+    const double t1 = MonotonicMicros();
+    // PrepareGradient runs the ReduceScatter (and the replica AllReduce for
+    // hybrid sharding) back to back; both events share its span.
+    Emit(obs::EventKind::kReduceScatter, unit.name, t0, t1, grad_bytes);
+    if (unit.handle->replicate_pg().valid()) {
+      Emit(obs::EventKind::kAllReduce, unit.name, t0, t1, grad_bytes);
+    }
+    const double t2 = MonotonicMicros();
     unit.handle->Reshard();
+    Emit(obs::EventKind::kReshard, unit.name, t2, MonotonicMicros());
     ConsumeUnshard(unit);
   }
   // Without sync (accumulation-without-communication, Sec 3.3.4) the
@@ -295,8 +344,9 @@ void FsdpState::OnBackwardFinal() {
   // forward-prefetch hints.
   for (Unit& unit : units_) {
     if (unit.handle->is_unsharded() && require_sync_) {
-      Emit("RESHARD:" + unit.name);
+      const double t0 = MonotonicMicros();
       unit.handle->Reshard();
+      Emit(obs::EventKind::kReshard, unit.name, t0, MonotonicMicros());
     }
     ConsumeUnshard(unit);
   }
@@ -304,7 +354,11 @@ void FsdpState::OnBackwardFinal() {
   // iteration"): surface dynamic-graph order changes.
   order_changed_ =
       !prev_forward_order_.empty() && forward_order_ != prev_forward_order_;
-  if (order_changed_) Emit("ORDER_CHANGED");
+  if (order_changed_) {
+    FSDP_LOG(kInfo, "forward execution order changed this iteration");
+    Emit(obs::EventKind::kOrderChanged);
+    obs::MetricsRegistry::Get().GetCounter("fsdp.order_changes").Add(1);
+  }
   prev_forward_order_ = forward_order_;
   forward_seen_.clear();
   final_callback_queued_ = false;

@@ -37,8 +37,11 @@
 // — the freshly-observed-order property of Sec 3.3.2 — and the change is
 // surfaced via order_changed()/an ORDER event.
 //
-// Every collective/lifecycle action appends to an event log, making the
-// paper's scheduling claims directly assertable in tests.
+// Every collective/lifecycle action appends a typed obs::TraceEvent to the
+// state's event log, making the paper's scheduling claims directly
+// assertable in tests (trace_events()); events() renders the same log as the
+// legacy "KIND:unit" strings. When the global obs::TraceCollector is
+// enabled, the events are mirrored there for Chrome-trace export.
 #pragma once
 
 #include <memory>
@@ -50,6 +53,7 @@
 #include "core/flat_param.h"
 #include "core/wrap_policy.h"
 #include "nn/module.h"
+#include "obs/trace.h"
 
 namespace fsdp::core {
 
@@ -88,7 +92,7 @@ struct FsdpOptions {
   int limit_all_gathers = 2;
   /// Broadcast rank 0's parameter values at wrap time.
   bool sync_module_states = true;
-  /// Record AG/RS/AR/RESHARD/FWD/PREBWD events (tests & debugging).
+  /// Record AG/RS/AR/RESHARD/FWD/PREBWD trace events (tests & debugging).
   bool record_events = true;
 };
 
@@ -127,8 +131,15 @@ class FsdpState {
   int num_units() const { return static_cast<int>(units_.size()); }
   FlatParamHandle& unit_handle(int i) { return *units_[i].handle; }
   const std::string& unit_name(int i) const { return units_[i].name; }
+  /// Typed schedule log, in emission order (one entry per AG/RS/AR/RESHARD/
+  /// FWD/PREBWD/THROTTLE/ORDER_CHANGED action of this rank).
+  const std::vector<obs::TraceEvent>& trace_events() const { return trace_; }
+  /// Legacy view: the same log rendered as "KIND:unit" strings.
   const std::vector<std::string>& events() const { return events_; }
-  void ClearEvents() { events_.clear(); }
+  void ClearEvents() {
+    trace_.clear();
+    events_.clear();
+  }
   int max_inflight_unshards() const { return max_inflight_; }
   int throttled_prefetches() const { return throttled_prefetches_; }
   /// True if the last completed iteration observed a pre-forward order
@@ -146,11 +157,16 @@ class FsdpState {
     bool is_root = false;
     bool inflight = false;        // unsharded but not yet consumed
     bool backward_done = false;   // this backward pass
+    double fwd_begin_us = 0;      // forward-span start (trace export)
   };
 
   void BuildUnits(comm::DeviceMesh& mesh);
   void InstallHooks();
-  void Emit(const std::string& event);
+  /// Appends a typed event (and its string rendering) to the state log and
+  /// mirrors it into the global TraceCollector when that is enabled.
+  /// t_begin/t_end < 0 mean "now" (an instant event).
+  void Emit(obs::EventKind kind, const std::string& unit = "",
+            double t_begin = -1, double t_end = -1, int64_t bytes = 0);
 
   void ArmIteration();  // root pre-forward: per-iteration reset
   void IssueUnshard(Unit& unit);
@@ -185,7 +201,8 @@ class FsdpState {
   int inflight_ = 0;
   int max_inflight_ = 0;
   int throttled_prefetches_ = 0;
-  std::vector<std::string> events_;
+  std::vector<obs::TraceEvent> trace_;   // the typed log
+  std::vector<std::string> events_;      // thin rendering of trace_
 };
 
 /// The functional frontend (`fully_shard`): installs FSDP on `module` via
@@ -227,6 +244,9 @@ class FullyShardedDataParallel : public nn::Module {
   int num_units() const { return state_->num_units(); }
   FlatParamHandle& unit_handle(int i) { return state_->unit_handle(i); }
   const std::string& unit_name(int i) const { return state_->unit_name(i); }
+  const std::vector<obs::TraceEvent>& trace_events() const {
+    return state_->trace_events();
+  }
   const std::vector<std::string>& events() const { return state_->events(); }
   void ClearEvents() { state_->ClearEvents(); }
   int max_inflight_unshards() const { return state_->max_inflight_unshards(); }

@@ -1,0 +1,78 @@
+#include "obs/chrome_trace.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace fsdp::obs {
+
+namespace {
+
+void AppendTs(std::ostringstream& out, double us) {
+  out.precision(3);
+  out << std::fixed << us;
+  out.unsetf(std::ios_base::floatfield);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  // Assign one integer tid per (rank, lane), in first-appearance order, so
+  // classic chrome://tracing (which wants numeric tids) is happy.
+  std::map<std::pair<int, std::string>, int> lane_tids;
+  for (const TraceEvent& e : events) {
+    const auto key = std::make_pair(e.rank, e.lane);
+    if (!lane_tids.count(key)) {
+      const int next = static_cast<int>(lane_tids.size());
+      lane_tids.emplace(key, next);
+    }
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  // Metadata: process names (one pid per rank) and thread (lane) names.
+  std::map<int, bool> named_pids;
+  for (const auto& [key, tid] : lane_tids) {
+    const auto& [rank, lane] = key;
+    if (!named_pids.count(rank)) {
+      named_pids[rank] = true;
+      out << (first ? "" : ", ")
+          << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << rank
+          << ", \"tid\": 0, \"args\": {\"name\": \"rank " << rank << "\"}}";
+      first = false;
+    }
+    out << (first ? "" : ", ")
+        << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << rank
+        << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+        << JsonEscape(lane.empty() ? "runtime" : lane) << "\"}}";
+    first = false;
+  }
+  for (const TraceEvent& e : events) {
+    const int tid = lane_tids.at(std::make_pair(e.rank, e.lane));
+    out << (first ? "" : ", ") << "{\"name\": \""
+        << JsonEscape(RenderEvent(e)) << "\", \"cat\": \""
+        << EventKindName(e.kind) << "\", \"ph\": \"X\", \"ts\": ";
+    AppendTs(out, e.t_begin_us);
+    out << ", \"dur\": ";
+    AppendTs(out, e.duration_us());
+    out << ", \"pid\": " << e.rank << ", \"tid\": " << tid
+        << ", \"args\": {\"bytes\": " << e.bytes << "}}";
+    first = false;
+  }
+  out << "], \"displayTimeUnit\": \"ms\"}";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << ChromeTraceJson(events) << "\n";
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace fsdp::obs

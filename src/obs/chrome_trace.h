@@ -1,0 +1,26 @@
+// Chrome/Perfetto `trace_event` JSON exporter.
+//
+// Serializes TraceEvents into the Trace Event Format understood by
+// chrome://tracing and https://ui.perfetto.dev: one complete ("ph":"X")
+// event per span with ts/dur in microseconds, pid = rank, and one tid lane
+// per distinct `lane` string within a rank (compute vs comm streams render
+// as separate rows). Metadata ("ph":"M") events name each process
+// ("rank N") and thread lane so the UI is self-describing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace fsdp::obs {
+
+/// The full trace document: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Writes ChromeTraceJson(events) to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace fsdp::obs

@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace fsdp::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAllGather: return "AG";
+    case EventKind::kReduceScatter: return "RS";
+    case EventKind::kAllReduce: return "AR";
+    case EventKind::kBroadcast: return "BCAST";
+    case EventKind::kAllToAll: return "A2A";
+    case EventKind::kForward: return "FWD";
+    case EventKind::kBackward: return "BWD";
+    case EventKind::kPreBackward: return "PREBWD";
+    case EventKind::kReshard: return "RESHARD";
+    case EventKind::kThrottle: return "THROTTLE";
+    case EventKind::kOrderChanged: return "ORDER_CHANGED";
+    case EventKind::kOptimStep: return "OPTIM";
+    case EventKind::kH2D: return "H2D";
+    case EventKind::kD2H: return "D2H";
+    case EventKind::kAlloc: return "ALLOC";
+    case EventKind::kMarker: return "MARK";
+  }
+  return "?";
+}
+
+std::string RenderEvent(const TraceEvent& e) {
+  if (e.unit.empty()) return EventKindName(e.kind);
+  return std::string(EventKindName(e.kind)) + ":" + e.unit;
+}
+
+TraceCollector& TraceCollector::Get() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+bool TraceCollector::enabled() const {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+void TraceCollector::Record(TraceEvent e) {
+  RankBuffer& buf = buffers_[Slot(e.rank)];
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::vector<TraceEvent> out;
+  for (const RankBuffer& buf : buffers_) {
+    std::lock_guard<std::mutex> lock(buf.mu);
+    out.insert(out.end(), buf.events.begin(), buf.events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.t_begin_us != b.t_begin_us) {
+                       return a.t_begin_us < b.t_begin_us;
+                     }
+                     return a.rank < b.rank;
+                   });
+  return out;
+}
+
+std::vector<TraceEvent> TraceCollector::SnapshotRank(int rank) const {
+  const RankBuffer& buf = buffers_[Slot(rank)];
+  std::lock_guard<std::mutex> lock(buf.mu);
+  return buf.events;
+}
+
+size_t TraceCollector::size() const {
+  size_t n = 0;
+  for (const RankBuffer& buf : buffers_) {
+    std::lock_guard<std::mutex> lock(buf.mu);
+    n += buf.events.size();
+  }
+  return n;
+}
+
+void TraceCollector::Clear() {
+  for (RankBuffer& buf : buffers_) {
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.events.clear();
+  }
+}
+
+TraceSpan::TraceSpan(EventKind kind, std::string unit, std::string lane,
+                     int64_t bytes)
+    : armed_(TraceCollector::Get().enabled()) {
+  if (!armed_) return;
+  e_.rank = std::max(0, CurrentRank());
+  e_.kind = kind;
+  e_.unit = std::move(unit);
+  e_.lane = std::move(lane);
+  e_.bytes = bytes;
+  e_.t_begin_us = MonotonicMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  e_.t_end_us = MonotonicMicros();
+  TraceCollector::Get().Record(std::move(e_));
+}
+
+void RecordInstant(EventKind kind, std::string unit, std::string lane,
+                   int64_t bytes) {
+  TraceCollector& c = TraceCollector::Get();
+  if (!c.enabled()) return;
+  TraceEvent e;
+  e.rank = std::max(0, CurrentRank());
+  e.kind = kind;
+  e.unit = std::move(unit);
+  e.lane = std::move(lane);
+  e.bytes = bytes;
+  e.t_begin_us = e.t_end_us = MonotonicMicros();
+  c.Record(std::move(e));
+}
+
+}  // namespace fsdp::obs

@@ -1,0 +1,142 @@
+// Typed trace events — the unified observability substrate.
+//
+// Every schedule-relevant action in the library (FSDP unit lifecycle hooks,
+// ProcessGroup collectives, rate-limiter throttles, simulator stream ops and
+// allocator traffic) is describable as a TraceEvent: WHO (rank), WHAT (an
+// EventKind plus a unit/op label), WHERE (a lane — the Chrome-trace "thread"
+// the span renders on), and WHEN (begin/end in microseconds). Two time
+// domains share the format:
+//
+//   * the functional layer stamps real time (MonotonicMicros),
+//     via the FSDP_TRACE_SPAN RAII macro or TraceSpan directly;
+//   * the simulator stamps *virtual* time, via TraceCollector::Record with
+//     explicit timestamps.
+//
+// Events land in per-rank buffers inside the process-global TraceCollector.
+// Each rank thread appends only to its own buffer, so the hot path takes an
+// uncontended per-rank mutex ("lock-free-ish"); cross-rank merging happens
+// only at snapshot time. Recording is off by default — TraceSpan reads one
+// relaxed atomic and does nothing when disabled.
+//
+// FsdpState additionally keeps its *own* ordered typed log (the schedule-
+// assertion surface for tests); the collector is the cross-cutting export
+// surface (Chrome trace / Perfetto, see chrome_trace.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rank_context.h"
+
+namespace fsdp::obs {
+
+enum class EventKind : int {
+  kAllGather = 0,   // unshard AllGather (FSDP "AG")
+  kReduceScatter,   // gradient ReduceScatter ("RS")
+  kAllReduce,       // replica AllReduce ("AR"), DDP AllReduce
+  kBroadcast,
+  kAllToAll,
+  kForward,         // unit forward compute ("FWD")
+  kBackward,        // unit backward compute ("BWD", simulator)
+  kPreBackward,     // pre-backward anchor fired ("PREBWD")
+  kReshard,         // unsharded storage freed ("RESHARD")
+  kThrottle,        // rate limiter deferred a prefetch ("THROTTLE")
+  kOrderChanged,    // dynamic-graph order change ("ORDER_CHANGED")
+  kOptimStep,       // optimizer step (simulator)
+  kH2D,             // host-to-device copy (CPU offload, simulator)
+  kD2H,
+  kAlloc,           // allocator events (simulator)
+  kMarker,          // free-form instant
+};
+
+/// Stable short name ("AG", "RS", ...) — also the legacy string-event prefix.
+const char* EventKindName(EventKind kind);
+
+struct TraceEvent {
+  int rank = 0;
+  EventKind kind = EventKind::kMarker;
+  std::string unit;        // unit / op label ("blocks.0", "[root]", ...)
+  std::string lane;        // render lane: "runtime", "comm", "compute", ...
+  double t_begin_us = 0;   // real or virtual microseconds
+  double t_end_us = 0;     // == t_begin_us for instant events
+  int64_t bytes = 0;       // payload size where meaningful, else 0
+
+  double duration_us() const { return t_end_us - t_begin_us; }
+};
+
+/// Legacy rendering: "AG:blocks.0", "ORDER_CHANGED". The string events()
+/// views across the library are generated through this.
+std::string RenderEvent(const TraceEvent& e);
+
+/// Process-global sink for trace events, partitioned by rank.
+class TraceCollector {
+ public:
+  static constexpr int kMaxRanks = 64;
+
+  static TraceCollector& Get();
+
+  /// Global on/off. Off (the default) makes Record()/TraceSpan no-ops.
+  void set_enabled(bool on);
+  bool enabled() const;
+
+  /// Appends to the buffer of e.rank (clamped into [0, kMaxRanks)). Safe to
+  /// call concurrently from any thread; ranks never contend with each other.
+  void Record(TraceEvent e);
+
+  /// All events of all ranks, merged and sorted by (t_begin, rank).
+  std::vector<TraceEvent> Snapshot() const;
+  /// One rank's events in emission order.
+  std::vector<TraceEvent> SnapshotRank(int rank) const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  TraceCollector() = default;
+
+  struct RankBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  static int Slot(int rank) {
+    if (rank < 0) return 0;
+    return rank % kMaxRanks;
+  }
+
+  std::atomic<bool> enabled_{false};
+  RankBuffer buffers_[kMaxRanks];
+};
+
+/// RAII span: stamps t_begin at construction and records the event at
+/// destruction with t_end = now. Rank defaults to the thread-local rank
+/// context (CurrentRank(), or 0 if unset). Costs one atomic load when the
+/// collector is disabled.
+class TraceSpan {
+ public:
+  TraceSpan(EventKind kind, std::string unit, std::string lane,
+            int64_t bytes = 0);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  bool armed_;
+  TraceEvent e_;
+};
+
+/// Records an instant event at the current time (armed only when enabled).
+void RecordInstant(EventKind kind, std::string unit, std::string lane,
+                   int64_t bytes = 0);
+
+}  // namespace fsdp::obs
+
+#define FSDP_TRACE_CONCAT_(a, b) a##b
+#define FSDP_TRACE_CONCAT(a, b) FSDP_TRACE_CONCAT_(a, b)
+/// Scoped span covering the rest of the enclosing block:
+///   FSDP_TRACE_SPAN(kAllGather, unit.name, "comm", nbytes);
+#define FSDP_TRACE_SPAN(kind, unit, lane, ...)                           \
+  ::fsdp::obs::TraceSpan FSDP_TRACE_CONCAT(fsdp_trace_span_, __LINE__)(  \
+      ::fsdp::obs::EventKind::kind, (unit), (lane), ##__VA_ARGS__)

@@ -2,7 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fsdp::sim {
+
+namespace {
+
+/// Published allocator gauges/counters (the Fig 8 curves under stable
+/// names). One set per process: concurrent allocators race benignly on the
+/// gauges; within one simulation the values mirror AllocatorStats.
+struct AllocMetrics {
+  obs::Gauge& allocated_peak;
+  obs::Gauge& active_peak;
+  obs::Gauge& reserved_peak;
+  obs::Counter& retries;
+
+  AllocMetrics()
+      : allocated_peak(
+            obs::MetricsRegistry::Get().GetGauge("alloc.allocated.peak")),
+        active_peak(
+            obs::MetricsRegistry::Get().GetGauge("alloc.active.peak")),
+        reserved_peak(
+            obs::MetricsRegistry::Get().GetGauge("alloc.reserved.peak")),
+        retries(obs::MetricsRegistry::Get().GetCounter("alloc.retries")) {}
+};
+
+AllocMetrics& Metrics() {
+  static AllocMetrics m;
+  return m;
+}
+
+}  // namespace
 
 int64_t CachingAllocator::RoundSize(int64_t bytes) const {
   const int64_t r =
@@ -88,6 +119,7 @@ CachingAllocator::MallocOutcome CachingAllocator::Malloc(
   // stream drains — the throughput collapse of Sec 3.4), flush the cache
   // (size-proportional cudaFrees), and try again.
   ++stats_.num_alloc_retries;
+  Metrics().retries.Add(1);
   out.retried = true;
   const int64_t reserved_before = stats_.reserved_bytes;
   out.cpu_time_after =
@@ -100,6 +132,12 @@ CachingAllocator::MallocOutcome CachingAllocator::Malloc(
   const int64_t flushed = reserved_before - stats_.reserved_bytes;
   out.cpu_time_after +=
       config_.flush_us_per_gb * static_cast<double>(flushed) / 1e9;
+  if (obs::TraceCollector::Get().enabled()) {
+    obs::TraceCollector::Get().Record(
+        obs::TraceEvent{std::max(0, CurrentRank()), obs::EventKind::kAlloc,
+                        "cudaMalloc_retry", "alloc", cpu_now,
+                        out.cpu_time_after, bytes});
+  }
   if (stats_.reserved_bytes + bytes <= config_.capacity_bytes) {
     Block nb;
     nb.bytes = bytes;
@@ -162,6 +200,9 @@ void CachingAllocator::UpdatePeaks() {
       std::max(stats_.peak_allocated, stats_.allocated_bytes);
   stats_.peak_active = std::max(stats_.peak_active, stats_.active_bytes);
   stats_.peak_reserved = std::max(stats_.peak_reserved, stats_.reserved_bytes);
+  Metrics().allocated_peak.Set(stats_.peak_allocated);
+  Metrics().active_peak.Set(stats_.peak_active);
+  Metrics().reserved_peak.Set(stats_.peak_reserved);
 }
 
 const AllocatorStats& CachingAllocator::stats(SimTime cpu_now) {

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <string>
 #include <vector>
+
+#include "obs/trace.h"
 
 namespace fsdp::simfsdp {
 
@@ -24,6 +27,7 @@ double FlopsPerUs(const sim::SimConstants& c, DType dtype) {
 
 struct UnitSim {
   // static
+  std::string label;
   int64_t padded_numel = 0;
   int64_t shard_bytes = 0;      // communicated shard (param_dtype)
   int64_t unsharded_bytes = 0;  // gathered flat parameter
@@ -62,6 +66,10 @@ SimMetrics FsdpSimulator::Run() {
   sim::ComputeModel pm(c_);
 
   sim::SimStream compute("compute"), comm("comm");
+  if (cfg_.record_trace) {
+    compute.AttachTrace(cfg_.trace_rank, "compute");
+    comm.AttachTrace(cfg_.trace_rank, "comm");
+  }
   sim::AllocatorConfig acfg;
   acfg.capacity_bytes = c_.hbm_bytes;
   sim::CachingAllocator alloc(acfg);
@@ -113,11 +121,13 @@ SimMetrics FsdpSimulator::Run() {
   fill(units[0], w_.root_param_numel,
        w_.root_pre_flops_per_sample + w_.root_post_flops_per_sample,
        w_.root_act_bytes_per_sample, w_.root_act_bytes_per_sample, 6);
+  units[0].label = "[root]";
   for (size_t i = 0; i < w_.units.size(); ++i) {
     const UnitSpec& spec = w_.units[i];
     fill(units[i + 1], spec.param_numel, spec.fwd_flops_per_sample,
          spec.act_bytes_per_sample, spec.ckpt_bytes_per_sample,
          spec.n_kernels);
+    units[i + 1].label = "unit" + std::to_string(i + 1);
   }
 
   // ---- persistent state (allocated once) ----
@@ -177,10 +187,12 @@ SimMetrics FsdpSimulator::Run() {
     if (cfg_.cpu_offload_params) {
       // H2D copy of the local shard precedes the AllGather (FSDP CPUOffload
       // streams the shard up just in time).
-      comm.Launch(cpu, u.shard_bytes / pcie_bytes_per_us);
+      comm.Launch(cpu, u.shard_bytes / pcie_bytes_per_us, {},
+                  obs::EventKind::kH2D, u.label, u.shard_bytes);
       cpu += c_.cpu_issue_us_per_kernel;
     }
-    u.ag_end = comm.Launch(cpu, ag_time(u));
+    u.ag_end = comm.Launch(cpu, ag_time(u), {}, obs::EventKind::kAllGather,
+                           u.label, u.unsharded_bytes);
     cpu += c_.cpu_issue_us_per_kernel;
     u.unsharded = true;
     if (count_traffic) {
@@ -219,7 +231,9 @@ SimMetrics FsdpSimulator::Run() {
         const double t =
             c_.collective_launch_us +
             bytes / cm.EffectiveBwBytesPerUs(bytes, world_g);
-        input_ready = comm.Launch(cpu, t, {params_ready});
+        input_ready = comm.Launch(cpu, t, {params_ready},
+                                   obs::EventKind::kAllToAll, "sparse",
+                                   bytes);
         cpu += c_.cpu_issue_us_per_kernel;
         add_traffic(static_cast<double>(bytes), world_g);
       }
@@ -230,7 +244,8 @@ SimMetrics FsdpSimulator::Run() {
           compute.Launch(cpu,
                          w_.root_pre_flops_per_sample * batch / flops_rate +
                              c_.kernel_launch_gpu_us,
-                         {units[0].ag_end, input_ready, params_ready});
+                         {units[0].ag_end, input_ready, params_ready},
+                         obs::EventKind::kForward, "[root].pre");
       cpu += pm.CpuIssueTime(2);
 
       for (size_t i = 1; i < units.size() && !oom; ++i) {
@@ -242,7 +257,8 @@ SimMetrics FsdpSimulator::Run() {
         if (u.act_block < 0) {
           u.act_block = malloc_block(u.act_bytes, kComputeStream);
         }
-        u.fwd_end = compute.Launch(cpu, u.fwd_us, {u.ag_end, params_ready});
+        u.fwd_end = compute.Launch(cpu, u.fwd_us, {u.ag_end, params_ready},
+                                   obs::EventKind::kForward, u.label);
         prev_fwd = u.fwd_end;
         cpu += u.cpu_fwd_us;
         if (last_iter) iter_flops += u.fwd_us * flops_rate;
@@ -266,7 +282,8 @@ SimMetrics FsdpSimulator::Run() {
           cpu,
           w_.root_post_flops_per_sample * batch / flops_rate +
               c_.kernel_launch_gpu_us,
-          {prev_fwd, units[0].ag_end});
+          {prev_fwd, units[0].ag_end}, obs::EventKind::kForward,
+          "[root].head");
       cpu += pm.CpuIssueTime(4);
       if (last_iter) {
         iter_flops += w_.root_post_flops_per_sample * batch;
@@ -277,7 +294,7 @@ SimMetrics FsdpSimulator::Run() {
           cpu,
           2.0 * w_.root_post_flops_per_sample * batch / flops_rate +
               c_.kernel_launch_gpu_us,
-          {head_end});
+          {head_end}, obs::EventKind::kBackward, "[root].head");
       cpu += pm.CpuIssueTime(4);
       if (last_iter) {
         iter_flops += 2.0 * w_.root_post_flops_per_sample * batch;
@@ -301,7 +318,8 @@ SimMetrics FsdpSimulator::Run() {
         sim::CachingAllocator::BlockId recompute_block =
             malloc_block(u.recompute_bytes, kComputeStream);
         sim::SimTime bwd_end =
-            compute.Launch(cpu, u.bwd_us, {u.ag_end, prev_bwd});
+            compute.Launch(cpu, u.bwd_us, {u.ag_end, prev_bwd},
+                           obs::EventKind::kBackward, u.label);
         prev_bwd = bwd_end;
         cpu += u.cpu_bwd_us;
         if (last_iter) iter_flops += u.bwd_us * flops_rate;
@@ -319,14 +337,18 @@ SimMetrics FsdpSimulator::Run() {
 
         if (sync_mb) {
           sim::SimTime red_end =
-              comm.Launch(cpu, rs_time(u), {bwd_end});
+              comm.Launch(cpu, rs_time(u), {bwd_end},
+                          obs::EventKind::kReduceScatter, u.label,
+                          u.reduce_total_bytes);
           cpu += c_.cpu_issue_us_per_kernel;
           add_traffic(
               static_cast<double>(shard_g.size - 1) / shard_g.size *
                   u.reduce_total_bytes,
               shard_g);
           if (replicas > 1) {
-            red_end = comm.Launch(cpu, ar_time(u), {red_end});
+            red_end = comm.Launch(cpu, ar_time(u), {red_end},
+                                  obs::EventKind::kAllReduce, u.label,
+                                  u.reduce_total_bytes / f);
             cpu += c_.cpu_issue_us_per_kernel;
             add_traffic(2.0 * (repl_g.size - 1) / repl_g.size *
                             (u.reduce_total_bytes / f),
@@ -336,7 +358,8 @@ SimMetrics FsdpSimulator::Run() {
             // D2H copy of the reduced gradient shard back to host.
             red_end = comm.Launch(
                 cpu, (u.reduce_total_bytes / f) / pcie_bytes_per_us,
-                {red_end});
+                {red_end}, obs::EventKind::kD2H, u.label,
+                u.reduce_total_bytes / f);
             cpu += c_.cpu_issue_us_per_kernel;
           }
           last_comm_end = std::max(last_comm_end, red_end);
@@ -369,19 +392,24 @@ SimMetrics FsdpSimulator::Run() {
           cpu,
           2.0 * w_.root_pre_flops_per_sample * batch / flops_rate +
               c_.kernel_launch_gpu_us,
-          {prev_bwd});
+          {prev_bwd}, obs::EventKind::kBackward, "[root]");
       cpu += pm.CpuIssueTime(2);
       if (root.grad_block < 0) {
         root.grad_block = malloc_block(root.grad_bytes, kComputeStream);
       }
       if (sync_mb) {
-        sim::SimTime red_end = comm.Launch(cpu, rs_time(root), {root_bwd});
+        sim::SimTime red_end =
+            comm.Launch(cpu, rs_time(root), {root_bwd},
+                        obs::EventKind::kReduceScatter, root.label,
+                        root.reduce_total_bytes);
         cpu += c_.cpu_issue_us_per_kernel;
         add_traffic(static_cast<double>(shard_g.size - 1) / shard_g.size *
                         root.reduce_total_bytes,
                     shard_g);
         if (replicas > 1) {
-          red_end = comm.Launch(cpu, ar_time(root), {red_end});
+          red_end = comm.Launch(cpu, ar_time(root), {red_end},
+                                obs::EventKind::kAllReduce, root.label,
+                                root.reduce_total_bytes / f);
           cpu += c_.cpu_issue_us_per_kernel;
           add_traffic(2.0 * (repl_g.size - 1) / repl_g.size *
                           (root.reduce_total_bytes / f),
@@ -413,7 +441,9 @@ SimMetrics FsdpSimulator::Run() {
                               : kHbmBytesPerUs;
     const double opt_us =
         7.0 * shard_total * 4 / opt_bw + c_.kernel_launch_gpu_us;
-    params_ready = compute.Launch(cpu, opt_us, {last_comm_end});
+    params_ready = compute.Launch(cpu, opt_us, {last_comm_end},
+                                  obs::EventKind::kOptimStep, "adam",
+                                  shard_total * 4);
     cpu = std::max(cpu, params_ready);
     cpu = std::max(cpu, comm.available_at());
 

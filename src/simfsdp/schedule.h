@@ -49,6 +49,12 @@ struct FsdpSimConfig {
   int microbatches = 1;        // gradient accumulation
   bool accum_with_comm = true; // Sec 3.3.4 variant
   int iterations = 3;          // first iterations warm the allocator
+  /// Record every stream op into the global obs::TraceCollector with
+  /// *virtual* timestamps (pid = trace_rank, tid lanes compute/comm), so a
+  /// simulated Fig 5 timeline exports straight to chrome://tracing via
+  /// obs::WriteChromeTrace. The simulator replays one representative rank.
+  bool record_trace = false;
+  int trace_rank = 0;
 };
 
 struct DdpSimConfig {

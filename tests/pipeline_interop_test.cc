@@ -28,11 +28,11 @@ nn::ModulePtr MakeStage(uint64_t seed, int64_t dim) {
   return seq;
 }
 
-int CountEvents(const std::vector<std::string>& events,
-                const std::string& prefix) {
+int CountEvents(const std::vector<obs::TraceEvent>& events,
+                obs::EventKind kind) {
   int n = 0;
   for (const auto& e : events) {
-    if (e.rfind(prefix, 0) == 0) ++n;
+    if (e.kind == kind) ++n;
   }
   return n;
 }
@@ -74,7 +74,7 @@ TEST(PipelineInteropTest, ShardGradOpAvoidsPerMicrobatchAllGather) {
       if (r == 0) {
         std::lock_guard<std::mutex> lock(mu);
         ag_counts[core::ShardingStrategyName(strategy)] =
-            CountEvents(state->events(), "AG:");
+            CountEvents(state->trace_events(), obs::EventKind::kAllGather);
       }
     });
   }
