@@ -42,14 +42,14 @@ int main() {
     if (rank == 0) {
       std::printf("model parameters : %lld\n",
                   static_cast<long long>(model->NumParameters()));
-      std::printf("FSDP units       : %d\n", fsdp.num_units());
-      for (int u = 0; u < fsdp.num_units(); ++u) {
+      std::printf("FSDP units       : %d\n", fsdp.state().num_units());
+      for (int u = 0; u < fsdp.state().num_units(); ++u) {
         std::printf("  unit %-10s  total=%-7lld shard=%lld (+%lld pad)\n",
-                    fsdp.unit_name(u).c_str(),
-                    static_cast<long long>(fsdp.unit_handle(u).total_numel()),
-                    static_cast<long long>(fsdp.unit_handle(u).shard_numel()),
+                    fsdp.state().unit_name(u).c_str(),
+                    static_cast<long long>(fsdp.state().unit_handle(u).total_numel()),
+                    static_cast<long long>(fsdp.state().unit_handle(u).shard_numel()),
                     static_cast<long long>(
-                        fsdp.unit_handle(u).padding_numel()));
+                        fsdp.state().unit_handle(u).padding_numel()));
       }
     }
 

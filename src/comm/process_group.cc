@@ -1,9 +1,10 @@
 #include "comm/process_group.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "obs/metrics.h"
-#include "obs/trace.h"
 
 namespace fsdp::comm {
 
@@ -47,12 +48,150 @@ CommMetrics& Metrics() {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Work
+
+void Work::Wait() const {
+  if (!state_) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+bool Work::Completed() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+double Work::issue_us() const {
+  if (!state_) return 0;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->issue_us;
+}
+
+double Work::start_us() const {
+  if (!state_) return 0;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->start_us;
+}
+
+double Work::complete_us() const {
+  if (!state_) return 0;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->complete_us;
+}
+
+// ---------------------------------------------------------------------------
+// Communicator: comm-worker runtime
+
 Communicator::Communicator(int size)
     : size_(size), barrier_(size), src_slots_(size, nullptr),
       dst_slots_(size, nullptr), count_slots_(size, 0),
-      rank_stats_(size) {
+      rank_stats_(size), queues_(size) {
   FSDP_CHECK_MSG(size > 0, "communicator size must be positive");
 }
+
+Communicator::~Communicator() {
+  if (!workers_started_.load(std::memory_order_acquire)) return;
+  // Drain-then-join: flag stop, but workers keep executing queued ops until
+  // their queues run dry. Fire-and-forget async ops are matched on every
+  // rank (SPMD contract), so every pending barrier rendezvous completes.
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.stop = true;
+    q.cv.notify_all();
+  }
+  for (auto& t : workers_) t.join();
+}
+
+void Communicator::SetInjectedLatency(double base_us, double us_per_mib) {
+  latency_base_us_.store(base_us, std::memory_order_relaxed);
+  latency_us_per_mib_.store(us_per_mib, std::memory_order_relaxed);
+}
+
+void Communicator::TransferDelay(int64_t bytes) const {
+  const double base = latency_base_us_.load(std::memory_order_relaxed);
+  const double per_mib = latency_us_per_mib_.load(std::memory_order_relaxed);
+  if (base <= 0 && per_mib <= 0) return;
+  const double us =
+      base + per_mib * (static_cast<double>(bytes) / (1024.0 * 1024.0));
+  if (us <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(us));
+}
+
+void Communicator::EnsureWorkersStarted() {
+  // Lazy spawn keeps communicators thread-free until the first collective —
+  // important for gtest death tests, which fork while meshes built in the
+  // parent sit idle.
+  if (workers_started_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (workers_.empty()) {
+    workers_.reserve(size_);
+    for (int r = 0; r < size_; ++r) {
+      workers_.emplace_back([this, r] { WorkerLoop(r); });
+    }
+    workers_started_.store(true, std::memory_order_release);
+  }
+}
+
+void Communicator::Enqueue(int comm_rank, CommOp op) {
+  EnsureWorkersStarted();
+  WorkerQueue& q = queues_[comm_rank];
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.ops.push_back(std::move(op));
+  }
+  q.cv.notify_one();
+}
+
+void Communicator::WorkerLoop(int comm_rank) {
+  WorkerQueue& q = queues_[comm_rank];
+  for (;;) {
+    CommOp op;
+    {
+      std::unique_lock<std::mutex> lock(q.mu);
+      q.cv.wait(lock, [&] { return q.stop || !q.ops.empty(); });
+      if (q.ops.empty()) return;  // stop requested and fully drained
+      op = std::move(q.ops.front());
+      q.ops.pop_front();
+    }
+    // Attribute everything below (trace events, check failures) to the
+    // issuing rank, not the worker's native thread.
+    RankScope scope(op.trace_rank);
+    {
+      std::lock_guard<std::mutex> lock(op.work->mu);
+      op.work->start_us = MonotonicMicros();
+    }
+    if (op.kind != obs::EventKind::kMarker) TransferDelay(op.bytes);
+    op.body();
+    const double end = MonotonicMicros();
+    auto& collector = obs::TraceCollector::Get();
+    if (collector.enabled() && op.kind != obs::EventKind::kMarker) {
+      obs::TraceEvent e;
+      e.rank = op.trace_rank;
+      e.kind = op.kind;
+      e.unit = op.label;
+      e.lane = "comm";
+      e.t_begin_us = op.work->issue_us;  // written before enqueue (see Issue)
+      e.t_end_us = end;
+      e.bytes = op.bytes;
+      collector.Record(std::move(e));
+    }
+    std::vector<Tensor> keepalive;
+    {
+      std::lock_guard<std::mutex> lock(op.work->mu);
+      op.work->complete_us = end;
+      op.work->done = true;
+      keepalive = std::move(op.work->keepalive);
+    }
+    op.work->cv.notify_all();
+    // Pinned tensors release here, outside the completion lock.
+    keepalive.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProcessGroup
 
 ProcessGroup::ProcessGroup(std::shared_ptr<Communicator> comm, int rank)
     : comm_(std::move(comm)), rank_(rank) {
@@ -60,89 +199,60 @@ ProcessGroup::ProcessGroup(std::shared_ptr<Communicator> comm, int rank)
                  "rank " << rank_ << " out of range");
 }
 
-void ProcessGroup::Barrier() { comm_->barrier_.Wait(); }
+Work ProcessGroup::Issue(obs::EventKind kind, const CollectiveOptions& opts,
+                         const char* default_label, int64_t bytes,
+                         std::function<void()> body,
+                         std::vector<Tensor> keepalive) {
+  auto state = std::make_shared<WorkState>();
+  // Written before Enqueue; the queue mutex publishes it to the worker.
+  state->issue_us = MonotonicMicros();
+  state->keepalive = std::move(keepalive);
+  Communicator::CommOp op;
+  op.body = std::move(body);
+  op.work = state;
+  op.trace_rank = CurrentRank() >= 0 ? CurrentRank() : rank_;
+  op.kind = kind;
+  op.label = opts.tag.empty() ? default_label : opts.tag;
+  op.bytes = bytes;
+  comm_->Enqueue(rank_, std::move(op));
+  Work w(std::move(state));
+  if (!opts.async) w.Wait();
+  return w;
+}
 
-Work ProcessGroup::AllGatherBase(float* dst, const float* src,
-                                 int64_t numel_per_rank) {
-  const int w = size();
-  FSDP_TRACE_SPAN(kAllGather, "allgather_base", "comm",
-                  (w - 1) * numel_per_rank * 4);
-  comm_->src_slots_[rank_] = src;
-  comm_->barrier_.Wait();
+void ProcessGroup::Barrier() {
+  Communicator* c = comm_.get();
+  Issue(obs::EventKind::kMarker, {}, "barrier", 0,
+        [c] { c->barrier_.Wait(); });
+}
+
+// -- raw bodies (comm-worker threads only) ----------------------------------
+
+void ProcessGroup::RunAllGatherBase(Communicator* c, int rank, float* dst,
+                                    const float* src,
+                                    int64_t numel_per_rank) {
+  const int w = c->size_;
+  c->src_slots_[rank] = src;
+  c->barrier_.Wait();
   for (int k = 0; k < w; ++k) {
     std::memcpy(dst + static_cast<int64_t>(k) * numel_per_rank,
-                comm_->src_slots_[k],
+                c->src_slots_[k],
                 static_cast<size_t>(numel_per_rank) * 4);
   }
-  comm_->barrier_.Wait();  // nobody may free src until all copies are done
-  ++mutable_stats().allgather_ops;
-  mutable_stats().allgather_bytes += (w - 1) * numel_per_rank * 4;
-  Metrics().ag_count.Add(1);
-  Metrics().ag_bytes.Add((w - 1) * numel_per_rank * 4);
-  return Work();
+  c->barrier_.Wait();  // nobody may free src until all copies are done
 }
 
-Work ProcessGroup::AllGather(const std::vector<float*>& dsts, const float* src,
-                             int64_t numel_per_rank) {
-  const int w = size();
-  FSDP_CHECK_MSG(static_cast<int>(dsts.size()) == w,
-                 "AllGather expects one output per rank");
-  // PyTorch's list-output all_gather stages through one consolidated tensor
-  // and copies out — we reproduce that data path (the Fig 2(a) overhead).
-  std::vector<float> consolidated(static_cast<size_t>(w * numel_per_rank));
-  AllGatherBase(consolidated.data(), src, numel_per_rank);
-  --mutable_stats().allgather_ops;  // counted below as one list-variant op
-  Metrics().ag_count.Add(-1);
-  for (int k = 0; k < w; ++k) {
-    std::memcpy(dsts[k], consolidated.data() + k * numel_per_rank,
-                static_cast<size_t>(numel_per_rank) * 4);
-  }
-  ++mutable_stats().allgather_ops;
-  Metrics().ag_count.Add(1);
-  return Work();
-}
-
-Work ProcessGroup::AllGatherUneven(const std::vector<float*>& dsts,
-                                   const float* src,
-                                   const std::vector<int64_t>& counts) {
-  const int w = size();
-  FSDP_CHECK(static_cast<int>(dsts.size()) == w &&
-             static_cast<int>(counts.size()) == w);
-  FSDP_TRACE_SPAN(kAllGather, "allgather_uneven", "comm");
-  // Emulates ProcessGroup's uneven-input fallback: one Broadcast per rank.
-  for (int root = 0; root < w; ++root) {
-    if (rank_ == root) {
-      std::memcpy(dsts[root], src, static_cast<size_t>(counts[root]) * 4);
-    }
-    Broadcast(dsts[root], counts[root], root);
-    --mutable_stats().broadcast_ops;  // folded into the all-gather accounting below
-    Metrics().bcast_count.Add(-1);
-    if (rank_ != root) Metrics().bcast_bytes.Add(-counts[root] * 4);
-  }
-  ++mutable_stats().allgather_ops;
-  Metrics().ag_count.Add(1);
-  for (int k = 0; k < w; ++k) {
-    if (k != rank_) {
-      mutable_stats().allgather_bytes += counts[k] * 4;
-      Metrics().ag_bytes.Add(counts[k] * 4);
-    }
-  }
-  return Work();
-}
-
-Work ProcessGroup::ReduceScatter(float* dst, const float* src,
-                                 int64_t numel_per_rank, ReduceOp op,
-                                 DType comm_dtype) {
-  const int w = size();
-  FSDP_TRACE_SPAN(kReduceScatter, "reduce_scatter", "comm",
-                  (w - 1) * numel_per_rank * 4);
-  comm_->src_slots_[rank_] = src;
-  comm_->barrier_.Wait();
-  const int64_t off = static_cast<int64_t>(rank_) * numel_per_rank;
+void ProcessGroup::RunReduceScatter(Communicator* c, int rank, float* dst,
+                                    const float* src, int64_t numel_per_rank,
+                                    ReduceOp op, DType comm_dtype) {
+  const int w = c->size_;
+  c->src_slots_[rank] = src;
+  c->barrier_.Wait();
+  const int64_t off = static_cast<int64_t>(rank) * numel_per_rank;
   for (int64_t i = 0; i < numel_per_rank; ++i) {
-    float acc = comm_->src_slots_[0][off + i];
+    float acc = c->src_slots_[0][off + i];
     for (int k = 1; k < w; ++k) {
-      const float v = comm_->src_slots_[k][off + i];
+      const float v = c->src_slots_[k][off + i];
       acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
       if (comm_dtype != DType::kF32) acc = Quantize(acc, comm_dtype);
     }
@@ -152,37 +262,31 @@ Work ProcessGroup::ReduceScatter(float* dst, const float* src,
     }
     dst[i] = acc;
   }
-  comm_->barrier_.Wait();
-  ++mutable_stats().reducescatter_ops;
-  mutable_stats().reducescatter_bytes += (w - 1) * numel_per_rank * 4;
-  Metrics().rs_count.Add(1);
-  Metrics().rs_bytes.Add((w - 1) * numel_per_rank * 4);
-  return Work();
+  c->barrier_.Wait();
 }
 
-Work ProcessGroup::AllReduce(float* buf, int64_t numel, ReduceOp op,
-                             DType comm_dtype) {
-  const int w = size();
-  FSDP_TRACE_SPAN(kAllReduce, "all_reduce", "comm",
-                  2 * (w - 1) * (numel / std::max(w, 1)) * 4);
-  comm_->src_slots_[rank_] = buf;
+void ProcessGroup::RunAllReduce(Communicator* c, int rank, float* buf,
+                                int64_t numel, ReduceOp op,
+                                DType comm_dtype) {
+  const int w = c->size_;
+  c->src_slots_[rank] = buf;
   // One rank resizes the shared scratch; guarded by a barrier on both sides.
-  comm_->barrier_.Wait();
+  c->barrier_.Wait();
   {
-    std::lock_guard<std::mutex> lock(comm_->scratch_mu_);
-    if (static_cast<int64_t>(comm_->scratch_.size()) < numel) {
-      comm_->scratch_.resize(static_cast<size_t>(numel));
+    std::lock_guard<std::mutex> lock(c->scratch_mu_);
+    if (static_cast<int64_t>(c->scratch_.size()) < numel) {
+      c->scratch_.resize(static_cast<size_t>(numel));
     }
   }
-  comm_->barrier_.Wait();
+  c->barrier_.Wait();
   // Each rank reduces its own chunk into scratch (disjoint writes).
   const int64_t chunk = (numel + w - 1) / w;
-  const int64_t lo = std::min<int64_t>(rank_ * chunk, numel);
+  const int64_t lo = std::min<int64_t>(rank * chunk, numel);
   const int64_t hi = std::min<int64_t>(lo + chunk, numel);
   for (int64_t i = lo; i < hi; ++i) {
-    float acc = comm_->src_slots_[0][i];
+    float acc = c->src_slots_[0][i];
     for (int k = 1; k < w; ++k) {
-      const float v = comm_->src_slots_[k][i];
+      const float v = c->src_slots_[k][i];
       acc = (op == ReduceOp::kMax) ? std::max(acc, v) : acc + v;
       if (comm_dtype != DType::kF32) acc = Quantize(acc, comm_dtype);
     }
@@ -190,82 +294,249 @@ Work ProcessGroup::AllReduce(float* buf, int64_t numel, ReduceOp op,
       acc /= static_cast<float>(w);
       if (comm_dtype != DType::kF32) acc = Quantize(acc, comm_dtype);
     }
-    comm_->scratch_[static_cast<size_t>(i)] = acc;
+    c->scratch_[static_cast<size_t>(i)] = acc;
   }
-  comm_->barrier_.Wait();
-  std::memcpy(buf, comm_->scratch_.data(), static_cast<size_t>(numel) * 4);
-  comm_->barrier_.Wait();
-  ++mutable_stats().allreduce_ops;
-  // Ring all-reduce moves 2*(w-1)/w of the buffer per rank.
-  mutable_stats().allreduce_bytes += 2 * (w - 1) * (numel / std::max(w, 1)) * 4;
-  Metrics().ar_count.Add(1);
-  Metrics().ar_bytes.Add(2 * (w - 1) * (numel / std::max(w, 1)) * 4);
-  return Work();
+  c->barrier_.Wait();
+  std::memcpy(buf, c->scratch_.data(), static_cast<size_t>(numel) * 4);
+  c->barrier_.Wait();
 }
 
-Work ProcessGroup::AllToAll(float* dst, const float* src,
-                            int64_t chunk_numel) {
-  const int w = size();
-  FSDP_TRACE_SPAN(kAllToAll, "all_to_all", "comm", (w - 1) * chunk_numel * 4);
-  comm_->src_slots_[rank_] = src;
-  comm_->barrier_.Wait();
+void ProcessGroup::RunBroadcast(Communicator* c, int rank, float* buf,
+                                int64_t numel, int root) {
+  c->src_slots_[rank] = buf;
+  c->barrier_.Wait();
+  if (rank != root) {
+    std::memcpy(buf, c->src_slots_[root], static_cast<size_t>(numel) * 4);
+  }
+  c->barrier_.Wait();
+}
+
+void ProcessGroup::RunAllToAll(Communicator* c, int rank, float* dst,
+                               const float* src, int64_t chunk_numel) {
+  const int w = c->size_;
+  c->src_slots_[rank] = src;
+  c->barrier_.Wait();
   for (int k = 0; k < w; ++k) {
-    // Chunk `rank_` of rank k's source lands in slot k of our destination.
+    // Chunk `rank` of rank k's source lands in slot k of our destination.
     std::memcpy(dst + static_cast<int64_t>(k) * chunk_numel,
-                comm_->src_slots_[k] + static_cast<int64_t>(rank_) *
-                                           chunk_numel,
+                c->src_slots_[k] + static_cast<int64_t>(rank) * chunk_numel,
                 static_cast<size_t>(chunk_numel) * 4);
   }
-  comm_->barrier_.Wait();
-  ++mutable_stats().allgather_ops;  // accounted with the gather family
-  mutable_stats().allgather_bytes += (w - 1) * chunk_numel * 4;
+  c->barrier_.Wait();
+}
+
+// -- public collectives -----------------------------------------------------
+
+Work ProcessGroup::AllGatherBaseImpl(float* dst, const float* src,
+                                     int64_t numel_per_rank,
+                                     const CollectiveOptions& opts,
+                                     std::vector<Tensor> keepalive) {
+  const int w = size();
+  const int64_t bytes = (w - 1) * numel_per_rank * 4;
+  ++mutable_stats().allgather_ops;
+  mutable_stats().allgather_bytes += bytes;
   Metrics().ag_count.Add(1);
-  Metrics().ag_bytes.Add((w - 1) * chunk_numel * 4);
-  return Work();
+  Metrics().ag_bytes.Add(bytes);
+  Communicator* c = comm_.get();
+  const int rank = rank_;
+  return Issue(obs::EventKind::kAllGather, opts, "allgather_base", bytes,
+               [c, rank, dst, src, numel_per_rank] {
+                 RunAllGatherBase(c, rank, dst, src, numel_per_rank);
+               },
+               std::move(keepalive));
 }
 
-Work ProcessGroup::Broadcast(float* buf, int64_t numel, int root) {
-  FSDP_TRACE_SPAN(kBroadcast, "broadcast", "comm",
-                  rank_ == root ? 0 : numel * 4);
-  comm_->src_slots_[rank_] = buf;
-  comm_->barrier_.Wait();
-  if (rank_ != root) {
-    std::memcpy(buf, comm_->src_slots_[root], static_cast<size_t>(numel) * 4);
+Work ProcessGroup::AllGatherBase(float* dst, const float* src,
+                                 int64_t numel_per_rank,
+                                 const CollectiveOptions& opts) {
+  return AllGatherBaseImpl(dst, src, numel_per_rank, opts, {});
+}
+
+Work ProcessGroup::AllGather(const std::vector<float*>& dsts, const float* src,
+                             int64_t numel_per_rank,
+                             const CollectiveOptions& opts) {
+  const int w = size();
+  FSDP_CHECK_MSG(static_cast<int>(dsts.size()) == w,
+                 "AllGather expects one output per rank");
+  const int64_t bytes = (w - 1) * numel_per_rank * 4;
+  ++mutable_stats().allgather_ops;
+  mutable_stats().allgather_bytes += bytes;
+  Metrics().ag_count.Add(1);
+  Metrics().ag_bytes.Add(bytes);
+  Communicator* c = comm_.get();
+  const int rank = rank_;
+  // PyTorch's list-output all_gather stages through one consolidated tensor
+  // and copies out — we reproduce that data path (the Fig 2(a) overhead).
+  return Issue(obs::EventKind::kAllGather, opts, "allgather", bytes,
+               [c, rank, dsts, src, numel_per_rank, w] {
+                 std::vector<float> consolidated(
+                     static_cast<size_t>(w * numel_per_rank));
+                 RunAllGatherBase(c, rank, consolidated.data(), src,
+                                  numel_per_rank);
+                 for (int k = 0; k < w; ++k) {
+                   std::memcpy(dsts[k],
+                               consolidated.data() + k * numel_per_rank,
+                               static_cast<size_t>(numel_per_rank) * 4);
+                 }
+               });
+}
+
+Work ProcessGroup::AllGatherUneven(const std::vector<float*>& dsts,
+                                   const float* src,
+                                   const std::vector<int64_t>& counts,
+                                   const CollectiveOptions& opts) {
+  const int w = size();
+  FSDP_CHECK(static_cast<int>(dsts.size()) == w &&
+             static_cast<int>(counts.size()) == w);
+  int64_t bytes = 0;
+  for (int k = 0; k < w; ++k) {
+    if (k != rank_) bytes += counts[k] * 4;
   }
-  comm_->barrier_.Wait();
+  ++mutable_stats().allgather_ops;
+  mutable_stats().allgather_bytes += bytes;
+  Metrics().ag_count.Add(1);
+  Metrics().ag_bytes.Add(bytes);
+  Communicator* c = comm_.get();
+  const int rank = rank_;
+  // Emulates ProcessGroup's uneven-input fallback: one broadcast per rank,
+  // run inline inside this single op (re-enqueueing from a worker would
+  // self-deadlock on the FIFO queue).
+  return Issue(obs::EventKind::kAllGather, opts, "allgather_uneven", bytes,
+               [c, rank, dsts, counts, src, w] {
+                 for (int root = 0; root < w; ++root) {
+                   if (rank == root) {
+                     std::memcpy(dsts[root], src,
+                                 static_cast<size_t>(counts[root]) * 4);
+                   }
+                   RunBroadcast(c, rank, dsts[root], counts[root], root);
+                 }
+               });
+}
+
+Work ProcessGroup::ReduceScatterImpl(float* dst, const float* src,
+                                     int64_t numel_per_rank,
+                                     const CollectiveOptions& opts,
+                                     std::vector<Tensor> keepalive) {
+  const int w = size();
+  const int64_t bytes = (w - 1) * numel_per_rank * 4;
+  ++mutable_stats().reducescatter_ops;
+  mutable_stats().reducescatter_bytes += bytes;
+  Metrics().rs_count.Add(1);
+  Metrics().rs_bytes.Add(bytes);
+  Communicator* c = comm_.get();
+  const int rank = rank_;
+  const ReduceOp op = opts.op;
+  const DType dt = opts.comm_dtype;
+  return Issue(obs::EventKind::kReduceScatter, opts, "reduce_scatter", bytes,
+               [c, rank, dst, src, numel_per_rank, op, dt] {
+                 RunReduceScatter(c, rank, dst, src, numel_per_rank, op, dt);
+               },
+               std::move(keepalive));
+}
+
+Work ProcessGroup::ReduceScatter(float* dst, const float* src,
+                                 int64_t numel_per_rank,
+                                 const CollectiveOptions& opts) {
+  return ReduceScatterImpl(dst, src, numel_per_rank, opts, {});
+}
+
+Work ProcessGroup::AllReduceImpl(float* buf, int64_t numel,
+                                 const CollectiveOptions& opts,
+                                 std::vector<Tensor> keepalive) {
+  const int w = size();
+  // Ring all-reduce moves 2*(w-1)/w of the buffer per rank.
+  const int64_t bytes = 2 * (w - 1) * (numel / std::max(w, 1)) * 4;
+  ++mutable_stats().allreduce_ops;
+  mutable_stats().allreduce_bytes += bytes;
+  Metrics().ar_count.Add(1);
+  Metrics().ar_bytes.Add(bytes);
+  Communicator* c = comm_.get();
+  const int rank = rank_;
+  const ReduceOp op = opts.op;
+  const DType dt = opts.comm_dtype;
+  return Issue(obs::EventKind::kAllReduce, opts, "all_reduce", bytes,
+               [c, rank, buf, numel, op, dt] {
+                 RunAllReduce(c, rank, buf, numel, op, dt);
+               },
+               std::move(keepalive));
+}
+
+Work ProcessGroup::AllReduce(float* buf, int64_t numel,
+                             const CollectiveOptions& opts) {
+  return AllReduceImpl(buf, numel, opts, {});
+}
+
+Work ProcessGroup::BroadcastImpl(float* buf, int64_t numel, int root,
+                                 const CollectiveOptions& opts,
+                                 std::vector<Tensor> keepalive) {
+  const int64_t bytes = rank_ == root ? 0 : numel * 4;
   ++mutable_stats().broadcast_ops;
+  mutable_stats().broadcast_bytes += bytes;
   Metrics().bcast_count.Add(1);
-  if (rank_ != root) {
-    mutable_stats().broadcast_bytes += numel * 4;
-    Metrics().bcast_bytes.Add(numel * 4);
-  }
-  return Work();
+  Metrics().bcast_bytes.Add(bytes);
+  Communicator* c = comm_.get();
+  const int rank = rank_;
+  return Issue(obs::EventKind::kBroadcast, opts, "broadcast", bytes,
+               [c, rank, buf, numel, root] {
+                 RunBroadcast(c, rank, buf, numel, root);
+               },
+               std::move(keepalive));
 }
 
-Work ProcessGroup::AllGatherBase(Tensor dst, const Tensor& src) {
+Work ProcessGroup::Broadcast(float* buf, int64_t numel, int root,
+                             const CollectiveOptions& opts) {
+  return BroadcastImpl(buf, numel, root, opts, {});
+}
+
+Work ProcessGroup::AllToAll(float* dst, const float* src, int64_t chunk_numel,
+                            const CollectiveOptions& opts) {
+  const int w = size();
+  const int64_t bytes = (w - 1) * chunk_numel * 4;
+  ++mutable_stats().allgather_ops;  // accounted with the gather family
+  mutable_stats().allgather_bytes += bytes;
+  Metrics().ag_count.Add(1);
+  Metrics().ag_bytes.Add(bytes);
+  Communicator* c = comm_.get();
+  const int rank = rank_;
+  return Issue(obs::EventKind::kAllToAll, opts, "all_to_all", bytes,
+               [c, rank, dst, src, chunk_numel] {
+                 RunAllToAll(c, rank, dst, src, chunk_numel);
+               });
+}
+
+// -- tensor conveniences ----------------------------------------------------
+
+Work ProcessGroup::AllGatherBase(Tensor dst, const Tensor& src,
+                                 const CollectiveOptions& opts) {
   FSDP_CHECK_MSG(dst.numel() == src.numel() * size(),
                  "AllGatherBase: dst numel " << dst.numel() << " != "
                                              << src.numel() << " * "
                                              << size());
-  return AllGatherBase(dst.data(), src.data(), src.numel());
+  return AllGatherBaseImpl(dst.data(), src.data(), src.numel(), opts,
+                           {dst, src});
 }
 
-Work ProcessGroup::ReduceScatter(Tensor dst, const Tensor& src, ReduceOp op,
-                                 DType comm_dtype) {
+Work ProcessGroup::ReduceScatter(Tensor dst, const Tensor& src,
+                                 const CollectiveOptions& opts) {
   FSDP_CHECK_MSG(src.numel() == dst.numel() * size(),
                  "ReduceScatter: src numel " << src.numel() << " != "
                                              << dst.numel() << " * "
                                              << size());
-  return ReduceScatter(dst.data(), src.data(), dst.numel(), op, comm_dtype);
+  return ReduceScatterImpl(dst.data(), src.data(), dst.numel(), opts,
+                           {dst, src});
 }
 
-Work ProcessGroup::AllReduce(Tensor buf, ReduceOp op, DType comm_dtype) {
-  return AllReduce(buf.data(), buf.numel(), op, comm_dtype);
+Work ProcessGroup::AllReduce(Tensor buf, const CollectiveOptions& opts) {
+  return AllReduceImpl(buf.data(), buf.numel(), opts, {buf});
 }
 
-Work ProcessGroup::Broadcast(Tensor buf, int root) {
-  return Broadcast(buf.data(), buf.numel(), root);
+Work ProcessGroup::Broadcast(Tensor buf, int root,
+                             const CollectiveOptions& opts) {
+  return BroadcastImpl(buf.data(), buf.numel(), root, opts, {buf});
 }
+
+// ---------------------------------------------------------------------------
+// DeviceMesh
 
 DeviceMesh::DeviceMesh(int world_size, int sharding_factor)
     : world_size_(world_size), sharding_factor_(sharding_factor) {
@@ -296,6 +567,14 @@ ProcessGroup DeviceMesh::ShardGroup(int rank) {
 ProcessGroup DeviceMesh::ReplicateGroup(int rank) {
   const int local = rank % sharding_factor_;
   return ProcessGroup(replicate_groups_[local], rank / sharding_factor_);
+}
+
+void DeviceMesh::SetInjectedLatency(double base_us, double us_per_mib) {
+  world_->SetInjectedLatency(base_us, us_per_mib);
+  for (auto& g : shard_groups_) g->SetInjectedLatency(base_us, us_per_mib);
+  for (auto& g : replicate_groups_) {
+    g->SetInjectedLatency(base_us, us_per_mib);
+  }
 }
 
 }  // namespace fsdp::comm

@@ -1,4 +1,4 @@
-// Thread-per-rank process groups and collectives.
+// Asynchronous thread-per-rank process groups and collectives.
 //
 // Substitutes for torch.distributed ProcessGroupNCCL in the functional layer:
 // W ranks are W OS threads in one process, and collectives move data through
@@ -13,14 +13,42 @@
 //  * Reductions run in deterministic rank order, and can optionally quantize
 //    through a reduced-precision dtype to emulate low-precision collectives
 //    (Sec 4.4 "permits running all collectives in the low precision").
-// Per-rank byte/op counters support the traffic-model tests.
+//
+// Execution model (the "NCCL stream" analogue): every rank of a Communicator
+// owns a dedicated *comm-worker thread*. A collective call never runs the
+// data movement on the calling rank thread — it enqueues the operation onto
+// the rank's worker queue and receives a Work completion handle. Per-rank
+// queues are FIFO, so collectives execute in issue order (the single
+// in-order communication stream of paper Sec 3.3.2); matching across ranks
+// is the standard SPMD contract (every rank issues the same collectives in
+// the same order). With CollectiveOptions::async = false (the default) the
+// call waits for completion before returning — the classic synchronous
+// behaviour. With async = true the caller keeps computing and calls
+// Work::Wait() at first use of the result, which is what lets FSDP overlap
+// AllGathers with forward/backward compute on the real substrate.
+//
+// Communicator::SetInjectedLatency emulates interconnect transfer time: the
+// workers stall inside the collective for base + per-MiB * payload. Rank
+// threads are unaffected, so the overlap benches/traces show genuine
+// comm/compute concurrency in wall-clock time.
+//
+// Per-rank byte/op counters support the traffic-model tests; they are
+// updated at issue time on the calling thread.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/threading.h"
+#include "obs/trace.h"
 #include "tensor/dtype.h"
 #include "tensor/tensor.h"
 
@@ -28,13 +56,64 @@ namespace fsdp::comm {
 
 enum class ReduceOp { kSum, kAvg, kMax };
 
-/// Completion handle (PyTorch c10d Work analogue). Functional-layer
-/// collectives complete synchronously, so Wait() is immediate, but FSDP code
-/// is written against this interface exactly as it would be against c10d.
+/// Uniform knobs for every collective (PyTorch c10d opts analogue). All
+/// ProcessGroup entry points, DDP, and FSDP call sites take this one struct
+/// instead of repeating `(ReduceOp op, DType comm_dtype, ...)` tails.
+struct CollectiveOptions {
+  /// Reduction operator (ReduceScatter / AllReduce only).
+  ReduceOp op = ReduceOp::kSum;
+  /// != kF32 quantizes every partial sum through that dtype, emulating a
+  /// low-precision collective (reductions only).
+  DType comm_dtype = DType::kF32;
+  /// false: the call blocks until the collective completed (classic
+  /// synchronous behaviour). true: the call returns immediately after
+  /// enqueuing onto the comm worker; the caller must Wait() the returned
+  /// Work before reading results (or freeing inputs).
+  bool async = false;
+  /// Label for the exported trace span (defaults to the collective name).
+  /// FSDP passes the unit name so comm-lane spans identify their unit.
+  std::string tag;
+};
+
+/// Shared completion state behind a Work handle (internal).
+struct WorkState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  double issue_us = 0;     // enqueued on the calling rank thread
+  double start_us = 0;     // comm worker began executing
+  double complete_us = 0;  // all barriers passed, results visible
+  /// Tensors pinned until completion (async staging buffers and the
+  /// convenience-overload src/dst); released by the worker on completion.
+  std::vector<Tensor> keepalive;
+};
+
+/// Completion handle (PyTorch c10d Work analogue). A real handle: the
+/// collective runs on the comm-worker threads, and Wait() blocks the calling
+/// thread until every participating worker finished the data movement.
+/// Default-constructed handles are trivially complete.
 class Work {
  public:
-  void Wait() {}
-  bool Completed() const { return true; }
+  Work() = default;
+
+  /// Blocks until the collective completed. No-op if already complete (or
+  /// for a default-constructed handle). May be called multiple times and
+  /// from any thread.
+  void Wait() const;
+  /// Non-blocking completion probe.
+  bool Completed() const;
+
+  /// Completion timestamps (MonotonicMicros domain) for observability:
+  /// issue (enqueue), execution start on the worker, and completion. Zero
+  /// for default-constructed handles.
+  double issue_us() const;
+  double start_us() const;
+  double complete_us() const;
+
+ private:
+  friend class ProcessGroup;
+  explicit Work(std::shared_ptr<WorkState> state) : state_(std::move(state)) {}
+  std::shared_ptr<WorkState> state_;
 };
 
 /// Byte/op counters for one rank (reset-able).
@@ -49,16 +128,54 @@ struct CommStats {
   int64_t broadcast_bytes = 0;
 };
 
-/// Shared state of one communicator (one "NCCL communicator"): barriers and
-/// pointer-exchange slots for a fixed set of participants.
+/// Shared state of one communicator (one "NCCL communicator"): the per-rank
+/// comm-worker threads and queues, plus barriers and pointer-exchange slots
+/// for the fixed set of participants. Workers spawn lazily on the first
+/// collective and are joined in the destructor (after draining the queues,
+/// so fire-and-forget async work still completes).
 class Communicator {
  public:
   explicit Communicator(int size);
+  ~Communicator();
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
 
   int size() const { return size_; }
 
+  /// Emulated interconnect transfer time, applied inside every collective on
+  /// the worker threads: base_us + us_per_mib * (payload MiB). Zero (the
+  /// default) disables. Set before issuing collectives that should stall;
+  /// benches/tests use this to make comm/compute overlap observable in
+  /// wall-clock time.
+  void SetInjectedLatency(double base_us, double us_per_mib = 0);
+
  private:
   friend class ProcessGroup;
+
+  /// One enqueued collective for one rank's worker.
+  struct CommOp {
+    std::function<void()> body;       // the rank's share of the collective
+    std::shared_ptr<WorkState> work;
+    int trace_rank = 0;               // issuer's global rank (attribution)
+    obs::EventKind kind = obs::EventKind::kMarker;
+    std::string label;
+    int64_t bytes = 0;
+  };
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<CommOp> ops;
+    bool stop = false;
+  };
+
+  void EnsureWorkersStarted();
+  void WorkerLoop(int comm_rank);
+  void Enqueue(int comm_rank, CommOp op);
+  /// Emulated transfer stall for `bytes` of payload (no-op when latency 0).
+  void TransferDelay(int64_t bytes) const;
+
   int size_;
   Barrier barrier_;
   std::vector<const float*> src_slots_;
@@ -67,11 +184,20 @@ class Communicator {
   std::vector<float> scratch_;  // all_reduce staging
   std::mutex scratch_mu_;
   std::vector<CommStats> rank_stats_;  // shared by all handles of a rank
+
+  std::vector<WorkerQueue> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> workers_started_{false};
+  std::mutex start_mu_;
+  std::atomic<double> latency_base_us_{0};
+  std::atomic<double> latency_us_per_mib_{0};
 };
 
 /// Per-rank handle over a Communicator. All collective calls must be entered
-/// by every rank of the communicator (standard SPMD contract); mismatched
-/// sizes are checked.
+/// by every rank of the communicator in the same order (standard SPMD
+/// contract); mismatched sizes are checked. Every call returns a Work handle;
+/// with CollectiveOptions::async the data movement proceeds on the comm
+/// worker while the caller computes.
 class ProcessGroup {
  public:
   ProcessGroup() = default;
@@ -83,53 +209,91 @@ class ProcessGroup {
 
   /// NCCL-style AllGather: every rank contributes `numel_per_rank` elements;
   /// `dst` receives size()*numel_per_rank elements in rank order.
-  Work AllGatherBase(float* dst, const float* src, int64_t numel_per_rank);
+  Work AllGatherBase(float* dst, const float* src, int64_t numel_per_rank,
+                     const CollectiveOptions& opts = {});
   /// List-output AllGather (PyTorch ProcessGroup.all_gather): identical data
   /// movement plus the extra copies through a consolidated buffer.
   Work AllGather(const std::vector<float*>& dsts, const float* src,
-                 int64_t numel_per_rank);
+                 int64_t numel_per_rank, const CollectiveOptions& opts = {});
   /// Uneven-size AllGather emulated with per-rank broadcasts (the slow path
   /// of Fig 2(a)). `counts[k]` elements come from rank k into dsts[k].
   Work AllGatherUneven(const std::vector<float*>& dsts, const float* src,
-                       const std::vector<int64_t>& counts);
+                       const std::vector<int64_t>& counts,
+                       const CollectiveOptions& opts = {});
 
   /// NCCL-style ReduceScatter: every rank contributes size()*numel_per_rank
   /// elements; `dst` receives the reduction of chunk `rank()`.
-  /// `comm_dtype` != kF32 quantizes every partial sum through that dtype,
-  /// emulating a low-precision collective.
   Work ReduceScatter(float* dst, const float* src, int64_t numel_per_rank,
-                     ReduceOp op = ReduceOp::kSum,
-                     DType comm_dtype = DType::kF32);
+                     const CollectiveOptions& opts = {});
 
-  Work AllReduce(float* buf, int64_t numel, ReduceOp op = ReduceOp::kSum,
-                 DType comm_dtype = DType::kF32);
+  Work AllReduce(float* buf, int64_t numel,
+                 const CollectiveOptions& opts = {});
 
-  Work Broadcast(float* buf, int64_t numel, int root);
+  Work Broadcast(float* buf, int64_t numel, int root,
+                 const CollectiveOptions& opts = {});
 
   /// AllToAll: `src` holds size() chunks of `chunk_numel` elements; chunk j
   /// goes to rank j. `dst` receives chunk i from rank i, in rank order.
   /// (The activation-exchange primitive of recommendation models like DHEN.)
-  Work AllToAll(float* dst, const float* src, int64_t chunk_numel);
+  Work AllToAll(float* dst, const float* src, int64_t chunk_numel,
+                const CollectiveOptions& opts = {});
 
   void Barrier();
 
-  // Tensor conveniences (operate on the flat contents).
-  Work AllGatherBase(Tensor dst, const Tensor& src);
+  // Tensor conveniences (operate on the flat contents). These pin src/dst
+  // in the Work until completion, so async callers may drop temporaries.
+  Work AllGatherBase(Tensor dst, const Tensor& src,
+                     const CollectiveOptions& opts = {});
   Work ReduceScatter(Tensor dst, const Tensor& src,
-                     ReduceOp op = ReduceOp::kSum,
-                     DType comm_dtype = DType::kF32);
-  Work AllReduce(Tensor buf, ReduceOp op = ReduceOp::kSum,
-                 DType comm_dtype = DType::kF32);
-  Work Broadcast(Tensor buf, int root);
+                     const CollectiveOptions& opts = {});
+  Work AllReduce(Tensor buf, const CollectiveOptions& opts = {});
+  Work Broadcast(Tensor buf, int root, const CollectiveOptions& opts = {});
 
   /// Per-rank counters, shared by every ProcessGroup handle over the same
   /// (communicator, rank) — so a caller can observe traffic produced by a
-  /// wrapper (DDP/FSDP) holding its own handle copy.
+  /// wrapper (DDP/FSDP) holding its own handle copy. Counters are bumped at
+  /// issue time on the calling thread.
   const CommStats& stats() const { return comm_->rank_stats_[rank_]; }
   void ResetStats() { comm_->rank_stats_[rank_] = CommStats{}; }
 
  private:
   CommStats& mutable_stats() { return comm_->rank_stats_[rank_]; }
+
+  /// Enqueues `body` onto this rank's comm worker as a `kind` span carrying
+  /// `bytes` of payload; waits for completion unless opts.async. `keepalive`
+  /// tensors stay pinned in the Work until the worker completes the op.
+  Work Issue(obs::EventKind kind, const CollectiveOptions& opts,
+             const char* default_label, int64_t bytes,
+             std::function<void()> body, std::vector<Tensor> keepalive = {});
+
+  // Pointer entry points + tensor conveniences funnel through these so the
+  // tensor overloads can pin their operands.
+  Work AllGatherBaseImpl(float* dst, const float* src, int64_t numel_per_rank,
+                         const CollectiveOptions& opts,
+                         std::vector<Tensor> keepalive);
+  Work ReduceScatterImpl(float* dst, const float* src, int64_t numel_per_rank,
+                         const CollectiveOptions& opts,
+                         std::vector<Tensor> keepalive);
+  Work AllReduceImpl(float* buf, int64_t numel, const CollectiveOptions& opts,
+                     std::vector<Tensor> keepalive);
+  Work BroadcastImpl(float* buf, int64_t numel, int root,
+                     const CollectiveOptions& opts,
+                     std::vector<Tensor> keepalive);
+
+  // Raw per-rank collective bodies; run on the comm-worker threads only.
+  // Static (no ProcessGroup capture) so an async op enqueued through a
+  // temporary handle stays valid: the communicator outlives its workers.
+  static void RunAllGatherBase(Communicator* c, int rank, float* dst,
+                               const float* src, int64_t numel_per_rank);
+  static void RunReduceScatter(Communicator* c, int rank, float* dst,
+                               const float* src, int64_t numel_per_rank,
+                               ReduceOp op, DType comm_dtype);
+  static void RunAllReduce(Communicator* c, int rank, float* buf,
+                           int64_t numel, ReduceOp op, DType comm_dtype);
+  static void RunBroadcast(Communicator* c, int rank, float* buf,
+                           int64_t numel, int root);
+  static void RunAllToAll(Communicator* c, int rank, float* dst,
+                          const float* src, int64_t chunk_numel);
 
   std::shared_ptr<Communicator> comm_;
   int rank_ = -1;
@@ -153,6 +317,10 @@ class DeviceMesh {
   ProcessGroup WorldGroup(int rank);
   ProcessGroup ShardGroup(int rank);      // size F
   ProcessGroup ReplicateGroup(int rank);  // size W/F
+
+  /// Applies Communicator::SetInjectedLatency to the world and every
+  /// subgroup communicator of this mesh.
+  void SetInjectedLatency(double base_us, double us_per_mib = 0);
 
  private:
   int world_size_;

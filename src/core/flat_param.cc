@@ -108,27 +108,45 @@ void FlatParamHandle::MaterializeAndShard(bool sync_from_rank0) {
   Reshard();
 }
 
-void FlatParamHandle::Unshard() {
+void FlatParamHandle::UnshardAsync(const std::string& tag) {
   FSDP_CHECK_MSG(materialized_, "unit '" << name_ << "' not materialized");
-  if (unsharded_) return;
+  if (unsharded_ || unshard_in_flight_) return;
   NoGradGuard no_grad;
   // resize_ semantics: re-allocate the freed unsharded storage; existing
   // views (module slots, autograd-saved tensors) see the fresh bytes.
   unsharded_param_.storage()->Allocate();
+  comm::CollectiveOptions opts;
+  opts.async = true;
+  opts.tag = tag.empty() ? name_ : tag;
   if (mp_.param_dtype != DType::kF32) {
     // Cast the local shard to low precision so both the communication and
-    // the gathered parameter are low-precision (Sec 4.4).
+    // the gathered parameter are low-precision (Sec 4.4). The cast temporary
+    // is pinned in the Work handle until the worker finishes reading it.
     Tensor low = sharded_param_.CastTo(mp_.param_dtype);
-    shard_pg_.AllGatherBase(unsharded_param_, low);
+    unshard_work_ = shard_pg_.AllGatherBase(unsharded_param_, low, opts);
   } else {
-    shard_pg_.AllGatherBase(unsharded_param_, sharded_param_);
+    unshard_work_ =
+        shard_pg_.AllGatherBase(unsharded_param_, sharded_param_, opts);
   }
+  unshard_in_flight_ = true;
+}
+
+void FlatParamHandle::WaitUnshard() {
+  if (!unshard_in_flight_) return;
+  unshard_work_.Wait();
+  unshard_work_ = comm::Work();
+  unshard_in_flight_ = false;
   unsharded_ = true;
 }
 
+void FlatParamHandle::Unshard() {
+  UnshardAsync();
+  WaitUnshard();
+}
+
 void FlatParamHandle::UseUnshardedViews() {
-  FSDP_CHECK_MSG(unsharded_, "views requested while '" << name_
-                                                       << "' is sharded");
+  FSDP_CHECK_MSG(unsharded_ || unshard_in_flight_,
+                 "views requested while '" << name_ << "' is sharded");
   for (const ParamInfo& p : params_) {
     Tensor view = ops::SliceView(unsharded_param_, p.offset, p.shape);
     for (Tensor* slot : p.slots) *slot = view;
@@ -136,6 +154,8 @@ void FlatParamHandle::UseUnshardedViews() {
 }
 
 void FlatParamHandle::Reshard() {
+  // A pending gather must land before its destination storage dies.
+  WaitUnshard();
   // Free the unsharded flat parameter's bytes (PyTorch's resize_(0)): the
   // memory accounting drops to the sharded footprint, and any stale read —
   // the shared-parameter pitfall of Sec 7.2.2, or a missing pre-backward
@@ -145,25 +165,47 @@ void FlatParamHandle::Reshard() {
   unsharded_ = false;
 }
 
-void FlatParamHandle::PrepareGradient(float grad_divisor) {
+void FlatParamHandle::BeginGradientReduce(float grad_divisor,
+                                          const std::string& tag) {
+  FSDP_CHECK_MSG(!reduce_in_flight_, "gradient reduction already in flight "
+                                     "on '" << name_ << "'");
   NoGradGuard no_grad;
   Tensor ugrad = unsharded_param_.grad();
   FSDP_CHECK_MSG(ugrad.defined(),
-                 "PrepareGradient with no unsharded gradient on '" << name_
-                                                                   << "'");
+                 "BeginGradientReduce with no unsharded gradient on '"
+                     << name_ << "'");
   Tensor reduce_src = ugrad;
   if (mp_.reduce_dtype != DType::kF32) {
     reduce_src = ugrad.CastTo(mp_.reduce_dtype);
   }
-  Tensor shard_grad = Tensor::Zeros({shard_numel_});
-  shard_pg_.ReduceScatter(shard_grad, reduce_src, comm::ReduceOp::kSum,
-                          mp_.reduce_dtype);
+  pending_shard_grad_ = Tensor::Zeros({shard_numel_});
+  comm::CollectiveOptions opts;
+  opts.comm_dtype = mp_.reduce_dtype;
+  opts.async = true;
+  opts.tag = tag.empty() ? name_ : tag;
+  // Both the destination and the (possibly cast) source are pinned in the
+  // Work handle; the unsharded grad may be cleared only after Finish waits.
+  reduce_work_ = shard_pg_.ReduceScatter(pending_shard_grad_, reduce_src,
+                                         opts);
+  pending_divisor_ = grad_divisor;
+  reduce_in_flight_ = true;
+}
+
+void FlatParamHandle::FinishGradientReduce() {
+  if (!reduce_in_flight_) return;
+  NoGradGuard no_grad;
+  reduce_work_.Wait();
+  reduce_work_ = comm::Work();
+  reduce_in_flight_ = false;
+  Tensor shard_grad = pending_shard_grad_;
+  pending_shard_grad_ = Tensor();
   if (replicate_pg_.valid()) {
     // Hybrid sharding (Eq. 1): reduce the sharded gradients across replicas.
-    replicate_pg_.AllReduce(shard_grad, comm::ReduceOp::kSum,
-                            mp_.reduce_dtype);
+    comm::CollectiveOptions ar_opts;
+    ar_opts.comm_dtype = mp_.reduce_dtype;
+    replicate_pg_.AllReduce(shard_grad, ar_opts);
   }
-  if (grad_divisor != 1.f) shard_grad.Mul_(1.f / grad_divisor);
+  if (pending_divisor_ != 1.f) shard_grad.Mul_(1.f / pending_divisor_);
 
   Tensor existing = sharded_param_.grad();
   if (existing.defined()) {
@@ -172,6 +214,11 @@ void FlatParamHandle::PrepareGradient(float grad_divisor) {
     sharded_param_.set_grad(shard_grad);
   }
   ClearUnshardedGrad();
+}
+
+void FlatParamHandle::PrepareGradient(float grad_divisor) {
+  BeginGradientReduce(grad_divisor);
+  FinishGradientReduce();
 }
 
 void FlatParamHandle::ClearUnshardedGrad() { unsharded_param_.zero_grad(); }

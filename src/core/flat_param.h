@@ -10,9 +10,14 @@
 //   MaterializeAndShard  — build the full flat value (copying eager values or
 //                          replaying deferred-init records one unit at a
 //                          time), keep only the local chunk;
-//   Unshard              — AllGather the chunks into the unsharded flat
-//                          (optionally casting to the low-precision
-//                          param_dtype first: Sec 4.4);
+//   UnshardAsync         — issue the AllGather of the chunks into the
+//                          unsharded flat on the comm worker (optionally
+//                          casting to the low-precision param_dtype first:
+//                          Sec 4.4) and return without waiting;
+//   WaitUnshard          — block until the issued AllGather completed (the
+//                          "wait at first use" point);
+//   Unshard              — UnshardAsync + WaitUnshard (synchronous
+//                          convenience);
 //   UseUnshardedViews    — point every original parameter slot at an
 //                          autograd-visible SliceView of the unsharded flat;
 //   Reshard              — free the unsharded flat's bytes (resize_(0)
@@ -22,12 +27,17 @@
 //                          pre-backward re-gather) aborts loudly with the
 //                          "missing tensor storage" failure the paper
 //                          describes;
-//   PrepareGradient      — post-backward: ReduceScatter the unsharded
-//                          gradient over the shard group (in reduce_dtype),
-//                          AllReduce over the replicate group when F < W
-//                          (hybrid sharding, Eq. 1), divide by the
-//                          data-parallel world size, and accumulate into the
-//                          sharded FlatParameter's .grad.
+//   BeginGradientReduce  — post-backward: issue the async ReduceScatter of
+//                          the unsharded gradient over the shard group (in
+//                          reduce_dtype) on the comm worker;
+//   FinishGradientReduce — wait for the ReduceScatter, AllReduce over the
+//                          replicate group when F < W (hybrid sharding,
+//                          Eq. 1), divide by the data-parallel world size,
+//                          and accumulate into the sharded FlatParameter's
+//                          .grad. Split from Begin so the rank thread never
+//                          blocks on a ReduceScatter queued behind a
+//                          prefetched AllGather;
+//   PrepareGradient      — Begin + Finish (synchronous convenience).
 //
 // The *sharded* FlatParameter is the leaf the optimizer sees; the *unsharded*
 // flat tensor is the autograd leaf the views hang off, whose AccumulateGrad
@@ -78,17 +88,37 @@ class FlatParamHandle {
   /// this rank's chunk. If `sync_from_rank0`, broadcasts the full flat value
   /// over the shard+replicate groups first so all ranks agree.
   void MaterializeAndShard(bool sync_from_rank0);
-  /// AllGathers the local chunks into the unsharded flat parameter. No-op if
-  /// already unsharded. Casts through param_dtype when mixed precision is on.
+  /// Issues the AllGather of the local chunks into the unsharded flat
+  /// parameter on the comm worker and returns without waiting. No-op if
+  /// already unsharded or in flight. Casts through param_dtype when mixed
+  /// precision is on. `tag` labels the comm-lane trace span (unit name).
+  void UnshardAsync(const std::string& tag = "");
+  /// Blocks until the issued AllGather completed; afterwards the unsharded
+  /// values are valid. No-op when nothing is in flight.
+  void WaitUnshard();
+  /// Synchronous unshard: UnshardAsync + WaitUnshard.
   void Unshard();
+  /// True between UnshardAsync and WaitUnshard.
+  bool unshard_in_flight() const { return unshard_in_flight_; }
+  /// The pending unshard's completion handle (trivially-complete when none).
+  const comm::Work& unshard_work() const { return unshard_work_; }
   /// Installs autograd-visible views into the module's parameter slots and
-  /// re-arms the unsharded leaf for gradient accumulation.
+  /// re-arms the unsharded leaf for gradient accumulation. Views carry no
+  /// data reads, so this is safe while the unshard is still in flight.
   void UseUnshardedViews();
-  /// Logically frees (and poisons) the unsharded flat parameter.
+  /// Logically frees (and poisons) the unsharded flat parameter. Waits for a
+  /// pending unshard first — the gather must land before its target dies.
   void Reshard();
-  /// Post-backward gradient path; see file comment. `accumulate` false
-  /// replaces .grad, true adds. Divides by `grad_divisor` (the data-parallel
-  /// world size) after reduction.
+  /// Issues the async ReduceScatter of the unsharded gradient; see file
+  /// comment. The eventual result is divided by `grad_divisor` (the
+  /// data-parallel world size) in FinishGradientReduce.
+  void BeginGradientReduce(float grad_divisor, const std::string& tag = "");
+  /// Waits for the issued ReduceScatter, runs the hybrid-sharding replica
+  /// AllReduce, divides, and accumulates into the sharded .grad. No-op when
+  /// no reduction is in flight.
+  void FinishGradientReduce();
+  bool gradient_reduce_in_flight() const { return reduce_in_flight_; }
+  /// Synchronous gradient path: BeginGradientReduce + FinishGradientReduce.
   void PrepareGradient(float grad_divisor);
   /// Drops the unsharded gradient accumulated on the autograd leaf.
   void ClearUnshardedGrad();
@@ -154,6 +184,15 @@ class FlatParamHandle {
   bool unsharded_ = false;
   bool materialized_ = false;
   std::function<void()> post_backward_hook_;
+
+  // Async-collective state. The Work handles pin the staging tensors
+  // (low-precision casts, reduce sources) until the comm worker completes.
+  comm::Work unshard_work_;
+  bool unshard_in_flight_ = false;
+  comm::Work reduce_work_;
+  Tensor pending_shard_grad_;   // ReduceScatter destination
+  float pending_divisor_ = 1.f;
+  bool reduce_in_flight_ = false;
 };
 
 /// Builds the ParamInfo list (with offsets) for a set of (fqn, slot) pairs,

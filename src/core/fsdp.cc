@@ -25,30 +25,54 @@ bool ReshardAfterForward(ShardingStrategy s) {
          s == ShardingStrategy::kHybridShard;
 }
 
+Status FsdpOptions::Validate(int world_size, int sharding_factor) const {
+  // The mesh's sharding factor must match the strategy (paper Sec 3.2).
+  switch (strategy) {
+    case ShardingStrategy::kFullShard:
+    case ShardingStrategy::kShardGradOp:
+      if (sharding_factor != world_size) {
+        return Status::Invalid(std::string(ShardingStrategyName(strategy)) +
+                               " requires sharding factor == world size");
+      }
+      break;
+    case ShardingStrategy::kNoShard:
+      if (sharding_factor != 1) {
+        return Status::Invalid("NO_SHARD requires sharding factor 1");
+      }
+      break;
+    case ShardingStrategy::kHybridShard:
+    case ShardingStrategy::kHybridShardZero2:
+      if (sharding_factor < 1 || sharding_factor > world_size) {
+        return Status::Invalid("hybrid sharding factor out of range");
+      }
+      break;
+  }
+  // <= 0 could only mean "disabled"; 0 is the canonical spelling. A negative
+  // value is almost certainly an arithmetic bug at the call site, and an
+  // absurdly large cap defeats the limiter's purpose (Sec 3.4).
+  if (limit_all_gathers < 0) {
+    return Status::Invalid("limit_all_gathers must be >= 0 (0 disables)");
+  }
+  if (limit_all_gathers > 1024) {
+    return Status::Invalid("limit_all_gathers out of range (max 1024)");
+  }
+  for (DType d : {mixed_precision.param_dtype, mixed_precision.reduce_dtype,
+                  mixed_precision.buffer_dtype}) {
+    if (!IsFloatingPoint(d)) {
+      return Status::Invalid(
+          "mixed-precision dtypes must be floating point");
+    }
+  }
+  return Status::OK();
+}
+
 FsdpState::FsdpState(nn::ModulePtr module, comm::DeviceMesh& mesh, int rank,
                      FsdpOptions options)
     : module_(std::move(module)), rank_(rank),
       world_size_(mesh.world_size()), options_(std::move(options)) {
   if (!options_.auto_wrap_policy) options_.auto_wrap_policy = NoWrapPolicy();
 
-  // The mesh's sharding factor must match the strategy (paper Sec 3.2).
-  const int f = mesh.sharding_factor();
-  switch (options_.strategy) {
-    case ShardingStrategy::kFullShard:
-    case ShardingStrategy::kShardGradOp:
-      FSDP_CHECK_MSG(f == world_size_,
-                     ShardingStrategyName(options_.strategy)
-                         << " requires sharding factor == world size");
-      break;
-    case ShardingStrategy::kNoShard:
-      FSDP_CHECK_MSG(f == 1, "NO_SHARD requires sharding factor 1");
-      break;
-    case ShardingStrategy::kHybridShard:
-    case ShardingStrategy::kHybridShardZero2:
-      FSDP_CHECK_MSG(f >= 1 && f <= world_size_,
-                     "hybrid sharding factor out of range");
-      break;
-  }
+  options_.Validate(world_size_, mesh.sharding_factor()).Check();
 
   BuildUnits(mesh);
   // Per-iteration arming runs before any unit logic: register on the root
@@ -200,9 +224,14 @@ void FsdpState::ArmIteration() {
 }
 
 void FsdpState::IssueUnshard(Unit& unit) {
-  if (unit.handle->is_unsharded()) return;
+  if (unit.inflight || unit.handle->is_unsharded()) return;
   const double t0 = MonotonicMicros();
-  unit.handle->Unshard();
+  // Async issue: the AllGather proceeds on the comm worker while this rank
+  // thread keeps computing; ConsumeUnshard waits at first parameter use.
+  // The comm worker records the real issue→complete span on the "comm"
+  // lane; this state-log event marks the *issue order* (what the schedule
+  // assertions care about).
+  unit.handle->UnshardAsync(unit.name);
   FSDP_LOG(kDebug, "AG " << unit.name << " ("
                          << unit.handle->padded_numel() * 4 << " bytes)");
   Emit(obs::EventKind::kAllGather, unit.name, t0, MonotonicMicros(),
@@ -213,6 +242,10 @@ void FsdpState::IssueUnshard(Unit& unit) {
 }
 
 void FsdpState::ConsumeUnshard(Unit& unit) {
+  if (unit.handle->unshard_in_flight()) {
+    if (!unit.handle->unshard_work().Completed()) ++waits_on_pending_;
+    unit.handle->WaitUnshard();
+  }
   if (unit.inflight) {
     unit.inflight = false;
     --inflight_;
@@ -246,9 +279,13 @@ void FsdpState::OnPreForward(Unit& unit) {
       }
     }
   }
+  // First real use of the parameters: wait for the pending AllGather before
+  // the unit's compute begins. Stamping fwd_begin after the wait keeps the
+  // exported compute span honest — it must not absorb the gather wait, or
+  // the overlap assertions would trivially pass.
+  ConsumeUnshard(unit);
   unit.fwd_begin_us = MonotonicMicros();
   Emit(obs::EventKind::kForward, unit.name);
-  ConsumeUnshard(unit);
 }
 
 void FsdpState::OnPostForward(Unit& unit, const Tensor& output) {
@@ -319,10 +356,14 @@ void FsdpState::OnPostBackward(Unit& unit) {
   if (require_sync_) {
     const int64_t grad_bytes = unit.handle->padded_numel() * 4;
     const double t0 = MonotonicMicros();
-    unit.handle->PrepareGradient(static_cast<float>(world_size_));
+    // Async issue of the ReduceScatter; OnBackwardFinal waits for it (plus
+    // the replica AllReduce for hybrid sharding) so the rank thread never
+    // stalls here behind a prefetched AllGather on the same comm stream.
+    unit.handle->BeginGradientReduce(static_cast<float>(world_size_),
+                                     unit.name);
     const double t1 = MonotonicMicros();
-    // PrepareGradient runs the ReduceScatter (and the replica AllReduce for
-    // hybrid sharding) back to back; both events share its span.
+    // The state-log events mark issue order (the schedule-assertion
+    // surface); the comm worker records the real spans.
     Emit(obs::EventKind::kReduceScatter, unit.name, t0, t1, grad_bytes);
     if (unit.handle->replicate_pg().valid()) {
       Emit(obs::EventKind::kAllReduce, unit.name, t0, t1, grad_bytes);
@@ -338,17 +379,21 @@ void FsdpState::OnPostBackward(Unit& unit) {
 }
 
 void FsdpState::OnBackwardFinal() {
-  // End of backward (Sec 4.3 queue_callback): wait for pending collectives
-  // (synchronous in the functional layer), reshard everything still
-  // unsharded, and roll the observed forward order into the next iteration's
-  // forward-prefetch hints.
+  // End of backward (Sec 4.3 queue_callback): complete the in-flight
+  // gradient reductions (wait on the async ReduceScatters, run the hybrid
+  // replica AllReduce, divide and accumulate), reshard everything still
+  // unsharded, and roll the observed forward order into the next
+  // iteration's forward-prefetch hints.
   for (Unit& unit : units_) {
+    unit.handle->FinishGradientReduce();
+  }
+  for (Unit& unit : units_) {
+    ConsumeUnshard(unit);  // waits any straggling prefetched AllGather
     if (unit.handle->is_unsharded() && require_sync_) {
       const double t0 = MonotonicMicros();
       unit.handle->Reshard();
       Emit(obs::EventKind::kReshard, unit.name, t0, MonotonicMicros());
     }
-    ConsumeUnshard(unit);
   }
   // Execution-order validation (Sec 3.3.2's "freshly observed each
   // iteration"): surface dynamic-graph order changes.
@@ -373,7 +418,8 @@ FsdpState::Unit* FsdpState::NextBackwardPrefetchTarget(const Unit& current) {
   while (pos != forward_order_.begin()) {
     --pos;
     Unit& candidate = units_[static_cast<size_t>(*pos)];
-    if (!candidate.backward_done && !candidate.handle->is_unsharded()) {
+    if (!candidate.backward_done && !candidate.handle->is_unsharded() &&
+        !candidate.handle->unshard_in_flight()) {
       return &candidate;
     }
   }
@@ -388,7 +434,9 @@ FsdpState::Unit* FsdpState::NextForwardPrefetchTarget(const Unit& current) {
   ++pos;
   if (pos == prev_forward_order_.end()) return nullptr;
   Unit& next = units_[static_cast<size_t>(*pos)];
-  if (next.handle->is_unsharded()) return nullptr;
+  if (next.handle->is_unsharded() || next.handle->unshard_in_flight()) {
+    return nullptr;
+  }
   return &next;
 }
 

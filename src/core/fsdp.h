@@ -26,11 +26,17 @@
 //   end-backward  (queue_callback) reshard everything, roll execution order
 //                 into the next iteration's prefetch hints (Sec 4.3).
 //
-// A rate limiter caps inflight unshards (default 2, the paper's minimum for
-// overlap, Sec 3.4): prefetch beyond the cap is deferred. In the functional
-// layer this preserves the *semantics* (tests assert the cap holds and that
-// event orderings change exactly as the paper describes); its performance
-// consequences are reproduced by the simulator layer.
+// Unshards are issued *asynchronously*: IssueUnshard enqueues the AllGather
+// on the comm-worker runtime (comm/process_group.h) and returns; the rank
+// thread blocks only in ConsumeUnshard, at the first real use of the
+// parameters. Prefetched AllGathers therefore genuinely proceed while the
+// current unit computes, and a rate limiter caps genuinely *pending* work:
+// at most limit_all_gathers un-waited unshards exist at a time (default 2,
+// the paper's minimum for overlap, Sec 3.4) — prefetch beyond the cap is
+// deferred. Gradient reductions are likewise split: the ReduceScatter is
+// issued async at post-backward and completed at end-of-backward, so the
+// rank thread never stalls behind a prefetched AllGather on the same
+// communication stream.
 //
 // The runtime also validates execution order: if the observed pre-forward
 // order changes between iterations (a dynamic graph), prefetch hints adapt
@@ -50,6 +56,7 @@
 #include <vector>
 
 #include "comm/process_group.h"
+#include "common/status.h"
 #include "core/flat_param.h"
 #include "core/wrap_policy.h"
 #include "nn/module.h"
@@ -94,6 +101,14 @@ struct FsdpOptions {
   bool sync_module_states = true;
   /// Record AG/RS/AR/RESHARD/FWD/PREBWD trace events (tests & debugging).
   bool record_events = true;
+
+  /// Checks option consistency against the mesh geometry: strategy vs.
+  /// sharding-factor agreement, limit_all_gathers bounds (0 disables; a
+  /// positive limit must lie in [1, 1024]; negative is rejected), and
+  /// mixed-precision dtype sanity (floating-point only). Both frontends call
+  /// this (via the FsdpState constructor, which aborts on failure); callers
+  /// building options programmatically can validate first.
+  Status Validate(int world_size, int sharding_factor) const;
 };
 
 /// The FSDP runtime attached to a model. Obtain one via FullyShard() (the
@@ -142,6 +157,9 @@ class FsdpState {
   }
   int max_inflight_unshards() const { return max_inflight_; }
   int throttled_prefetches() const { return throttled_prefetches_; }
+  /// How often ConsumeUnshard had to block on an AllGather that was still
+  /// genuinely pending (issued but incomplete) — the overlap-miss count.
+  int waits_on_pending() const { return waits_on_pending_; }
   /// True if the last completed iteration observed a pre-forward order
   /// different from the previous one (dynamic graph detected).
   bool order_changed() const { return order_changed_; }
@@ -169,7 +187,11 @@ class FsdpState {
             double t_begin = -1, double t_end = -1, int64_t bytes = 0);
 
   void ArmIteration();  // root pre-forward: per-iteration reset
+  /// Issues the unit's AllGather asynchronously (no-op if unsharded or
+  /// already in flight) and counts it against the rate limiter.
   void IssueUnshard(Unit& unit);
+  /// First-use point: waits for the unit's pending AllGather (counting
+  /// genuinely-pending waits) and releases its rate-limiter slot.
   void ConsumeUnshard(Unit& unit);
 
   void OnPreForward(Unit& unit);
@@ -201,6 +223,7 @@ class FsdpState {
   int inflight_ = 0;
   int max_inflight_ = 0;
   int throttled_prefetches_ = 0;
+  int waits_on_pending_ = 0;
   std::vector<obs::TraceEvent> trace_;   // the typed log
   std::vector<std::string> events_;      // thin rendering of trace_
 };
@@ -223,14 +246,10 @@ class FullyShardedDataParallel : public nn::Module {
   Tensor Forward(const Tensor& input) override;
   std::string TypeName() const override { return "FullyShardedDataParallel"; }
 
-  // Delegation to the shared runtime.
+  // Curated delegation core. Everything else — grad-sync toggles, unit
+  // introspection, schedule logs, rate-limiter counters — lives on the
+  // shared runtime: use state().
   std::vector<Tensor> Parameters() { return state_->Parameters(); }
-  void set_require_backward_grad_sync(bool v) {
-    state_->set_require_backward_grad_sync(v);
-  }
-  bool require_backward_grad_sync() const {
-    return state_->require_backward_grad_sync();
-  }
   std::vector<std::pair<std::string, Tensor>> FullStateDict() {
     return state_->FullStateDict();
   }
@@ -241,20 +260,16 @@ class FullyShardedDataParallel : public nn::Module {
   std::vector<std::pair<std::string, Tensor>> ShardedStateDict() {
     return state_->ShardedStateDict();
   }
-  int num_units() const { return state_->num_units(); }
-  FlatParamHandle& unit_handle(int i) { return state_->unit_handle(i); }
-  const std::string& unit_name(int i) const { return state_->unit_name(i); }
+  FsdpState& state() { return *state_; }
+
+  /// DEPRECATED: legacy string rendering of the schedule log. Use
+  /// state().trace_events() (typed) instead; this thin shim remains for one
+  /// release so existing callers keep compiling.
+  const std::vector<std::string>& events() const { return state_->events(); }
+  /// Typed schedule log (the replacement for events()).
   const std::vector<obs::TraceEvent>& trace_events() const {
     return state_->trace_events();
   }
-  const std::vector<std::string>& events() const { return state_->events(); }
-  void ClearEvents() { state_->ClearEvents(); }
-  int max_inflight_unshards() const { return state_->max_inflight_unshards(); }
-  int throttled_prefetches() const { return state_->throttled_prefetches(); }
-  bool order_changed() const { return state_->order_changed(); }
-  int rank() const { return state_->rank(); }
-  nn::Module& module() { return state_->module(); }
-  FsdpState& state() { return *state_; }
 
  private:
   nn::ModulePtr module_;

@@ -47,7 +47,9 @@ Tensor DistributedDataParallel::Forward(const Tensor& input) {
   // harmlessly; hooks only fire during backward.)
   for (Bucket& bucket : buckets_) {
     bucket.pending = static_cast<int>(bucket.params.size());
-    bucket.reduced = false;
+    bucket.issued = false;
+    bucket.work = comm::Work();
+    bucket.flat = Tensor();
   }
   callback_queued_ = false;
   return (*module_)(input);
@@ -60,35 +62,48 @@ void DistributedDataParallel::OnParamReady(size_t bucket_index) {
     autograd::QueueCallback([this] { FinalizePendingBuckets(); });
   }
   Bucket& bucket = buckets_[bucket_index];
-  if (--bucket.pending == 0) ReduceBucket(bucket);
+  if (--bucket.pending == 0) IssueBucketReduce(bucket);
 }
 
-void DistributedDataParallel::ReduceBucket(Bucket& bucket) {
+void DistributedDataParallel::IssueBucketReduce(Bucket& bucket) {
   NoGradGuard no_grad;
   // Flatten grads into one bucket buffer (missing grads contribute zeros —
-  // the unused-parameter path), AllReduce once, scatter back.
-  Tensor flat = Tensor::Zeros({bucket.numel});
+  // the unused-parameter path) and issue the AllReduce asynchronously: the
+  // comm worker reduces this bucket while backward keeps producing the next
+  // one. The remaining backward never touches the flat staging buffer.
+  bucket.flat = Tensor::Zeros({bucket.numel});
   int64_t off = 0;
   for (Tensor* slot : bucket.params) {
     Tensor g = slot->grad();
     if (g.defined()) {
-      flat.SliceView(off, {g.numel()}).CopyFrom_(g);
+      bucket.flat.SliceView(off, {g.numel()}).CopyFrom_(g);
     }
     off += slot->numel();
   }
-  pg_.AllReduce(flat, options_.average ? comm::ReduceOp::kAvg
-                                       : comm::ReduceOp::kSum);
-  off = 0;
+  const size_t index = static_cast<size_t>(&bucket - buckets_.data());
+  comm::CollectiveOptions opts;
+  opts.op = options_.average ? comm::ReduceOp::kAvg : comm::ReduceOp::kSum;
+  opts.async = true;
+  opts.tag = "ddp_bucket" + std::to_string(index);
+  bucket.work = pg_.AllReduce(bucket.flat, opts);
+  bucket.issued = true;
+}
+
+void DistributedDataParallel::CompleteBucketReduce(Bucket& bucket) {
+  NoGradGuard no_grad;
+  bucket.work.Wait();
+  int64_t off = 0;
   for (Tensor* slot : bucket.params) {
     Tensor g = slot->grad();
     if (!g.defined()) {
       g = Tensor::Zeros(slot->shape());
       slot->set_grad(g);
     }
-    g.CopyFrom_(flat.SliceView(off, {g.numel()}));
+    g.CopyFrom_(bucket.flat.SliceView(off, {g.numel()}));
     off += slot->numel();
   }
-  bucket.reduced = true;
+  bucket.work = comm::Work();
+  bucket.flat = Tensor();
 }
 
 void DistributedDataParallel::FinalizePendingBuckets() {
@@ -96,8 +111,11 @@ void DistributedDataParallel::FinalizePendingBuckets() {
   // Buckets whose parameters were (partly) unused this backward: reduce with
   // whatever grads exist so every rank ends the iteration consistent.
   for (Bucket& bucket : buckets_) {
-    if (!bucket.reduced) ReduceBucket(bucket);
+    if (!bucket.issued) IssueBucketReduce(bucket);
   }
+  // The wait point: every bucket's Work completes before the optimizer step
+  // can observe .grad.
+  for (Bucket& bucket : buckets_) CompleteBucketReduce(bucket);
 }
 
 }  // namespace fsdp::ddp

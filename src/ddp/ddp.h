@@ -7,9 +7,12 @@
 //  * gradients are synchronized with bucketed AllReduce(avg): parameters are
 //    assigned to fixed-size buckets in *reverse registration order* (the
 //    heuristic approximating backward execution order), each parameter's
-//    AccumulateGrad post-hook marks it ready, and a bucket is reduced as soon
-//    as all of its parameters are ready — overlapping communication with the
-//    remaining backward;
+//    AccumulateGrad post-hook marks it ready, and a bucket's AllReduce is
+//    *issued asynchronously* on the comm worker as soon as all of its
+//    parameters are ready — genuinely overlapping communication with the
+//    remaining backward. The Work handles are waited (and the reduced
+//    values scattered back into .grad) at end-of-backward, before the
+//    optimizer step can observe them;
 //  * unused parameters are handled at end-of-backward (queue_callback):
 //    pending buckets reduce with zero contributions, so .grad is defined for
 //    every parameter on every rank (find_unused_parameters=true semantics);
@@ -52,12 +55,19 @@ class DistributedDataParallel : public nn::Module {
     std::vector<Tensor*> params;  // slots into the wrapped module
     int64_t numel = 0;
     int pending = 0;       // params not yet ready this backward
-    bool reduced = false;  // reduced this backward
+    bool issued = false;   // AllReduce issued this backward
+    comm::Work work;       // completion handle of the issued AllReduce
+    Tensor flat;           // flattened grads (the AllReduce buffer)
   };
 
   void BuildBuckets();
   void OnParamReady(size_t bucket_index);
-  void ReduceBucket(Bucket& bucket);
+  /// Flattens the bucket's grads and issues its async AllReduce.
+  void IssueBucketReduce(Bucket& bucket);
+  /// Waits the bucket's AllReduce and scatters the result back into .grad.
+  void CompleteBucketReduce(Bucket& bucket);
+  /// End-of-backward: issue any still-pending buckets (unused-parameter
+  /// path), then wait + scatter all of them.
   void FinalizePendingBuckets();
 
   nn::ModulePtr module_;

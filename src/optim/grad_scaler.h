@@ -77,7 +77,9 @@ class ShardedGradScaler : public GradScaler {
  protected:
   float SyncFoundInf(float local_found_inf) override {
     Tensor flag = Tensor::Scalar(local_found_inf);
-    pg_.AllReduce(flag, comm::ReduceOp::kMax);
+    comm::CollectiveOptions opts;
+    opts.op = comm::ReduceOp::kMax;
+    pg_.AllReduce(flag, opts);
     return flag.item();
   }
 

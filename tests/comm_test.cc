@@ -102,16 +102,22 @@ TEST_P(CollectiveTest, AllReduceSumAvgMax) {
     comm::ProcessGroup pg(comm, r);
     std::vector<float> buf = {static_cast<float>(r), 1.f,
                               static_cast<float>(-r)};
-    pg.AllReduce(buf.data(), 3, comm::ReduceOp::kSum);
+    comm::CollectiveOptions sum_opts;
+    sum_opts.op = comm::ReduceOp::kSum;
+    pg.AllReduce(buf.data(), 3, sum_opts);
     ASSERT_EQ(buf[0], static_cast<float>(w * (w - 1) / 2));
     ASSERT_EQ(buf[1], static_cast<float>(w));
 
     std::vector<float> avg = {static_cast<float>(2 * r)};
-    pg.AllReduce(avg.data(), 1, comm::ReduceOp::kAvg);
+    comm::CollectiveOptions avg_opts;
+    avg_opts.op = comm::ReduceOp::kAvg;
+    pg.AllReduce(avg.data(), 1, avg_opts);
     ASSERT_FLOAT_EQ(avg[0], static_cast<float>(w - 1));
 
     std::vector<float> mx = {static_cast<float>(r == 0 ? 42 : -r)};
-    pg.AllReduce(mx.data(), 1, comm::ReduceOp::kMax);
+    comm::CollectiveOptions max_opts;
+    max_opts.op = comm::ReduceOp::kMax;
+    pg.AllReduce(mx.data(), 1, max_opts);
     ASSERT_EQ(mx[0], 42.f);
   });
 }
@@ -178,8 +184,9 @@ TEST(CollectiveDtype, LowPrecisionReductionQuantizes) {
     comm::ProcessGroup pg(comm, r);
     std::vector<float> src = {r == 0 ? 1.f : 0.001953125f, 0.f};  // 2^-9
     std::vector<float> dst(1);
-    pg.ReduceScatter(dst.data(), src.data(), 1, comm::ReduceOp::kSum,
-                     DType::kBF16);
+    comm::CollectiveOptions opts;
+    opts.comm_dtype = DType::kBF16;
+    pg.ReduceScatter(dst.data(), src.data(), 1, opts);
     ASSERT_EQ(dst[0], r == 0 ? 1.f : 0.f);  // rank 0's chunk lost the addend
   });
 }

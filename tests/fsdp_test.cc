@@ -113,8 +113,8 @@ TEST_P(FsdpStrategyTest, GradientsMatchLocalReference) {
     Tensor loss = ops::CrossEntropy(fsdp.Forward(RankTokens(r)),
                                     RankTargets(r));
     autograd::RunBackward(loss);
-    for (int u = 0; u < fsdp.num_units(); ++u) {
-      for (auto& [fqn, grad] : fsdp.unit_handle(u).GatherFullGrads()) {
+    for (int u = 0; u < fsdp.state().num_units(); ++u) {
+      for (auto& [fqn, grad] : fsdp.state().unit_handle(u).GatherFullGrads()) {
         ASSERT_TRUE(grad.defined()) << fqn;
         ASSERT_TRUE(grad.AllClose(ref.at(fqn), 1e-4f, 1e-5f))
             << "rank " << r << " param " << fqn;
@@ -326,8 +326,8 @@ TEST(FsdpWrapTest, NoWrapPolicyYieldsSingleUnit) {
   RunOnRanks(2, [&](int r) {
     auto model = MakeModel(1);
     FullyShardedDataParallel fsdp(model, mesh, r, {});
-    ASSERT_EQ(fsdp.num_units(), 1);
-    ASSERT_EQ(fsdp.unit_name(0), "[root]");
+    ASSERT_EQ(fsdp.state().num_units(), 1);
+    ASSERT_EQ(fsdp.state().unit_name(0), "[root]");
   });
 }
 
@@ -338,16 +338,16 @@ TEST(FsdpWrapTest, BlockPolicyCreatesUnitPerBlockPlusRoot) {
     FsdpOptions opts;
     opts.auto_wrap_policy = BlockPolicy();
     FullyShardedDataParallel fsdp(model, mesh, r, opts);
-    ASSERT_EQ(fsdp.num_units(), 3);  // root + 2 blocks
-    ASSERT_EQ(fsdp.unit_name(0), "[root]");
+    ASSERT_EQ(fsdp.state().num_units(), 3);  // root + 2 blocks
+    ASSERT_EQ(fsdp.state().unit_name(0), "[root]");
     // Root holds the residual params (embeddings, final LN, head).
     bool found_emb = false;
-    for (const auto& p : fsdp.unit_handle(0).params()) {
+    for (const auto& p : fsdp.state().unit_handle(0).params()) {
       if (p.fqn == "tok_emb.weight") found_emb = true;
     }
     ASSERT_TRUE(found_emb);
     // Blocks hold only their own params.
-    for (const auto& p : fsdp.unit_handle(1).params()) {
+    for (const auto& p : fsdp.state().unit_handle(1).params()) {
       ASSERT_NE(p.fqn.find("blocks."), std::string::npos) << p.fqn;
     }
   });
@@ -360,7 +360,7 @@ TEST(FsdpWrapTest, SizeBasedPolicy) {
     FsdpOptions opts;
     opts.auto_wrap_policy = core::SizeBasedPolicy(200);
     FullyShardedDataParallel fsdp(model, mesh, r, opts);
-    ASSERT_GT(fsdp.num_units(), 2);
+    ASSERT_GT(fsdp.state().num_units(), 2);
   });
 }
 
@@ -376,11 +376,11 @@ TEST(FsdpWrapTest, MemoryProportionalToShardPlusLargestUnit) {
     opts.auto_wrap_policy = BlockPolicy();
     FullyShardedDataParallel blocks(m2, mesh, r, opts);
     int64_t whole_max = 0, block_max = 0;
-    for (int u = 0; u < whole.num_units(); ++u) {
-      whole_max = std::max(whole_max, whole.unit_handle(u).padded_numel());
+    for (int u = 0; u < whole.state().num_units(); ++u) {
+      whole_max = std::max(whole_max, whole.state().unit_handle(u).padded_numel());
     }
-    for (int u = 0; u < blocks.num_units(); ++u) {
-      block_max = std::max(block_max, blocks.unit_handle(u).padded_numel());
+    for (int u = 0; u < blocks.state().num_units(); ++u) {
+      block_max = std::max(block_max, blocks.state().unit_handle(u).padded_numel());
     }
     ASSERT_LT(block_max, whole_max);
   });
@@ -470,7 +470,7 @@ TEST(MixedPrecisionTest, UnshardedParamsAreQuantized) {
     FsdpOptions opts;
     opts.mixed_precision.param_dtype = DType::kBF16;
     FullyShardedDataParallel fsdp(model, mesh, r, opts);
-    auto& h = fsdp.unit_handle(0);
+    auto& h = fsdp.state().unit_handle(0);
     h.Unshard();
     ASSERT_EQ(h.unsharded_param().dtype(), DType::kBF16);
     // Every gathered value must be exactly bf16-representable.
@@ -573,7 +573,7 @@ TEST(PrefetchTest, BackwardPrefetchReordersAllGatherBeforeReduceScatter) {
       FullyShardedDataParallel fsdp(model, mesh, r, opts);
       Tensor loss = ops::CrossEntropy(fsdp.Forward(RankTokens(r)),
                                       RankTargets(r));
-      fsdp.ClearEvents();
+      fsdp.state().ClearEvents();
       autograd::RunBackward(loss);
       const auto& ev = fsdp.trace_events();
       // Backward visits blocks.1 then blocks.0. With prefetching the AG for
@@ -605,7 +605,7 @@ TEST(PrefetchTest, ForwardPrefetchIssuesNextAllGatherBeforeCompute) {
     Tensor loss = ops::CrossEntropy(fsdp.Forward(RankTokens(r)),
                                     RankTargets(r));
     autograd::RunBackward(loss);
-    fsdp.ClearEvents();
+    fsdp.state().ClearEvents();
     // Iteration 2: prefetch uses iteration 1's order.
     loss = ops::CrossEntropy(fsdp.Forward(RankTokens(r)), RankTargets(r));
     const auto& ev = fsdp.trace_events();
@@ -643,9 +643,9 @@ TEST(RateLimiterTest, CapsInflightUnshards) {
                                         RankTargets(r));
         autograd::RunBackward(loss);
       }
-      ASSERT_LE(fsdp.max_inflight_unshards(), std::max(limit, 1));
+      ASSERT_LE(fsdp.state().max_inflight_unshards(), std::max(limit, 1));
       if (limit == 1) {
-        ASSERT_GT(fsdp.throttled_prefetches(), 0)
+        ASSERT_GT(fsdp.state().throttled_prefetches(), 0)
             << "a tight limit must actually throttle";
       }
     });
@@ -662,7 +662,7 @@ TEST(GradAccumulationTest, NoSyncSkipsCommunicationAndKeepsUnshardedGrads) {
     FsdpOptions opts;
     opts.auto_wrap_policy = BlockPolicy();
     FullyShardedDataParallel fsdp(model, mesh, r, opts);
-    fsdp.ClearEvents();
+    fsdp.state().ClearEvents();
     {
       core::FsdpNoSyncGuard guard(fsdp);
       Tensor loss = ops::CrossEntropy(fsdp.Forward(RankTokens(r)),
@@ -672,14 +672,14 @@ TEST(GradAccumulationTest, NoSyncSkipsCommunicationAndKeepsUnshardedGrads) {
     // No ReduceScatter events; unsharded grads retained.
     ASSERT_FALSE(HasKind(fsdp.trace_events(),
                          obs::EventKind::kReduceScatter));
-    ASSERT_TRUE(fsdp.unit_handle(1).unsharded_param().grad().defined());
-    ASSERT_FALSE(fsdp.unit_handle(1).sharded_param().grad().defined());
+    ASSERT_TRUE(fsdp.state().unit_handle(1).unsharded_param().grad().defined());
+    ASSERT_FALSE(fsdp.state().unit_handle(1).sharded_param().grad().defined());
     // Sync iteration reduces the accumulated total.
     Tensor loss = ops::CrossEntropy(fsdp.Forward(RankTokens(r)),
                                     RankTargets(r));
     autograd::RunBackward(loss);
-    ASSERT_TRUE(fsdp.unit_handle(1).sharded_param().grad().defined());
-    ASSERT_FALSE(fsdp.unit_handle(1).unsharded_param().grad().defined());
+    ASSERT_TRUE(fsdp.state().unit_handle(1).sharded_param().grad().defined());
+    ASSERT_FALSE(fsdp.state().unit_handle(1).unsharded_param().grad().defined());
   });
 }
 
@@ -715,8 +715,8 @@ TEST(GradAccumulationTest, AccumulatedGradsMatchLocal) {
     Tensor loss = ops::CrossEntropy(fsdp.Forward(RankTokens(r + w)),
                                     RankTargets(r));
     autograd::RunBackward(loss);
-    for (int u = 0; u < fsdp.num_units(); ++u) {
-      for (auto& [fqn, grad] : fsdp.unit_handle(u).GatherFullGrads()) {
+    for (int u = 0; u < fsdp.state().num_units(); ++u) {
+      for (auto& [fqn, grad] : fsdp.state().unit_handle(u).GatherFullGrads()) {
         ASSERT_TRUE(grad.AllClose(ref.at(fqn), 1e-4f, 1e-5f))
             << "no-comm accumulation: " << fqn;
       }
@@ -733,8 +733,8 @@ TEST(GradAccumulationTest, AccumulatedGradsMatchLocal) {
           fsdp.Forward(RankTokens(r + w * round)), RankTargets(r));
       autograd::RunBackward(loss);
     }
-    for (int u = 0; u < fsdp.num_units(); ++u) {
-      for (auto& [fqn, grad] : fsdp.unit_handle(u).GatherFullGrads()) {
+    for (int u = 0; u < fsdp.state().num_units(); ++u) {
+      for (auto& [fqn, grad] : fsdp.state().unit_handle(u).GatherFullGrads()) {
         ASSERT_TRUE(grad.AllClose(ref.at(fqn), 1e-4f, 1e-5f))
             << "with-comm accumulation: " << fqn;
       }
@@ -754,15 +754,15 @@ TEST(FsdpEdgeTest, ReshardAfterForwardFreesInnerUnitParams) {
     FullyShardedDataParallel fsdp(model, mesh, r, opts);
     Tensor logits = fsdp.Forward(RankTokens(r));
     // Inner units resharded -> their unsharded storage is freed.
-    ASSERT_FALSE(fsdp.unit_handle(1).is_unsharded());
+    ASSERT_FALSE(fsdp.state().unit_handle(1).is_unsharded());
     ASSERT_FALSE(
-        fsdp.unit_handle(1).unsharded_param().storage()->is_allocated());
+        fsdp.state().unit_handle(1).unsharded_param().storage()->is_allocated());
     // Root kept unsharded (paper Sec 3.3.1).
-    ASSERT_TRUE(fsdp.unit_handle(0).is_unsharded());
+    ASSERT_TRUE(fsdp.state().unit_handle(0).is_unsharded());
     // Despite the poison, backward re-gathers and produces finite grads.
     autograd::RunBackward(
         ops::CrossEntropy(logits, RankTargets(r)));
-    for (auto& [fqn, grad] : fsdp.unit_handle(1).GatherFullGrads()) {
+    for (auto& [fqn, grad] : fsdp.state().unit_handle(1).GatherFullGrads()) {
       ASSERT_FALSE(grad.HasNonFinite()) << fqn;
     }
   });
@@ -778,13 +778,13 @@ TEST(FsdpEdgeTest, ShardGradOpKeepsParamsUnshardedUntilBackward) {
     opts.auto_wrap_policy = BlockPolicy();
     FullyShardedDataParallel fsdp(model, mesh, r, opts);
     Tensor logits = fsdp.Forward(RankTokens(r));
-    ASSERT_TRUE(fsdp.unit_handle(1).is_unsharded());  // NRAF
-    fsdp.ClearEvents();
+    ASSERT_TRUE(fsdp.state().unit_handle(1).is_unsharded());  // NRAF
+    fsdp.state().ClearEvents();
     autograd::RunBackward(ops::CrossEntropy(logits, RankTargets(r)));
     // No AllGather needed in backward (params stayed resident)...
     ASSERT_FALSE(HasKind(fsdp.trace_events(), obs::EventKind::kAllGather));
     // ...but everything is resharded afterwards.
-    ASSERT_FALSE(fsdp.unit_handle(1).is_unsharded());
+    ASSERT_FALSE(fsdp.state().unit_handle(1).is_unsharded());
   });
 }
 
@@ -803,7 +803,7 @@ TEST(FsdpEdgeTest, MultipleForwardsBeforeBackward) {
     autograd::RunBackward(l1);
     autograd::RunBackward(l2);
     // Both backwards reduced into the sharded grad.
-    ASSERT_TRUE(fsdp.unit_handle(0).sharded_param().grad().defined());
+    ASSERT_TRUE(fsdp.state().unit_handle(0).sharded_param().grad().defined());
   });
 }
 
@@ -827,7 +827,7 @@ TEST(FsdpEdgeTest, UnusedUnitGetsNoGradient) {
     Tensor loss = ops::CrossEntropy(fsdp.Forward(RankTokens(r)),
                                     RankTargets(r));
     autograd::RunBackward(loss);
-    ASSERT_TRUE(fsdp.unit_handle(0).sharded_param().grad().defined());
+    ASSERT_TRUE(fsdp.state().unit_handle(0).sharded_param().grad().defined());
   });
 }
 
@@ -839,13 +839,13 @@ TEST(FsdpEdgeTest, TinyUnitMoreRanksThanElements) {
     nn::InitCtx ctx(Device::kCpu, 4);
     auto lin = std::make_shared<nn::Linear>(3, 1, /*bias=*/false, ctx);
     FullyShardedDataParallel fsdp(lin, mesh, r, {});
-    ASSERT_EQ(fsdp.unit_handle(0).shard_numel(), 1);
-    ASSERT_EQ(fsdp.unit_handle(0).padding_numel(), 5);
+    ASSERT_EQ(fsdp.state().unit_handle(0).shard_numel(), 1);
+    ASSERT_EQ(fsdp.state().unit_handle(0).padding_numel(), 5);
     Rng rng(1, 0);
     Tensor x = Tensor::Randn({4, 3}, rng);
     Tensor loss = ops::Sum(fsdp.Forward(x));
     autograd::RunBackward(loss);
-    auto grads = fsdp.unit_handle(0).GatherFullGrads();
+    auto grads = fsdp.state().unit_handle(0).GatherFullGrads();
     ASSERT_TRUE(grads[0].second.defined());
     ASSERT_FALSE(grads[0].second.HasNonFinite());
   });
@@ -886,7 +886,7 @@ TEST(FsdpEdgeTest, ShardedStateDictHoldsOnlyLocalShards) {
     auto sharded = fsdp.ShardedStateDict();
     ASSERT_EQ(sharded.size(), 1u);
     ASSERT_EQ(sharded[0].second.numel(),
-              fsdp.unit_handle(0).shard_numel());
+              fsdp.state().unit_handle(0).shard_numel());
   });
 }
 
@@ -993,14 +993,14 @@ TEST(FsdpLimitationTest, ConsolidatingSharedParamsIntoOneUnitWorks) {
     auto model = std::make_shared<TiedModel>(ctx);
     FullyShardedDataParallel fsdp(model, mesh, r, {});  // single unit
     // Shared weight occupies one flat region with two slots.
-    ASSERT_EQ(fsdp.unit_handle(0).params().size(), 1u);
-    ASSERT_EQ(fsdp.unit_handle(0).params()[0].slots.size(), 2u);
+    ASSERT_EQ(fsdp.state().unit_handle(0).params().size(), 1u);
+    ASSERT_EQ(fsdp.state().unit_handle(0).params()[0].slots.size(), 2u);
     Rng rng(1, 0);
     Tensor x = Tensor::Randn({2, 4}, rng);
     Tensor out = fsdp.Forward(x);
     ASSERT_FALSE(out.HasNonFinite());
     autograd::RunBackward(ops::Sum(out));
-    ASSERT_TRUE(fsdp.unit_handle(0).sharded_param().grad().defined());
+    ASSERT_TRUE(fsdp.state().unit_handle(0).sharded_param().grad().defined());
   });
 }
 
