@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "sim/topology.h"
 #include "simfsdp/schedule.h"
@@ -97,12 +98,13 @@ class JsonRow {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Writes {"bench": <name>, "rows": [...]} to BENCH_<name>.json in the
-/// current directory and says so on stdout. The output parses with
-/// obs::ParseJson (obs_test validates the writers against the parser).
+/// Writes {"bench": <name>, "rows": [...]} to BENCH_<name>.json under
+/// obs::ArtifactPath (so $FSDP_ARTIFACT_DIR or ./build, not the source
+/// tree) and says so on stdout. The output parses with obs::ParseJson
+/// (obs_test validates the writers against the parser).
 inline void WriteBenchJson(const std::string& name,
                            const std::vector<JsonRow>& rows) {
-  const std::string path = "BENCH_" + name + ".json";
+  const std::string path = obs::ArtifactPath("BENCH_" + name + ".json");
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());

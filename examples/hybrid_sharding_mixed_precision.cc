@@ -56,7 +56,11 @@ int main() {
       last = loss.item();
       autograd::RunBackward(scaler.ScaleLoss(loss));
       if (scaler.Step(adam)) ++applied;
-      if (step == 0 && rank == 0) rank0_events = fsdp.events();
+      if (step == 0 && rank == 0) {
+        for (const auto& e : fsdp.trace_events()) {
+          rank0_events.push_back(obs::RenderEvent(e));
+        }
+      }
     }
     if (rank == 0) {
       std::printf("hybrid F=%d over %d ranks: shard group size %d, "

@@ -5,7 +5,8 @@
 //   2. a simulated Figure-5 style run (T5-11B, 2x8 GPUs, backward prefetch)
 //      with virtual timestamps -> trace_fig5_sim.json.
 //
-// Both files load in chrome://tracing or https://ui.perfetto.dev. The binary
+// Both files land under obs::ArtifactPath ($FSDP_ARTIFACT_DIR or ./build)
+// and load in chrome://tracing or https://ui.perfetto.dev. The binary
 // self-validates: it re-parses each file with the in-repo JSON parser, checks
 // the trace_event structure, and asserts on span intervals that AllGathers
 // overlap compute in the simulated timeline (the paper's Sec 3.3 claim).
@@ -106,9 +107,10 @@ void ExportFunctionalStep() {
   });
   collector.set_enabled(false);
   auto events = collector.Snapshot();
-  Status st = obs::WriteChromeTrace("trace_fsdp_step.json", events);
+  const std::string path = obs::ArtifactPath("trace_fsdp_step.json");
+  Status st = obs::WriteChromeTrace(path, events);
   FSDP_CHECK_MSG(st.ok(), st.message());
-  ValidateTraceFile("trace_fsdp_step.json");
+  ValidateTraceFile(path);
   FSDP_CHECK_MSG(AllGatherOverlapsCompute(events),
                  "no real AllGather span overlaps a forward span — the async "
                  "comm-worker runtime is not overlapping communication with "
@@ -127,9 +129,10 @@ void ExportSimulatedFig5() {
   simfsdp::FsdpSimulator(simfsdp::T5_11B(), sim::Topology{2, 8}, c, cfg)
       .Run();
   auto events = collector.Snapshot();
-  Status st = obs::WriteChromeTrace("trace_fig5_sim.json", events);
+  const std::string path = obs::ArtifactPath("trace_fig5_sim.json");
+  Status st = obs::WriteChromeTrace(path, events);
   FSDP_CHECK_MSG(st.ok(), st.message());
-  ValidateTraceFile("trace_fig5_sim.json");
+  ValidateTraceFile(path);
   FSDP_CHECK_MSG(AllGatherOverlapsCompute(events),
                  "no AllGather span overlaps a compute span — the Sec 3.3 "
                  "overlap schedule is broken");

@@ -213,6 +213,30 @@ void FsdpState::Emit(obs::EventKind kind, const std::string& unit,
   trace_.push_back(std::move(e));
 }
 
+void FsdpState::RecordInstr(plan::Op op, const Unit* unit, plan::Phase phase,
+                            bool prefetch) {
+  if (!options_.record_events) return;
+  plan::Instr in;
+  in.op = op;
+  in.unit = unit ? static_cast<int>(unit - units_.data()) : -1;
+  in.phase = phase;
+  in.prefetch = prefetch;
+  switch (op) {
+    case plan::Op::kUnshard:
+    case plan::Op::kReduceGrad:
+    case plan::Op::kAllReduceReplicas:
+      in.lane = plan::Lane::kComm;
+      break;
+    case plan::Op::kCompute:
+      in.lane = plan::Lane::kCompute;
+      break;
+    default:
+      in.lane = plan::Lane::kHost;
+      break;
+  }
+  executed_.push_back(std::move(in));
+}
+
 void FsdpState::ArmIteration() {
   // New iteration: arm per-pass state. (Multiple forwards before a backward
   // keep appending to forward_order_ — the order rolls over only when a
@@ -223,9 +247,10 @@ void FsdpState::ArmIteration() {
   }
 }
 
-void FsdpState::IssueUnshard(Unit& unit) {
+void FsdpState::IssueUnshard(Unit& unit, plan::Phase phase, bool prefetch) {
   if (unit.inflight || unit.handle->is_unsharded()) return;
   const double t0 = MonotonicMicros();
+  RecordInstr(plan::Op::kUnshard, &unit, phase, prefetch);
   // Async issue: the AllGather proceeds on the comm worker while this rank
   // thread keeps computing; ConsumeUnshard waits at first parameter use.
   // The comm worker records the real issue→complete span on the "comm"
@@ -241,8 +266,9 @@ void FsdpState::IssueUnshard(Unit& unit) {
   max_inflight_ = std::max(max_inflight_, inflight_);
 }
 
-void FsdpState::ConsumeUnshard(Unit& unit) {
+void FsdpState::ConsumeUnshard(Unit& unit, plan::Phase phase) {
   if (unit.handle->unshard_in_flight()) {
+    RecordInstr(plan::Op::kWaitUnshard, &unit, phase);
     if (!unit.handle->unshard_work().Completed()) ++waits_on_pending_;
     unit.handle->WaitUnshard();
   }
@@ -258,7 +284,7 @@ void FsdpState::OnPreForward(Unit& unit) {
     forward_seen_.insert(index);
     forward_order_.push_back(index);
   }
-  IssueUnshard(unit);
+  IssueUnshard(unit, plan::Phase::kForward);
   unit.handle->UseUnshardedViews();
 
   // Forward prefetch: issue the next unit's AllGather (previous iteration's
@@ -275,7 +301,7 @@ void FsdpState::OnPreForward(Unit& unit) {
                                      << inflight_ << ")");
         Emit(obs::EventKind::kThrottle, next->name);
       } else {
-        IssueUnshard(*next);
+        IssueUnshard(*next, plan::Phase::kForward, /*prefetch=*/true);
       }
     }
   }
@@ -283,8 +309,9 @@ void FsdpState::OnPreForward(Unit& unit) {
   // the unit's compute begins. Stamping fwd_begin after the wait keeps the
   // exported compute span honest — it must not absorb the gather wait, or
   // the overlap assertions would trivially pass.
-  ConsumeUnshard(unit);
+  ConsumeUnshard(unit, plan::Phase::kForward);
   unit.fwd_begin_us = MonotonicMicros();
+  RecordInstr(plan::Op::kCompute, &unit, plan::Phase::kForward);
   Emit(obs::EventKind::kForward, unit.name);
 }
 
@@ -308,6 +335,7 @@ void FsdpState::OnPostForward(Unit& unit, const Tensor& output) {
   if (ReshardAfterForward(options_.strategy) && !unit.is_root) {
     const double t0 = MonotonicMicros();
     unit.handle->Reshard();
+    RecordInstr(plan::Op::kReshard, &unit, plan::Phase::kForward);
     Emit(obs::EventKind::kReshard, unit.name, t0, MonotonicMicros());
   }
   // Pre-backward anchor: a Tensor hook on the unit's forward output fires
@@ -328,12 +356,13 @@ void FsdpState::OnPreBackward(Unit& unit) {
     final_callback_queued_ = true;
     autograd::QueueCallback([this] { OnBackwardFinal(); });
   }
-  IssueUnshard(unit);
-  ConsumeUnshard(unit);
+  IssueUnshard(unit, plan::Phase::kBackward);
+  ConsumeUnshard(unit, plan::Phase::kBackward);
 }
 
 void FsdpState::OnPostBackward(Unit& unit) {
   unit.backward_done = true;
+  RecordInstr(plan::Op::kCompute, &unit, plan::Phase::kBackward);
   // Backward prefetch: issue the *next* AllGather before the *current*
   // ReduceScatter so the single in-order communication stream does not
   // stall the next gradient computation (Sec 3.3.2).
@@ -349,7 +378,7 @@ void FsdpState::OnPostBackward(Unit& unit) {
                                      << inflight_ << ")");
         Emit(obs::EventKind::kThrottle, next->name);
       } else {
-        IssueUnshard(*next);
+        IssueUnshard(*next, plan::Phase::kBackward, /*prefetch=*/true);
       }
     }
   }
@@ -364,14 +393,17 @@ void FsdpState::OnPostBackward(Unit& unit) {
     const double t1 = MonotonicMicros();
     // The state-log events mark issue order (the schedule-assertion
     // surface); the comm worker records the real spans.
+    RecordInstr(plan::Op::kReduceGrad, &unit, plan::Phase::kBackward);
     Emit(obs::EventKind::kReduceScatter, unit.name, t0, t1, grad_bytes);
     if (unit.handle->replicate_pg().valid()) {
+      RecordInstr(plan::Op::kAllReduceReplicas, &unit, plan::Phase::kBackward);
       Emit(obs::EventKind::kAllReduce, unit.name, t0, t1, grad_bytes);
     }
     const double t2 = MonotonicMicros();
     unit.handle->Reshard();
+    RecordInstr(plan::Op::kReshard, &unit, plan::Phase::kBackward);
     Emit(obs::EventKind::kReshard, unit.name, t2, MonotonicMicros());
-    ConsumeUnshard(unit);
+    ConsumeUnshard(unit, plan::Phase::kBackward);
   }
   // Without sync (accumulation-without-communication, Sec 3.3.4) the
   // unsharded gradient stays on the autograd leaf and the parameters stay
@@ -388,12 +420,18 @@ void FsdpState::OnBackwardFinal() {
     unit.handle->FinishGradientReduce();
   }
   for (Unit& unit : units_) {
-    ConsumeUnshard(unit);  // waits any straggling prefetched AllGather
+    ConsumeUnshard(unit, plan::Phase::kBackward);  // straggling prefetches
     if (unit.handle->is_unsharded() && require_sync_) {
       const double t0 = MonotonicMicros();
       unit.handle->Reshard();
+      RecordInstr(plan::Op::kReshard, &unit, plan::Phase::kBackward);
       Emit(obs::EventKind::kReshard, unit.name, t0, MonotonicMicros());
     }
+  }
+  // The reductions issued through backward complete here (the Sec 4.3
+  // queue_callback join) — one end-of-backward wait in the executed plan.
+  if (require_sync_) {
+    RecordInstr(plan::Op::kWaitReduceGrad, nullptr, plan::Phase::kBackward);
   }
   // Execution-order validation (Sec 3.3.2's "freshly observed each
   // iteration"): surface dynamic-graph order changes.
@@ -438,6 +476,31 @@ FsdpState::Unit* FsdpState::NextForwardPrefetchTarget(const Unit& current) {
     return nullptr;
   }
   return &next;
+}
+
+std::vector<std::string> FsdpState::executed_schedule() const {
+  std::vector<std::string> names;
+  names.reserve(units_.size());
+  for (const Unit& unit : units_) names.push_back(unit.name);
+  return plan::CanonicalSchedule(executed_, names);
+}
+
+plan::StepPlan FsdpState::ExpectedStepPlan() const {
+  // Plan unit order = forward execution order. Units are stored outermost
+  // first, then reversed post-order, so forward order is units_[0] followed
+  // by units_[n-1] .. units_[1].
+  std::vector<std::string> names;
+  names.reserve(units_.size());
+  names.push_back(units_[0].name);
+  for (size_t i = units_.size(); i-- > 1;) names.push_back(units_[i].name);
+
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::RuntimeShape();
+  o.reshard_after_forward = ReshardAfterForward(options_.strategy);
+  o.backward_prefetch = options_.backward_prefetch;
+  o.forward_prefetch = options_.forward_prefetch;
+  o.replica_allreduce = units_[0].handle->replicate_pg().valid();
+  o.grad_sync = require_sync_;
+  return plan::BuildFsdpStepPlan(names, o);
 }
 
 std::vector<Tensor> FsdpState::Parameters() {

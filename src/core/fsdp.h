@@ -48,6 +48,12 @@
 // assertable in tests (trace_events()); events() renders the same log as the
 // legacy "KIND:unit" strings. When the global obs::TraceCollector is
 // enabled, the events are mirrored there for Chrome-trace export.
+//
+// The schedule itself is additionally recorded as typed plan instructions
+// (src/plan): executed_plan() is the instruction stream this rank actually
+// ran, ExpectedStepPlan() is what the shared plan::PlanBuilder predicts from
+// the options, and executed_schedule() renders the canonical projection —
+// the surface tests/plan_test.cc compares against the simulator's plan.
 #pragma once
 
 #include <memory>
@@ -61,6 +67,7 @@
 #include "core/wrap_policy.h"
 #include "nn/module.h"
 #include "obs/trace.h"
+#include "plan/builder.h"
 
 namespace fsdp::core {
 
@@ -154,7 +161,19 @@ class FsdpState {
   void ClearEvents() {
     trace_.clear();
     events_.clear();
+    executed_.clear();
   }
+  /// The plan instructions this rank actually executed, in issue order
+  /// (recorded alongside the trace; cleared by ClearEvents()).
+  const std::vector<plan::Instr>& executed_plan() const { return executed_; }
+  /// Canonical projection of executed_plan() — "OP:unit" strings comparable
+  /// against a builder-emitted plan's Canonical() (tests/plan_test.cc).
+  std::vector<std::string> executed_schedule() const;
+  /// The step plan the shared PlanBuilder predicts for this state's options
+  /// and unit structure (unit names in forward execution order). The
+  /// anti-drift contract: executed_schedule() == ExpectedStepPlan()
+  /// .Canonical() for a steady-state iteration.
+  plan::StepPlan ExpectedStepPlan() const;
   int max_inflight_unshards() const { return max_inflight_; }
   int throttled_prefetches() const { return throttled_prefetches_; }
   /// How often ConsumeUnshard had to block on an AllGather that was still
@@ -186,13 +205,19 @@ class FsdpState {
   void Emit(obs::EventKind kind, const std::string& unit = "",
             double t_begin = -1, double t_end = -1, int64_t bytes = 0);
 
+  /// Appends a typed plan instruction to the executed-plan log.
+  void RecordInstr(plan::Op op, const Unit* unit, plan::Phase phase,
+                   bool prefetch = false);
+
   void ArmIteration();  // root pre-forward: per-iteration reset
   /// Issues the unit's AllGather asynchronously (no-op if unsharded or
-  /// already in flight) and counts it against the rate limiter.
-  void IssueUnshard(Unit& unit);
+  /// already in flight) and counts it against the rate limiter. `phase` and
+  /// `prefetch` annotate the recorded plan instruction.
+  void IssueUnshard(Unit& unit, plan::Phase phase,
+                    bool prefetch = false);
   /// First-use point: waits for the unit's pending AllGather (counting
   /// genuinely-pending waits) and releases its rate-limiter slot.
-  void ConsumeUnshard(Unit& unit);
+  void ConsumeUnshard(Unit& unit, plan::Phase phase = plan::Phase::kNone);
 
   void OnPreForward(Unit& unit);
   void OnPostForward(Unit& unit, const Tensor& output);
@@ -226,6 +251,7 @@ class FsdpState {
   int waits_on_pending_ = 0;
   std::vector<obs::TraceEvent> trace_;   // the typed log
   std::vector<std::string> events_;      // thin rendering of trace_
+  std::vector<plan::Instr> executed_;    // the executed-plan log
 };
 
 /// The functional frontend (`fully_shard`): installs FSDP on `module` via
@@ -262,11 +288,8 @@ class FullyShardedDataParallel : public nn::Module {
   }
   FsdpState& state() { return *state_; }
 
-  /// DEPRECATED: legacy string rendering of the schedule log. Use
-  /// state().trace_events() (typed) instead; this thin shim remains for one
-  /// release so existing callers keep compiling.
-  const std::vector<std::string>& events() const { return state_->events(); }
-  /// Typed schedule log (the replacement for events()).
+  /// Typed schedule log. (The legacy string `events()` shim was removed:
+  /// render with obs::RenderEvent when a string form is needed.)
   const std::vector<obs::TraceEvent>& trace_events() const {
     return state_->trace_events();
   }

@@ -87,10 +87,24 @@ void DistributedDataParallel::IssueBucketReduce(Bucket& bucket) {
   opts.tag = "ddp_bucket" + std::to_string(index);
   bucket.work = pg_.AllReduce(bucket.flat, opts);
   bucket.issued = true;
+
+  plan::Instr in;
+  in.op = plan::Op::kReduceGrad;
+  in.unit = static_cast<int>(index);
+  in.phase = plan::Phase::kBackward;
+  in.lane = plan::Lane::kComm;
+  in.bytes = bucket.numel * 4;
+  executed_.push_back(std::move(in));
 }
 
 void DistributedDataParallel::CompleteBucketReduce(Bucket& bucket) {
   NoGradGuard no_grad;
+  plan::Instr in;
+  in.op = plan::Op::kWaitReduceGrad;
+  in.unit = static_cast<int>(&bucket - buckets_.data());
+  in.phase = plan::Phase::kBackward;
+  in.lane = plan::Lane::kHost;
+  executed_.push_back(std::move(in));
   bucket.work.Wait();
   int64_t off = 0;
   for (Tensor* slot : bucket.params) {

@@ -24,6 +24,7 @@
 
 #include "comm/process_group.h"
 #include "nn/module.h"
+#include "plan/plan.h"
 
 namespace fsdp::ddp {
 
@@ -50,6 +51,15 @@ class DistributedDataParallel : public nn::Module {
   nn::Module& module() { return *module_; }
   int num_buckets() const { return static_cast<int>(buckets_.size()); }
 
+  /// Executed plan instructions: one kReduceGrad per issued bucket (in issue
+  /// order, `unit` = bucket index, `bytes` = bucket gradient bytes) and one
+  /// kWaitReduceGrad per completed bucket. Note the real bucket structure is
+  /// by parameter registration order, not the per-unit structure the
+  /// simulator's BuildDdpSimPlan assumes — the logs share the IR but are not
+  /// canonically comparable.
+  const std::vector<plan::Instr>& executed_plan() const { return executed_; }
+  void ClearExecutedPlan() { executed_.clear(); }
+
  private:
   struct Bucket {
     std::vector<Tensor*> params;  // slots into the wrapped module
@@ -74,6 +84,7 @@ class DistributedDataParallel : public nn::Module {
   comm::ProcessGroup pg_;
   DdpOptions options_;
   std::vector<Bucket> buckets_;
+  std::vector<plan::Instr> executed_;
   bool require_sync_ = true;
   bool callback_queued_ = false;
 };

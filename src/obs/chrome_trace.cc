@@ -1,5 +1,7 @@
 #include "obs/chrome_trace.h"
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -73,6 +75,20 @@ Status WriteChromeTrace(const std::string& path,
   out << ChromeTraceJson(events) << "\n";
   if (!out) return Status::IOError("write failed for " + path);
   return Status::OK();
+}
+
+std::string ArtifactPath(const std::string& filename) {
+  namespace fs = std::filesystem;
+  if (const char* dir = std::getenv("FSDP_ARTIFACT_DIR"); dir && *dir) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);  // best effort; open reports failure
+    return (fs::path(dir) / filename).string();
+  }
+  std::error_code ec;
+  if (fs::is_directory("build", ec)) {
+    return (fs::path("build") / filename).string();
+  }
+  return filename;
 }
 
 }  // namespace fsdp::obs

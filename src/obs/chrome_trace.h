@@ -23,4 +23,10 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
 Status WriteChromeTrace(const std::string& path,
                         const std::vector<TraceEvent>& events);
 
+/// Resolves where a generated artifact (bench JSON, exported trace) should
+/// land: $FSDP_ARTIFACT_DIR if set (created if missing), else ./build when
+/// it exists (the common run-from-source-root case), else the current
+/// directory. Keeps runtime output out of the source tree.
+std::string ArtifactPath(const std::string& filename);
+
 }  // namespace fsdp::obs

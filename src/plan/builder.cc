@@ -1,0 +1,280 @@
+#include "plan/builder.h"
+
+#include "common/status.h"
+
+namespace fsdp::plan {
+
+namespace {
+
+// Per-unit emission state. Mirrors the runtime's own guards (FsdpState's
+// is_unsharded / in_flight / backward_done) so the builder emits exactly the
+// instructions execution would: an unshard is only emitted for a currently
+// sharded unit, and prefetch targets skip units already gathered.
+struct UnitState {
+  bool unsharded = false;
+  bool backward_done = false;
+  int last_unshard = -1;  // instr index of the latest kUnshard (dep anchor)
+  bool pending_wait = false;  // gathered but not yet waited at a use point
+};
+
+class Emitter {
+ public:
+  Emitter(StepPlan& plan, const FsdpPlanOptions& o)
+      : plan_(plan), o_(o), st_(plan.unit_names.size()) {}
+
+  int Emit(Op op, int unit, Phase phase, Seg seg, Lane lane, bool prefetch,
+           std::vector<int> deps) {
+    Instr in;
+    in.op = op;
+    in.unit = unit;
+    in.phase = phase;
+    in.seg = seg;
+    in.lane = lane;
+    in.prefetch = prefetch;
+    in.microbatch = mb_;
+    in.deps = std::move(deps);
+    plan_.instrs.push_back(std::move(in));
+    return plan_.size() - 1;
+  }
+
+  /// Issue-unshard: rate-limiter gate (when modelled) + AllGather. No-op for
+  /// an already gathered unit — the execution-layer guard.
+  void Unshard(int u, Phase phase, bool prefetch) {
+    if (st_[u].unsharded) return;
+    if (o_.limiter) {
+      Emit(Op::kRateLimitGate, u, phase, Seg::kMain, Lane::kHost, prefetch,
+           {});
+    }
+    st_[u].last_unshard =
+        Emit(Op::kUnshard, u, phase, Seg::kMain, Lane::kComm, prefetch, {});
+    st_[u].unsharded = true;
+    st_[u].pending_wait = true;
+  }
+
+  /// First-use wait on a pending AllGather. Emitted only when one is pending
+  /// — matching the runtime, which records a wait only for an in-flight
+  /// unshard.
+  void MaybeWait(int u, Phase phase) {
+    if (!o_.emit_waits || !st_[u].pending_wait) return;
+    Emit(Op::kWaitUnshard, u, phase, Seg::kMain, Lane::kHost, false, {});
+    st_[u].pending_wait = false;
+  }
+
+  int Compute(int u, Phase phase, Seg seg, std::vector<int> deps) {
+    st_[u].pending_wait = false;  // compute is the use point
+    return Emit(Op::kCompute, u, phase, seg, Lane::kCompute, false,
+                std::move(deps));
+  }
+
+  /// Gradient-reduction chain for one unit: ReduceScatter (AllReduce under
+  /// replication follows; CPU offload appends the D2H shard copy for
+  /// non-root units — the simulator's long-standing shape). Returns the
+  /// chain's tail instr.
+  int ReduceChain(int u, bool offload_d2h) {
+    int r = Emit(Op::kReduceGrad, u, Phase::kBackward, Seg::kMain, Lane::kComm,
+                 false, {prev_bwd_});
+    if (o_.replica_allreduce) {
+      r = Emit(Op::kAllReduceReplicas, u, Phase::kBackward, Seg::kMain,
+               Lane::kComm, false, {r});
+    }
+    if (o_.cpu_offload && offload_d2h) {
+      r = Emit(Op::kGradOffloadD2H, u, Phase::kBackward, Seg::kMain,
+               Lane::kComm, false, {r});
+    }
+    if (o_.memory_instrs) {
+      Emit(Op::kFreeGrad, u, Phase::kBackward, Seg::kMain, Lane::kHost, false,
+           {r});
+    }
+    opt_deps_.push_back(r);
+    return r;
+  }
+
+  void BackwardReshard(int u, bool sync_mb) {
+    if (!o_.backward_reshard) return;
+    if (o_.reshard_requires_sync && !sync_mb) return;
+    Emit(Op::kReshard, u, Phase::kBackward, Seg::kMain, Lane::kHost, false,
+         {prev_bwd_});
+    if (o_.backward_reshard_frees) st_[u].unsharded = false;
+  }
+
+  void BuildMicrobatch() {
+    const int n = static_cast<int>(st_.size());
+    const bool sync_mb =
+        o_.grad_sync && (o_.accum_with_comm || mb_ + 1 == o_.microbatches);
+    for (UnitState& s : st_) s.backward_done = false;
+
+    // ---------- forward ----------
+    int input_ex = -1;
+    if (o_.input_exchange) {
+      input_ex = Emit(Op::kInputExchange, -1, Phase::kForward, Seg::kMain,
+                      Lane::kComm, false, {});
+    }
+    // Root gathered first and kept through forward (Sec 3.3.1).
+    Unshard(0, Phase::kForward, false);
+    MaybeWait(0, Phase::kForward);
+    std::vector<int> root_deps;
+    if (st_[0].last_unshard >= 0) root_deps.push_back(st_[0].last_unshard);
+    if (input_ex >= 0) root_deps.push_back(input_ex);
+    int prev_fwd = Compute(
+        0, Phase::kForward,
+        o_.root_compute_split ? Seg::kRootPre : Seg::kMain,
+        std::move(root_deps));
+
+    for (int i = 1; i < n; ++i) {
+      Unshard(i, Phase::kForward, false);
+      if (o_.forward_prefetch && i + 1 < n) {
+        Unshard(i + 1, Phase::kForward, true);
+      }
+      MaybeWait(i, Phase::kForward);
+      std::vector<int> deps;
+      if (st_[i].last_unshard >= 0) deps.push_back(st_[i].last_unshard);
+      prev_fwd = Compute(i, Phase::kForward, Seg::kMain, std::move(deps));
+      if (o_.reshard_after_forward) {
+        Emit(Op::kReshard, i, Phase::kForward, Seg::kMain, Lane::kHost, false,
+             {prev_fwd});
+        st_[i].unsharded = false;
+      }
+    }
+    if (o_.root_compute_split) {
+      // Head / logits close the forward and open the backward.
+      std::vector<int> deps{prev_fwd};
+      if (st_[0].last_unshard >= 0) deps.push_back(st_[0].last_unshard);
+      int head_fwd =
+          Compute(0, Phase::kForward, Seg::kRootHead, std::move(deps));
+      prev_bwd_ = Compute(0, Phase::kBackward, Seg::kRootHead, {head_fwd});
+    } else {
+      prev_bwd_ = -1;
+    }
+
+    // ---------- backward (reverse unit order) ----------
+    for (int idx = n - 1; idx >= 1; --idx) {
+      Unshard(idx, Phase::kBackward, false);  // re-gather under RAF
+      MaybeWait(idx, Phase::kBackward);
+      std::vector<int> deps;
+      if (st_[idx].last_unshard >= 0) deps.push_back(st_[idx].last_unshard);
+      if (prev_bwd_ >= 0) deps.push_back(prev_bwd_);
+      prev_bwd_ = Compute(idx, Phase::kBackward, Seg::kMain, std::move(deps));
+      st_[idx].backward_done = true;
+
+      // Backward prefetch: the next AllGather ahead of this ReduceScatter
+      // (Sec 3.3.2). Target search = the runtime's reverse walk of the
+      // forward order, skipping finished or already gathered units.
+      if (o_.backward_prefetch) {
+        for (int j = idx - 1; j >= 0; --j) {
+          if (st_[j].backward_done || st_[j].unsharded) continue;
+          Unshard(j, Phase::kBackward, true);
+          break;
+        }
+      }
+      if (sync_mb) ReduceChain(idx, /*offload_d2h=*/true);
+      BackwardReshard(idx, sync_mb);
+      if (o_.memory_instrs) {
+        Emit(Op::kFreeAct, idx, Phase::kBackward, Seg::kMain, Lane::kHost,
+             false, {prev_bwd_});
+      }
+    }
+
+    // Root backward and its reduction (no D2H: the simulator has always kept
+    // the root gradient shard on device).
+    std::vector<int> rdeps;
+    if (prev_bwd_ >= 0) rdeps.push_back(prev_bwd_);
+    prev_bwd_ = Compute(0, Phase::kBackward,
+                        o_.root_compute_split ? Seg::kRootPre : Seg::kMain,
+                        std::move(rdeps));
+    st_[0].backward_done = true;
+    opt_deps_.push_back(prev_bwd_);
+    if (sync_mb) ReduceChain(0, /*offload_d2h=*/false);
+    BackwardReshard(0, sync_mb);
+
+    // End-of-backward join: the issued reductions complete before the
+    // optimizer may observe gradients (queue_callback, Sec 4.3).
+    if (sync_mb && o_.emit_waits) {
+      Emit(Op::kWaitReduceGrad, -1, Phase::kBackward, Seg::kMain, Lane::kHost,
+           false, {});
+    }
+  }
+
+  void Build() {
+    for (mb_ = 0; mb_ < o_.microbatches; ++mb_) BuildMicrobatch();
+    Emit(Op::kOptimStep, -1, Phase::kNone, Seg::kMain, Lane::kCompute, false,
+         std::move(opt_deps_));
+  }
+
+ private:
+  StepPlan& plan_;
+  const FsdpPlanOptions& o_;
+  std::vector<UnitState> st_;
+  int mb_ = 0;
+  int prev_bwd_ = -1;
+  std::vector<int> opt_deps_;
+};
+
+}  // namespace
+
+StepPlan BuildFsdpStepPlan(const std::vector<std::string>& unit_names,
+                           const FsdpPlanOptions& options) {
+  FSDP_CHECK_MSG(!unit_names.empty(), "plan needs at least the root unit");
+  FSDP_CHECK_MSG(options.microbatches >= 1, "microbatches must be >= 1");
+  StepPlan plan;
+  plan.unit_names = unit_names;
+  Emitter(plan, options).Build();
+  return plan;
+}
+
+StepPlan BuildDdpStepPlan(const std::vector<std::string>& unit_names,
+                          const DdpPlanOptions& options) {
+  FSDP_CHECK_MSG(!unit_names.empty(), "plan needs at least the root unit");
+  FSDP_CHECK_MSG(options.unit_bytes.size() == unit_names.size(),
+                 "unit_bytes must match unit_names");
+  StepPlan plan;
+  plan.unit_names = unit_names;
+  const int n = static_cast<int>(unit_names.size());
+  auto emit = [&](Op op, int unit, Phase phase, Seg seg, Lane lane,
+                  int64_t bytes, std::vector<int> deps) {
+    Instr in;
+    in.op = op;
+    in.unit = unit;
+    in.phase = phase;
+    in.seg = seg;
+    in.lane = lane;
+    in.bytes = bytes;
+    in.deps = std::move(deps);
+    plan.instrs.push_back(std::move(in));
+    return plan.size() - 1;
+  };
+
+  // Forward: root prologue, units in order, head epilogue.
+  int prev = emit(Op::kCompute, 0, Phase::kForward, Seg::kRootPre,
+                  Lane::kCompute, 0, {});
+  for (int i = 1; i < n; ++i) {
+    prev = emit(Op::kCompute, i, Phase::kForward, Seg::kMain, Lane::kCompute,
+                0, {});
+  }
+  prev = emit(Op::kCompute, 0, Phase::kForward, Seg::kRootHead, Lane::kCompute,
+              0, {prev});
+  // Backward: head first, then reverse unit order with bucketed AllReduce
+  // overlap — a bucket's reduction is issued as soon as enough gradient
+  // bytes accumulate (reverse order approximates readiness order).
+  prev = emit(Op::kCompute, 0, Phase::kBackward, Seg::kRootHead,
+              Lane::kCompute, 0, {prev});
+  std::vector<int> opt_deps;
+  int64_t bucket_fill = 0;
+  for (int i = n - 1; i >= 1; --i) {
+    prev = emit(Op::kCompute, i, Phase::kBackward, Seg::kMain, Lane::kCompute,
+                0, {prev});
+    bucket_fill += options.unit_bytes[static_cast<size_t>(i)];
+    if (bucket_fill >= options.bucket_bytes || i == 1) {
+      opt_deps.push_back(emit(Op::kReduceGrad, i, Phase::kBackward, Seg::kMain,
+                              Lane::kComm, bucket_fill, {prev}));
+      bucket_fill = 0;
+    }
+  }
+  // Root parameters reduce in the final bucket.
+  opt_deps.push_back(emit(Op::kReduceGrad, 0, Phase::kBackward, Seg::kMain,
+                          Lane::kComm, options.unit_bytes[0], {prev}));
+  emit(Op::kOptimStep, -1, Phase::kNone, Seg::kMain, Lane::kCompute, 0,
+       std::move(opt_deps));
+  return plan;
+}
+
+}  // namespace fsdp::plan

@@ -1,0 +1,112 @@
+// PlanBuilder — emits the StepPlan both execution layers share.
+//
+// BuildFsdpStepPlan unrolls one steady-state FSDP training step for a model
+// of N units (unit 0 = root) under the paper's schedule knobs: sharding
+// strategy effects (reshard-after-forward, replica AllReduce, backward
+// reshard), backward/forward prefetch (Secs 3.3.2/3.3.3), the rate limiter
+// (Sec 3.4), CPU offload, and gradient accumulation with/without
+// communication (Sec 3.3.4). The builder simulates the runtime's own guards
+// (a prefetched unit is not re-unshared; prefetch targets skip units that
+// are still unsharded) so the emitted instruction order is exactly what the
+// functional layer executes and what the simulator replays.
+//
+// Two fidelity *shapes* share the one emission core, selected by flags:
+//
+//   * runtime shape (FsdpPlanOptions::RuntimeShape / ExpectedStepPlan in
+//     core/fsdp.h): the root computes as one unit, Wait* markers are
+//     emitted, substrate bookkeeping (allocator frees, gates) is not — this
+//     matches the hook order core::FsdpState records;
+//   * simulator shape (FsdpPlanOptions::SimShape): the analytic workloads
+//     split the root into embedding-side prologue + head epilogue, and the
+//     plan carries the rate-limiter gates and activation/gradient frees the
+//     virtual-memory substrate interprets. Wait markers are still emitted
+//     (the interpreter treats them as free — its CPU thread runs ahead,
+//     Sec 3.4) so both shapes project onto the same canonical schedule.
+//
+// Their canonical projections (plan::CanonicalSchedule) agree on the shared
+// schedule ops — the property tests/plan_test.cc locks down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace fsdp::plan {
+
+struct FsdpPlanOptions {
+  /// Free unsharded parameters after each non-root unit's forward; re-gather
+  /// them in backward (FULL_SHARD / HYBRID_SHARD).
+  bool reshard_after_forward = true;
+  /// Issue the next AllGather before the current ReduceScatter (Sec 3.3.2).
+  bool backward_prefetch = true;
+  /// Issue the next unit's AllGather before the current forward compute
+  /// (Sec 3.3.3). The plan is the steady-state iteration: the functional
+  /// layer only prefetches once it has observed an order, from iteration 2.
+  bool forward_prefetch = false;
+  /// Emit a RateLimitGate before every unshard (simulator semantics: the CPU
+  /// thread blocks on free events when the inflight cap is hit, Sec 3.4).
+  bool limiter = false;
+  /// F < W: gradient reduction is ReduceScatter + replica AllReduce (Eq. 1).
+  bool replica_allreduce = false;
+  /// Free the unsharded parameter after each unit's backward.
+  bool backward_reshard = true;
+  /// Whether the backward reshard actually releases the gathered parameter
+  /// for re-gathering. True everywhere except the simulator's F = 1 case,
+  /// where resharding is a no-op and the next step's unshard is skipped.
+  bool backward_reshard_frees = true;
+  /// Runtime ties the backward reshard to gradient sync (no_sync keeps
+  /// parameters unsharded); the simulator frees regardless (it re-gathers
+  /// per microbatch under accumulation).
+  bool reshard_requires_sync = false;
+  /// require_backward_grad_sync: false drops every reduction (no_sync).
+  bool grad_sync = true;
+  bool cpu_offload = false;    // H2D before AllGather, D2H after reduction
+  bool input_exchange = false; // DHEN sparse all-to-all feeding forward
+  /// Split the root into RootPre/RootHead compute segments (see file
+  /// comment).
+  bool root_compute_split = false;
+  /// Emit FreeGrad/FreeAct for the virtual-memory substrate.
+  bool memory_instrs = false;
+  /// Emit WaitUnshard / WaitReduceGrad markers (the functional layer's
+  /// blocking points; the simulator's CPU thread deliberately never blocks
+  /// there — that run-ahead is the Sec 3.4 story).
+  bool emit_waits = true;
+  int microbatches = 1;
+  /// Gradient accumulation variant: true reduces every microbatch, false
+  /// only the last (Sec 3.3.4).
+  bool accum_with_comm = true;
+
+  static FsdpPlanOptions RuntimeShape() {
+    FsdpPlanOptions o;
+    o.reshard_requires_sync = true;
+    return o;
+  }
+  static FsdpPlanOptions SimShape() {
+    FsdpPlanOptions o;
+    o.root_compute_split = true;
+    o.memory_instrs = true;
+    return o;
+  }
+};
+
+/// Builds the FSDP step plan for units `unit_names` (index 0 = root, rest in
+/// forward execution order).
+StepPlan BuildFsdpStepPlan(const std::vector<std::string>& unit_names,
+                           const FsdpPlanOptions& options);
+
+struct DdpPlanOptions {
+  /// Gradient bucket capacity in bytes; buckets fill in reverse unit order.
+  int64_t bucket_bytes = 25 << 20;
+  /// Per-unit gradient bytes (unit_bytes[0] = root), used to place bucket
+  /// boundaries — bucket assignment is schedule structure, not cost.
+  std::vector<int64_t> unit_bytes;
+};
+
+/// Builds the DDP baseline step plan: forward computes, backward computes in
+/// reverse with bucketed AllReduce issues overlapping them, optimizer join.
+StepPlan BuildDdpStepPlan(const std::vector<std::string>& unit_names,
+                          const DdpPlanOptions& options);
+
+}  // namespace fsdp::plan

@@ -1,0 +1,108 @@
+#include "plan/plan.h"
+
+namespace fsdp::plan {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kRateLimitGate: return "GATE";
+    case Op::kUnshard: return "UNSHARD";
+    case Op::kWaitUnshard: return "WAIT_UNSHARD";
+    case Op::kCompute: return "COMPUTE";
+    case Op::kInputExchange: return "INPUT_EXCHANGE";
+    case Op::kReduceGrad: return "REDUCE_GRAD";
+    case Op::kAllReduceReplicas: return "ALLREDUCE_REPLICAS";
+    case Op::kGradOffloadD2H: return "GRAD_D2H";
+    case Op::kWaitReduceGrad: return "WAIT_REDUCE_GRAD";
+    case Op::kReshard: return "RESHARD";
+    case Op::kFreeGrad: return "FREE_GRAD";
+    case Op::kFreeAct: return "FREE_ACT";
+    case Op::kOptimStep: return "OPTIM_STEP";
+  }
+  return "?";
+}
+
+const char* LaneName(Lane lane) {
+  switch (lane) {
+    case Lane::kCompute: return "compute";
+    case Lane::kComm: return "comm";
+    case Lane::kHost: return "host";
+  }
+  return "?";
+}
+
+obs::EventKind ToEventKind(Op op, Phase phase) {
+  switch (op) {
+    case Op::kUnshard: return obs::EventKind::kAllGather;
+    case Op::kReduceGrad: return obs::EventKind::kReduceScatter;
+    case Op::kAllReduceReplicas: return obs::EventKind::kAllReduce;
+    case Op::kInputExchange: return obs::EventKind::kAllToAll;
+    case Op::kCompute:
+      return phase == Phase::kBackward ? obs::EventKind::kBackward
+                                       : obs::EventKind::kForward;
+    case Op::kReshard: return obs::EventKind::kReshard;
+    case Op::kOptimStep: return obs::EventKind::kOptimStep;
+    case Op::kGradOffloadD2H: return obs::EventKind::kD2H;
+    case Op::kRateLimitGate: return obs::EventKind::kThrottle;
+    case Op::kFreeGrad:
+    case Op::kFreeAct: return obs::EventKind::kAlloc;
+    case Op::kWaitUnshard:
+    case Op::kWaitReduceGrad: return obs::EventKind::kMarker;
+  }
+  return obs::EventKind::kMarker;
+}
+
+std::string RenderInstr(const Instr& instr,
+                        const std::vector<std::string>& names) {
+  std::string label;
+  if (instr.unit >= 0 && instr.unit < static_cast<int>(names.size())) {
+    label = names[static_cast<size_t>(instr.unit)];
+  }
+  if (instr.op == Op::kCompute) {
+    // Computes render by phase. The root prologue (kRootPre) renders as the
+    // root unit itself — it is the simulator's half of what the functional
+    // runtime executes as the single root compute — while the head epilogue
+    // keeps a distinguishing suffix (and is excluded from the canonical
+    // projection, which the runtime has no counterpart for).
+    if (instr.seg == Seg::kRootHead) label += ".head";
+    return std::string(instr.phase == Phase::kBackward ? "BWD" : "FWD") + ":" +
+           label;
+  }
+  if (label.empty()) return OpName(instr.op);
+  return std::string(OpName(instr.op)) + ":" + label;
+}
+
+bool IsCanonicalOp(Op op) {
+  switch (op) {
+    case Op::kUnshard:
+    case Op::kWaitUnshard:
+    case Op::kCompute:
+    case Op::kReduceGrad:
+    case Op::kAllReduceReplicas:
+    case Op::kWaitReduceGrad:
+    case Op::kReshard:
+    case Op::kInputExchange:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<std::string> CanonicalSchedule(
+    const std::vector<Instr>& instrs, const std::vector<std::string>& names) {
+  std::vector<std::string> out;
+  out.reserve(instrs.size());
+  for (const Instr& instr : instrs) {
+    if (!IsCanonicalOp(instr.op)) continue;
+    // Head-segment computes are a simulator-only decomposition of the root
+    // unit (the runtime's root compute maps to the kRootPre/kMain segment).
+    if (instr.op == Op::kCompute && instr.seg == Seg::kRootHead) continue;
+    out.push_back(RenderInstr(instr, names));
+  }
+  return out;
+}
+
+std::vector<std::string> StepPlan::Canonical() const {
+  return CanonicalSchedule(instrs, unit_names);
+}
+
+}  // namespace fsdp::plan

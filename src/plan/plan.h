@@ -1,0 +1,117 @@
+// Typed execution-plan IR — the single source of truth for the FSDP/DDP
+// schedule (paper Secs 3.2–3.3).
+//
+// A StepPlan is one training step flattened into an ordered list of typed
+// instructions: Unshard (AllGather issue), WaitUnshard, Compute, ReduceGrad
+// (ReduceScatter issue; bucket AllReduce for DDP), AllReduceReplicas,
+// WaitReduceGrad, Reshard (free the unsharded parameter), RateLimitGate,
+// OptimStep, plus substrate bookkeeping ops (activation/gradient frees, CPU
+// offload copies, non-FSDP input exchange). Each instruction carries its
+// stream lane and explicit dependency edges (indices of earlier
+// instructions whose completion gates its start).
+//
+// Two layers consume the same IR:
+//
+//   * the REAL runtime (core::FsdpState, ddp::DistributedDataParallel)
+//     records the instructions it actually executes, in issue order, into an
+//     executed-plan log;
+//   * the SIMULATOR (simfsdp::FsdpSimulator / DdpSimulator) interprets a
+//     StepPlan emitted by the builder (plan/builder.h) against the
+//     virtual-time substrate — streams, caching allocator, cost models.
+//
+// CanonicalSchedule projects either side onto the schedule-defining ops so
+// tests can assert real-execution order == simulator-consumed plan order
+// (tests/plan_test.cc — the anti-drift contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fsdp::plan {
+
+enum class Op : int {
+  kRateLimitGate = 0,  // block until an inflight-unshard slot frees (Sec 3.4)
+  kUnshard,            // issue the unit's AllGather (+ unsharded-buffer alloc,
+                       //   + H2D shard upload under CPU offload)
+  kWaitUnshard,        // first-use point: block on the pending AllGather
+  kCompute,            // unit forward/backward compute (see phase/seg)
+  kInputExchange,      // non-FSDP input collective (DHEN sparse all-to-all)
+  kReduceGrad,         // issue the gradient ReduceScatter (DDP: bucket
+                       //   AllReduce); `bytes` carries DDP bucket size
+  kAllReduceReplicas,  // hybrid-sharding replica AllReduce (Eq. 1)
+  kGradOffloadD2H,     // D2H copy of the reduced gradient shard (CPU offload)
+  kWaitReduceGrad,     // end-of-backward completion of issued reductions
+  kReshard,            // free the unsharded flat parameter
+  kFreeGrad,           // release the unsharded gradient buffer
+  kFreeAct,            // release the unit's persisted activations
+  kOptimStep,          // sharded optimizer step
+};
+
+enum class Phase : int { kNone = 0, kForward, kBackward };
+
+/// Which segment of a unit's computation a kCompute instruction covers. The
+/// simulator's analytic workloads split the root unit into an embedding-side
+/// prologue and a head/loss epilogue (Sec 3.3.1); the functional runtime
+/// treats the root as one unit (kMain).
+enum class Seg : int { kMain = 0, kRootPre, kRootHead };
+
+enum class Lane : int { kCompute = 0, kComm, kHost };
+
+struct Instr {
+  Op op = Op::kCompute;
+  int unit = -1;  // index into StepPlan::unit_names (-1: none / all units)
+  Phase phase = Phase::kNone;
+  Seg seg = Seg::kMain;
+  Lane lane = Lane::kCompute;
+  bool prefetch = false;  // unshard issued ahead of first use (Secs 3.3.2/3.3.3)
+  int microbatch = 0;
+  int64_t bytes = 0;      // payload where structural (DDP bucket bytes)
+  /// Completion edges: indices of earlier instructions this one starts
+  /// after. Same-lane ordering is implicit (streams execute in order);
+  /// edges express the cross-lane waits (compute after its AllGather, the
+  /// ReduceScatter after its backward, the optimizer after all reductions).
+  std::vector<int> deps;
+};
+
+/// One training step (steady-state iteration) as ordered instructions.
+/// unit_names[0] is the root/outermost unit; the rest follow forward
+/// execution order.
+struct StepPlan {
+  std::vector<std::string> unit_names;
+  std::vector<Instr> instrs;
+
+  int size() const { return static_cast<int>(instrs.size()); }
+  /// Schedule-defining projection of this plan (see CanonicalSchedule).
+  std::vector<std::string> Canonical() const;
+};
+
+const char* OpName(Op op);
+const char* LaneName(Lane lane);
+
+/// The obs::TraceEvent kind an instruction maps to when exported (the
+/// plan -> trace-lane contract shared by both layers).
+obs::EventKind ToEventKind(Op op, Phase phase);
+
+/// Renders one instruction as "OP:unit" (e.g. "UNSHARD:blocks.0",
+/// "BWD:blocks.1", "FWD:[root].head"). `names` supplies unit labels.
+std::string RenderInstr(const Instr& instr,
+                        const std::vector<std::string>& names);
+
+/// True for ops that define the schedule the paper's claims are about —
+/// collective issues, computes, waits, and resharding frees. Substrate
+/// bookkeeping (rate-limiter gates, allocator frees, offload copies) and the
+/// optimizer join are excluded: the functional layer either has no such
+/// instruction or places it outside the FSDP hooks.
+bool IsCanonicalOp(Op op);
+
+/// Projects an instruction stream onto the canonical schedule ops, rendered
+/// as "OP:unit" strings. Equality of two projections (one recorded by real
+/// execution, one emitted by the builder and consumed by the simulator) is
+/// the anti-drift assertion of tests/plan_test.cc.
+std::vector<std::string> CanonicalSchedule(
+    const std::vector<Instr>& instrs, const std::vector<std::string>& names);
+
+}  // namespace fsdp::plan

@@ -25,6 +25,9 @@ double FlopsPerUs(const sim::SimConstants& c, DType dtype) {
   return peak * 1e12 * c.matmul_efficiency / 1e6;
 }
 
+// Per-unit cost/state table — the *cost* side of the simulation. The
+// *schedule* side (instruction order and dependencies) comes from the
+// interpreted plan::StepPlan.
 struct UnitSim {
   // static
   std::string label;
@@ -41,17 +44,58 @@ struct UnitSim {
   sim::CachingAllocator::BlockId param_block = -1;
   sim::CachingAllocator::BlockId grad_block = -1;
   sim::CachingAllocator::BlockId act_block = -1;
-  sim::SimTime ag_end = 0;
-  sim::SimTime fwd_end = 0;
   bool unsharded = false;
 };
 
+std::vector<std::string> SimUnitNames(const Workload& w) {
+  std::vector<std::string> names;
+  names.reserve(w.units.size() + 1);
+  names.push_back("[root]");
+  for (size_t i = 0; i < w.units.size(); ++i) {
+    names.push_back("unit" + std::to_string(i + 1));
+  }
+  return names;
+}
+
+int NormalizedShardingFactor(const sim::Topology& topo,
+                             const FsdpSimConfig& cfg) {
+  return cfg.sharding_factor <= 0 ? topo.world() : cfg.sharding_factor;
+}
+
 }  // namespace
+
+plan::StepPlan BuildSimStepPlan(const Workload& w, const sim::Topology& topo,
+                                const FsdpSimConfig& cfg) {
+  const int f = NormalizedShardingFactor(topo, cfg);
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::SimShape();
+  o.reshard_after_forward = cfg.reshard_after_forward;
+  o.backward_prefetch = cfg.backward_prefetch;
+  o.forward_prefetch = cfg.forward_prefetch;
+  o.limiter = cfg.limit_all_gathers > 0;
+  o.replica_allreduce = topo.world() / f > 1;
+  o.backward_reshard_frees = f > 1;
+  o.cpu_offload = cfg.cpu_offload_params;
+  o.input_exchange = w.sparse_exchange_bytes_per_sample > 0;
+  o.microbatches = cfg.microbatches;
+  o.accum_with_comm = cfg.accum_with_comm;
+  return plan::BuildFsdpStepPlan(SimUnitNames(w), o);
+}
 
 FsdpSimulator::FsdpSimulator(Workload workload, sim::Topology topo,
                              sim::SimConstants constants, FsdpSimConfig config)
     : w_(std::move(workload)), topo_(topo), c_(constants), cfg_(config) {
   if (cfg_.sharding_factor <= 0) cfg_.sharding_factor = topo_.world();
+  plan_ = BuildSimStepPlan(w_, topo_, cfg_);
+}
+
+FsdpSimulator::FsdpSimulator(Workload workload, sim::Topology topo,
+                             sim::SimConstants constants, FsdpSimConfig config,
+                             plan::StepPlan plan)
+    : w_(std::move(workload)), topo_(topo), c_(constants), cfg_(config),
+      plan_(std::move(plan)) {
+  if (cfg_.sharding_factor <= 0) cfg_.sharding_factor = topo_.world();
+  FSDP_CHECK_MSG(plan_.unit_names.size() == w_.units.size() + 1,
+                 "plan unit count must match workload (root + N units)");
 }
 
 SimMetrics FsdpSimulator::Run() {
@@ -121,13 +165,14 @@ SimMetrics FsdpSimulator::Run() {
   fill(units[0], w_.root_param_numel,
        w_.root_pre_flops_per_sample + w_.root_post_flops_per_sample,
        w_.root_act_bytes_per_sample, w_.root_act_bytes_per_sample, 6);
-  units[0].label = "[root]";
   for (size_t i = 0; i < w_.units.size(); ++i) {
     const UnitSpec& spec = w_.units[i];
     fill(units[i + 1], spec.param_numel, spec.fwd_flops_per_sample,
          spec.act_bytes_per_sample, spec.ckpt_bytes_per_sample,
          spec.n_kernels);
-    units[i + 1].label = "unit" + std::to_string(i + 1);
+  }
+  for (size_t i = 0; i < units.size(); ++i) {
+    units[i].label = plan_.unit_names[i];
   }
 
   // ---- persistent state (allocated once) ----
@@ -148,8 +193,6 @@ SimMetrics FsdpSimulator::Run() {
   const double pcie_bytes_per_us = c_.pcie_gbps * 1e3;
 
   // ---- cost helpers ----
-  const double ag_us = cm.AllGatherBase(units[1].shard_bytes, shard_g);
-  (void)ag_us;
   auto ag_time = [&](const UnitSim& u) {
     return cm.AllGatherBase(u.shard_bytes, shard_g);
   };
@@ -179,33 +222,32 @@ SimMetrics FsdpSimulator::Run() {
     }
   };
 
-  auto issue_unshard = [&](UnitSim& u, bool count_traffic) {
-    if (u.unsharded || oom) return;
-    limiter_gate();
-    u.param_block = malloc_block(u.unsharded_bytes, kCommStream);
-    if (oom) return;
-    if (cfg_.cpu_offload_params) {
-      // H2D copy of the local shard precedes the AllGather (FSDP CPUOffload
-      // streams the shard up just in time).
-      comm.Launch(cpu, u.shard_bytes / pcie_bytes_per_us, {},
-                  obs::EventKind::kH2D, u.label, u.shard_bytes);
-      cpu += c_.cpu_issue_us_per_kernel;
-    }
-    u.ag_end = comm.Launch(cpu, ag_time(u), {}, obs::EventKind::kAllGather,
-                           u.label, u.unsharded_bytes);
-    cpu += c_.cpu_issue_us_per_kernel;
-    u.unsharded = true;
-    if (count_traffic) {
-      add_traffic(static_cast<double>(shard_g.size - 1) * u.shard_bytes,
-                  shard_g);
-    }
+  // ---- plan interpretation state ----
+  // Completion time of each plan instruction, realizing its dependency
+  // edges. Persisted across iterations: an unshard skipped because the unit
+  // is still gathered (the issue guard) leaves its previous completion time
+  // in place, exactly as the retained AllGather end the hand-written
+  // schedule used to keep per unit.
+  std::vector<sim::SimTime> done(plan_.instrs.size(), 0);
+  auto dep_max = [&](const plan::Instr& in) {
+    sim::SimTime t = 0;
+    for (int d : in.deps) t = std::max(t, done[static_cast<size_t>(d)]);
+    return t;
+  };
+  auto dep_times = [&](const plan::Instr& in, sim::SimTime extra = -1) {
+    std::vector<sim::SimTime> t;
+    t.reserve(in.deps.size() + 1);
+    for (int d : in.deps) t.push_back(done[static_cast<size_t>(d)]);
+    if (extra >= 0) t.push_back(extra);
+    return t;
   };
 
-  // ---- iterations ----
+  // ---- iterations: replay the same step plan back-to-back ----
   sim::SimTime prev_iter_end = 0;
   sim::SimTime params_ready = 0;  // optimizer completion gates next forward
   double compute_busy_before = 0, comm_busy_before = 0;
   double iter_flops = 0;
+  sim::CachingAllocator::BlockId head_block = -1;
 
   for (int iter = 0; iter < cfg_.iterations && !oom; ++iter) {
     const bool last_iter = iter + 1 == cfg_.iterations;
@@ -216,236 +258,264 @@ SimMetrics FsdpSimulator::Run() {
       m.cross_host_bytes_per_gpu = 0;
       iter_flops = 0;
     }
-
     sim::SimTime last_comm_end = 0;
-    for (int mb = 0; mb < cfg_.microbatches && !oom; ++mb) {
-      const bool sync_mb =
-          cfg_.accum_with_comm || mb + 1 == cfg_.microbatches;
 
-      // ---------- forward ----------
-      // DHEN-style sparse exchange feeds the dense tower.
-      sim::SimTime input_ready = params_ready;
-      if (w_.sparse_exchange_bytes_per_sample > 0) {
-        const int64_t bytes =
-            w_.sparse_exchange_bytes_per_sample * batch;
-        const double t =
-            c_.collective_launch_us +
-            bytes / cm.EffectiveBwBytesPerUs(bytes, world_g);
-        input_ready = comm.Launch(cpu, t, {params_ready},
-                                   obs::EventKind::kAllToAll, "sparse",
-                                   bytes);
-        cpu += c_.cpu_issue_us_per_kernel;
-        add_traffic(static_cast<double>(bytes), world_g);
-      }
+    for (size_t ip = 0; ip < plan_.instrs.size() && !oom; ++ip) {
+      const plan::Instr& in = plan_.instrs[ip];
+      const size_t ui = in.unit >= 0 ? static_cast<size_t>(in.unit) : 0;
+      switch (in.op) {
+        case plan::Op::kRateLimitGate:
+          // Gates pair with their unshard: both no-op for a still-gathered
+          // unit (the runtime's issue guard).
+          if (!units[ui].unsharded) limiter_gate();
+          break;
 
-      // Root gathered first and kept through forward (Sec 3.3.1).
-      issue_unshard(units[0], last_iter);
-      sim::SimTime prev_fwd =
-          compute.Launch(cpu,
-                         w_.root_pre_flops_per_sample * batch / flops_rate +
-                             c_.kernel_launch_gpu_us,
-                         {units[0].ag_end, input_ready, params_ready},
-                         obs::EventKind::kForward, "[root].pre");
-      cpu += pm.CpuIssueTime(2);
-
-      for (size_t i = 1; i < units.size() && !oom; ++i) {
-        UnitSim& u = units[i];
-        issue_unshard(u, last_iter);
-        if (cfg_.forward_prefetch && i + 1 < units.size()) {
-          issue_unshard(units[i + 1], last_iter);
-        }
-        if (u.act_block < 0) {
-          u.act_block = malloc_block(u.act_bytes, kComputeStream);
-        }
-        u.fwd_end = compute.Launch(cpu, u.fwd_us, {u.ag_end, params_ready},
-                                   obs::EventKind::kForward, u.label);
-        prev_fwd = u.fwd_end;
-        cpu += u.cpu_fwd_us;
-        if (last_iter) iter_flops += u.fwd_us * flops_rate;
-        if (u.param_block >= 0) {
-          alloc.RecordStreamUse(u.param_block, kComputeStream, u.fwd_end);
-        }
-        if (cfg_.reshard_after_forward) {
-          if (u.param_block >= 0) alloc.Free(u.param_block, cpu);
-          u.param_block = -1;
-          u.unsharded = false;
-          free_events.push_back(u.fwd_end);
-        }
-      }
-      if (oom) break;
-
-      // Head / logits at the end of forward (root unit, kept unsharded).
-      // Logits and loss scratch live until the head backward completes.
-      auto head_block =
-          malloc_block(w_.head_act_bytes_per_sample * batch, kComputeStream);
-      sim::SimTime head_end = compute.Launch(
-          cpu,
-          w_.root_post_flops_per_sample * batch / flops_rate +
-              c_.kernel_launch_gpu_us,
-          {prev_fwd, units[0].ag_end}, obs::EventKind::kForward,
-          "[root].head");
-      cpu += pm.CpuIssueTime(4);
-      if (last_iter) {
-        iter_flops += w_.root_post_flops_per_sample * batch;
-      }
-
-      // ---------- backward ----------
-      sim::SimTime prev_bwd = compute.Launch(
-          cpu,
-          2.0 * w_.root_post_flops_per_sample * batch / flops_rate +
-              c_.kernel_launch_gpu_us,
-          {head_end}, obs::EventKind::kBackward, "[root].head");
-      cpu += pm.CpuIssueTime(4);
-      if (last_iter) {
-        iter_flops += 2.0 * w_.root_post_flops_per_sample * batch;
-      }
-      if (head_block >= 0) {
-        alloc.RecordStreamUse(head_block, kComputeStream, prev_bwd);
-        alloc.Free(head_block, cpu);
-      }
-
-      for (size_t idx = units.size(); idx-- > 1 && !oom;) {
-        UnitSim& u = units[idx];
-        // Pre-backward unshard (no-prefetch path, or the first backward
-        // unit; under prefetch this is usually already done).
-        if (cfg_.reshard_after_forward) issue_unshard(u, last_iter);
-
-        if (u.grad_block < 0) {
-          u.grad_block = malloc_block(u.grad_bytes, kComputeStream);
-        }
-        // Activation checkpointing re-materializes the full activations for
-        // the duration of this unit's backward.
-        sim::CachingAllocator::BlockId recompute_block =
-            malloc_block(u.recompute_bytes, kComputeStream);
-        sim::SimTime bwd_end =
-            compute.Launch(cpu, u.bwd_us, {u.ag_end, prev_bwd},
-                           obs::EventKind::kBackward, u.label);
-        prev_bwd = bwd_end;
-        cpu += u.cpu_bwd_us;
-        if (last_iter) iter_flops += u.bwd_us * flops_rate;
-        if (recompute_block >= 0) {
-          alloc.RecordStreamUse(recompute_block, kComputeStream, bwd_end);
-          alloc.Free(recompute_block, cpu);
-        }
-
-        // Backward prefetch: next AllGather before this ReduceScatter
-        // (Sec 3.3.2); both queue on the single communication stream.
-        if (cfg_.backward_prefetch && cfg_.reshard_after_forward &&
-            idx > 1) {
-          issue_unshard(units[idx - 1], last_iter);
-        }
-
-        if (sync_mb) {
-          sim::SimTime red_end =
-              comm.Launch(cpu, rs_time(u), {bwd_end},
-                          obs::EventKind::kReduceScatter, u.label,
-                          u.reduce_total_bytes);
-          cpu += c_.cpu_issue_us_per_kernel;
-          add_traffic(
-              static_cast<double>(shard_g.size - 1) / shard_g.size *
-                  u.reduce_total_bytes,
-              shard_g);
-          if (replicas > 1) {
-            red_end = comm.Launch(cpu, ar_time(u), {red_end},
-                                  obs::EventKind::kAllReduce, u.label,
-                                  u.reduce_total_bytes / f);
+        case plan::Op::kUnshard: {
+          UnitSim& u = units[ui];
+          if (u.unsharded) break;  // retained from a previous step
+          u.param_block = malloc_block(u.unsharded_bytes, kCommStream);
+          if (oom) break;
+          if (cfg_.cpu_offload_params) {
+            // H2D copy of the local shard precedes the AllGather (FSDP
+            // CPUOffload streams the shard up just in time).
+            comm.Launch(cpu, u.shard_bytes / pcie_bytes_per_us, {},
+                        obs::EventKind::kH2D, u.label, u.shard_bytes);
             cpu += c_.cpu_issue_us_per_kernel;
+          }
+          done[ip] = comm.Launch(cpu, ag_time(u), {},
+                                 obs::EventKind::kAllGather, u.label,
+                                 u.unsharded_bytes);
+          cpu += c_.cpu_issue_us_per_kernel;
+          u.unsharded = true;
+          if (last_iter) {
+            add_traffic(static_cast<double>(shard_g.size - 1) * u.shard_bytes,
+                        shard_g);
+          }
+          break;
+        }
+
+        case plan::Op::kWaitUnshard:
+        case plan::Op::kWaitReduceGrad:
+          // Free in virtual time: the CPU thread runs ahead of the device
+          // (Sec 3.4); the downstream dependency edges carry the ordering.
+          break;
+
+        case plan::Op::kInputExchange: {
+          const int64_t bytes = w_.sparse_exchange_bytes_per_sample * batch;
+          const double t =
+              c_.collective_launch_us +
+              bytes / cm.EffectiveBwBytesPerUs(bytes, world_g);
+          done[ip] = comm.Launch(cpu, t, {params_ready},
+                                 obs::EventKind::kAllToAll, "sparse", bytes);
+          cpu += c_.cpu_issue_us_per_kernel;
+          if (last_iter) add_traffic(static_cast<double>(bytes), world_g);
+          break;
+        }
+
+        case plan::Op::kCompute: {
+          UnitSim& u = units[ui];
+          if (in.phase == plan::Phase::kForward) {
+            if (in.seg == plan::Seg::kRootPre) {
+              // Embedding-side prologue of the root unit (Sec 3.3.1).
+              done[ip] = compute.Launch(
+                  cpu,
+                  w_.root_pre_flops_per_sample * batch / flops_rate +
+                      c_.kernel_launch_gpu_us,
+                  dep_times(in, params_ready), obs::EventKind::kForward,
+                  u.label + ".pre");
+              cpu += pm.CpuIssueTime(2);
+            } else if (in.seg == plan::Seg::kRootHead) {
+              // Head / logits at the end of forward; logits and loss scratch
+              // live until the head backward completes.
+              head_block = malloc_block(w_.head_act_bytes_per_sample * batch,
+                                        kComputeStream);
+              done[ip] = compute.Launch(
+                  cpu,
+                  w_.root_post_flops_per_sample * batch / flops_rate +
+                      c_.kernel_launch_gpu_us,
+                  dep_times(in, params_ready), obs::EventKind::kForward,
+                  u.label + ".head");
+              cpu += pm.CpuIssueTime(4);
+              if (last_iter) {
+                iter_flops += w_.root_post_flops_per_sample * batch;
+              }
+            } else {
+              if (in.unit != 0 && u.act_block < 0) {
+                u.act_block = malloc_block(u.act_bytes, kComputeStream);
+              }
+              done[ip] = compute.Launch(cpu, u.fwd_us,
+                                        dep_times(in, params_ready),
+                                        obs::EventKind::kForward, u.label);
+              cpu += u.cpu_fwd_us;
+              if (last_iter) iter_flops += u.fwd_us * flops_rate;
+              if (u.param_block >= 0) {
+                alloc.RecordStreamUse(u.param_block, kComputeStream, done[ip]);
+              }
+            }
+          } else {  // backward
+            if (in.seg == plan::Seg::kRootHead) {
+              done[ip] = compute.Launch(
+                  cpu,
+                  2.0 * w_.root_post_flops_per_sample * batch / flops_rate +
+                      c_.kernel_launch_gpu_us,
+                  dep_times(in), obs::EventKind::kBackward,
+                  u.label + ".head");
+              cpu += pm.CpuIssueTime(4);
+              if (last_iter) {
+                iter_flops += 2.0 * w_.root_post_flops_per_sample * batch;
+              }
+              if (head_block >= 0) {
+                alloc.RecordStreamUse(head_block, kComputeStream, done[ip]);
+                alloc.Free(head_block, cpu);
+                head_block = -1;
+              }
+            } else if (in.seg == plan::Seg::kRootPre) {
+              // Root (embedding-side) backward. Its FLOPs are intentionally
+              // not counted — the head-side 2x covers the measured root
+              // backward in the calibrated workloads.
+              done[ip] = compute.Launch(
+                  cpu,
+                  2.0 * w_.root_pre_flops_per_sample * batch / flops_rate +
+                      c_.kernel_launch_gpu_us,
+                  dep_times(in), obs::EventKind::kBackward, u.label);
+              cpu += pm.CpuIssueTime(2);
+              if (u.grad_block < 0) {
+                u.grad_block = malloc_block(u.grad_bytes, kComputeStream);
+              }
+              last_comm_end = std::max(last_comm_end, done[ip]);
+            } else {
+              if (u.grad_block < 0) {
+                u.grad_block = malloc_block(u.grad_bytes, kComputeStream);
+              }
+              // Activation checkpointing re-materializes the full
+              // activations for the duration of this unit's backward.
+              sim::CachingAllocator::BlockId recompute_block =
+                  malloc_block(u.recompute_bytes, kComputeStream);
+              done[ip] = compute.Launch(cpu, u.bwd_us, dep_times(in),
+                                        obs::EventKind::kBackward, u.label);
+              cpu += u.cpu_bwd_us;
+              if (last_iter) iter_flops += u.bwd_us * flops_rate;
+              if (recompute_block >= 0) {
+                alloc.RecordStreamUse(recompute_block, kComputeStream,
+                                      done[ip]);
+                alloc.Free(recompute_block, cpu);
+              }
+            }
+          }
+          break;
+        }
+
+        case plan::Op::kReduceGrad: {
+          UnitSim& u = units[ui];
+          done[ip] = comm.Launch(cpu, rs_time(u), dep_times(in),
+                                 obs::EventKind::kReduceScatter, u.label,
+                                 u.reduce_total_bytes);
+          cpu += c_.cpu_issue_us_per_kernel;
+          if (last_iter) {
+            add_traffic(static_cast<double>(shard_g.size - 1) / shard_g.size *
+                            u.reduce_total_bytes,
+                        shard_g);
+          }
+          last_comm_end = std::max(last_comm_end, done[ip]);
+          break;
+        }
+
+        case plan::Op::kAllReduceReplicas: {
+          UnitSim& u = units[ui];
+          if (replicas <= 1) {
+            done[ip] = dep_max(in);
+            break;
+          }
+          done[ip] = comm.Launch(cpu, ar_time(u), dep_times(in),
+                                 obs::EventKind::kAllReduce, u.label,
+                                 u.reduce_total_bytes / f);
+          cpu += c_.cpu_issue_us_per_kernel;
+          if (last_iter) {
             add_traffic(2.0 * (repl_g.size - 1) / repl_g.size *
                             (u.reduce_total_bytes / f),
                         repl_g);
           }
-          if (cfg_.cpu_offload_params) {
-            // D2H copy of the reduced gradient shard back to host.
-            red_end = comm.Launch(
-                cpu, (u.reduce_total_bytes / f) / pcie_bytes_per_us,
-                {red_end}, obs::EventKind::kD2H, u.label,
-                u.reduce_total_bytes / f);
-            cpu += c_.cpu_issue_us_per_kernel;
+          last_comm_end = std::max(last_comm_end, done[ip]);
+          break;
+        }
+
+        case plan::Op::kGradOffloadD2H: {
+          UnitSim& u = units[ui];
+          if (!cfg_.cpu_offload_params) {
+            done[ip] = dep_max(in);
+            break;
           }
-          last_comm_end = std::max(last_comm_end, red_end);
+          // D2H copy of the reduced gradient shard back to host.
+          done[ip] = comm.Launch(
+              cpu, (u.reduce_total_bytes / f) / pcie_bytes_per_us,
+              dep_times(in), obs::EventKind::kD2H, u.label,
+              u.reduce_total_bytes / f);
+          cpu += c_.cpu_issue_us_per_kernel;
+          last_comm_end = std::max(last_comm_end, done[ip]);
+          break;
+        }
+
+        case plan::Op::kFreeGrad: {
+          UnitSim& u = units[ui];
           if (u.grad_block >= 0) {
-            alloc.RecordStreamUse(u.grad_block, kCommStream, red_end);
+            alloc.RecordStreamUse(u.grad_block, kCommStream, dep_max(in));
             alloc.Free(u.grad_block, cpu);
             u.grad_block = -1;
           }
+          break;
         }
-        // Free the unsharded parameter after this unit's backward (all
-        // sharded strategies reshard here).
-        if (u.param_block >= 0 && f > 1) {
-          alloc.RecordStreamUse(u.param_block, kComputeStream, bwd_end);
-          alloc.Free(u.param_block, cpu);
-          u.param_block = -1;
-          u.unsharded = false;
-          free_events.push_back(bwd_end);
-        }
-        if (u.act_block >= 0) {
-          alloc.RecordStreamUse(u.act_block, kComputeStream, bwd_end);
-          alloc.Free(u.act_block, cpu);
-          u.act_block = -1;
-        }
-      }
-      if (oom) break;
 
-      // Root (embedding-side) backward and its reduction.
-      UnitSim& root = units[0];
-      sim::SimTime root_bwd = compute.Launch(
-          cpu,
-          2.0 * w_.root_pre_flops_per_sample * batch / flops_rate +
-              c_.kernel_launch_gpu_us,
-          {prev_bwd}, obs::EventKind::kBackward, "[root]");
-      cpu += pm.CpuIssueTime(2);
-      if (root.grad_block < 0) {
-        root.grad_block = malloc_block(root.grad_bytes, kComputeStream);
-      }
-      if (sync_mb) {
-        sim::SimTime red_end =
-            comm.Launch(cpu, rs_time(root), {root_bwd},
-                        obs::EventKind::kReduceScatter, root.label,
-                        root.reduce_total_bytes);
-        cpu += c_.cpu_issue_us_per_kernel;
-        add_traffic(static_cast<double>(shard_g.size - 1) / shard_g.size *
-                        root.reduce_total_bytes,
-                    shard_g);
-        if (replicas > 1) {
-          red_end = comm.Launch(cpu, ar_time(root), {red_end},
-                                obs::EventKind::kAllReduce, root.label,
-                                root.reduce_total_bytes / f);
-          cpu += c_.cpu_issue_us_per_kernel;
-          add_traffic(2.0 * (repl_g.size - 1) / repl_g.size *
-                          (root.reduce_total_bytes / f),
-                      repl_g);
+        case plan::Op::kReshard: {
+          UnitSim& u = units[ui];
+          if (in.phase == plan::Phase::kForward) {
+            // Reshard-after-forward: the compute handler already recorded
+            // the parameter's use; the free event feeds the rate limiter.
+            if (u.param_block >= 0) alloc.Free(u.param_block, cpu);
+            u.param_block = -1;
+            u.unsharded = false;
+            free_events.push_back(dep_max(in));
+          } else if (u.param_block >= 0 && f > 1) {
+            // Backward reshard (all sharded strategies). The root's free is
+            // not a limiter event — nothing can be gathered behind it.
+            alloc.RecordStreamUse(u.param_block, kComputeStream, dep_max(in));
+            alloc.Free(u.param_block, cpu);
+            u.param_block = -1;
+            u.unsharded = false;
+            if (in.unit != 0) free_events.push_back(dep_max(in));
+          }
+          break;
         }
-        last_comm_end = std::max(last_comm_end, red_end);
-        if (root.grad_block >= 0) {
-          alloc.RecordStreamUse(root.grad_block, kCommStream, red_end);
-          alloc.Free(root.grad_block, cpu);
-          root.grad_block = -1;
+
+        case plan::Op::kFreeAct: {
+          UnitSim& u = units[ui];
+          if (u.act_block >= 0) {
+            alloc.RecordStreamUse(u.act_block, kComputeStream, dep_max(in));
+            alloc.Free(u.act_block, cpu);
+            u.act_block = -1;
+          }
+          break;
+        }
+
+        case plan::Op::kOptimStep: {
+          // Adam over the FP32 shard: memory-bound (read p/g/m/v, write
+          // p/m/v). With CPU offload the step runs on the host at
+          // host-memory bandwidth.
+          const double opt_bw = cfg_.cpu_offload_params
+                                    ? c_.host_mem_gbps * 1e3
+                                    : kHbmBytesPerUs;
+          const double opt_us =
+              7.0 * shard_total * 4 / opt_bw + c_.kernel_launch_gpu_us;
+          params_ready = compute.Launch(cpu, opt_us, {last_comm_end},
+                                        obs::EventKind::kOptimStep, "adam",
+                                        shard_total * 4);
+          done[ip] = params_ready;
+          cpu = std::max(cpu, params_ready);
+          cpu = std::max(cpu, comm.available_at());
+          break;
         }
       }
-      // Root resharded at end of backward.
-      if (root.param_block >= 0 && f > 1) {
-        alloc.RecordStreamUse(root.param_block, kComputeStream, root_bwd);
-        alloc.Free(root.param_block, cpu);
-        root.param_block = -1;
-        root.unsharded = false;
-      }
-      last_comm_end = std::max(last_comm_end, root_bwd);
     }
     if (oom) break;
-
-    // ---------- optimizer ----------
-    // Adam over the FP32 shard: memory-bound (read p/g/m/v, write p/m/v).
-    // With CPU offload the step runs on the host at host-memory bandwidth.
-    const double opt_bw = cfg_.cpu_offload_params
-                              ? c_.host_mem_gbps * 1e3
-                              : kHbmBytesPerUs;
-    const double opt_us =
-        7.0 * shard_total * 4 / opt_bw + c_.kernel_launch_gpu_us;
-    params_ready = compute.Launch(cpu, opt_us, {last_comm_end},
-                                  obs::EventKind::kOptimStep, "adam",
-                                  shard_total * 4);
-    cpu = std::max(cpu, params_ready);
-    cpu = std::max(cpu, comm.available_at());
 
     if (last_iter) {
       m.iter_time_us = cpu - prev_iter_end;
@@ -467,9 +537,21 @@ SimMetrics FsdpSimulator::Run() {
   return m;
 }
 
+plan::StepPlan BuildDdpSimPlan(const Workload& w, const DdpSimConfig& cfg) {
+  const int64_t esize = SizeOf(cfg.dtype);
+  plan::DdpPlanOptions o;
+  o.bucket_bytes = cfg.bucket_bytes;
+  o.unit_bytes.reserve(w.units.size() + 1);
+  o.unit_bytes.push_back(w.root_param_numel * esize);
+  for (const auto& u : w.units) o.unit_bytes.push_back(u.param_numel * esize);
+  return plan::BuildDdpStepPlan(SimUnitNames(w), o);
+}
+
 DdpSimulator::DdpSimulator(Workload workload, sim::Topology topo,
                            sim::SimConstants constants, DdpSimConfig config)
-    : w_(std::move(workload)), topo_(topo), c_(constants), cfg_(config) {}
+    : w_(std::move(workload)), topo_(topo), c_(constants), cfg_(config) {
+  plan_ = BuildDdpSimPlan(w_, cfg_);
+}
 
 SimMetrics DdpSimulator::Run() {
   SimMetrics m;
@@ -520,6 +602,15 @@ SimMetrics DdpSimulator::Run() {
     return m;
   }
 
+  const double recompute = cfg_.activation_checkpointing ? 1.0 : 0.0;
+  std::vector<sim::SimTime> done(plan_.instrs.size(), 0);
+  auto dep_times = [&](const plan::Instr& in) {
+    std::vector<sim::SimTime> t;
+    t.reserve(in.deps.size());
+    for (int d : in.deps) t.push_back(done[static_cast<size_t>(d)]);
+    return t;
+  };
+
   sim::SimTime prev_iter_end = 0;
   double compute_busy_before = 0, comm_busy_before = 0;
   double iter_flops = 0;
@@ -532,72 +623,87 @@ SimMetrics DdpSimulator::Run() {
       m.cross_host_bytes_per_gpu = 0;
       iter_flops = 0;
     }
-    // Forward.
-    sim::SimTime prev = compute.Launch(
-        cpu,
-        (w_.root_pre_flops_per_sample + 0.0) * batch / flops_rate +
-            c_.kernel_launch_gpu_us,
-        {});
-    cpu += pm.CpuIssueTime(2);
-    for (const auto& u : w_.units) {
-      const double fwd = u.fwd_flops_per_sample * batch / flops_rate +
-                         u.n_kernels * c_.kernel_launch_gpu_us;
-      prev = compute.Launch(cpu, fwd, {});
-      cpu += pm.CpuIssueTime(u.n_kernels);
-      if (last_iter) iter_flops += fwd * flops_rate;
-    }
-    prev = compute.Launch(cpu,
-                          w_.root_post_flops_per_sample * batch / flops_rate +
-                              c_.kernel_launch_gpu_us,
-                          {prev});
-    cpu += pm.CpuIssueTime(4);
-    if (last_iter) {
-      iter_flops += (w_.root_post_flops_per_sample * 3.0) * batch;
-    }
-    // Backward with bucketed AllReduce overlap (reverse order).
-    prev = compute.Launch(cpu,
-                          2.0 * w_.root_post_flops_per_sample * batch /
-                                  flops_rate +
-                              c_.kernel_launch_gpu_us,
-                          {prev});
-    cpu += pm.CpuIssueTime(4);
     sim::SimTime last_comm_end = 0;
-    int64_t bucket_fill = 0;
-    const double recompute = cfg_.activation_checkpointing ? 1.0 : 0.0;
-    for (size_t i = w_.units.size(); i-- > 0;) {
-      const auto& u = w_.units[i];
-      const double bwd =
-          (2.0 + recompute) * u.fwd_flops_per_sample * batch / flops_rate +
-          2 * u.n_kernels * c_.kernel_launch_gpu_us;
-      prev = compute.Launch(cpu, bwd, {prev});
-      cpu += pm.CpuIssueTime(2 * u.n_kernels);
-      if (last_iter) iter_flops += bwd * flops_rate;
-      bucket_fill += u.param_numel * esize;
-      if (bucket_fill >= cfg_.bucket_bytes || i == 0) {
-        last_comm_end = comm.Launch(
-            cpu, cm.AllReduce(bucket_fill, world_g), {prev});
-        cpu += c_.cpu_issue_us_per_kernel;
-        if (last_iter && world_g.hosts > 1) {
-          m.cross_host_bytes_per_gpu +=
-              2.0 * (world_g.size - 1) / world_g.size * bucket_fill;
+
+    for (size_t ip = 0; ip < plan_.instrs.size(); ++ip) {
+      const plan::Instr& in = plan_.instrs[ip];
+      switch (in.op) {
+        case plan::Op::kCompute: {
+          if (in.seg == plan::Seg::kRootPre) {
+            done[ip] = compute.Launch(
+                cpu,
+                w_.root_pre_flops_per_sample * batch / flops_rate +
+                    c_.kernel_launch_gpu_us,
+                dep_times(in));
+            cpu += pm.CpuIssueTime(2);
+          } else if (in.seg == plan::Seg::kRootHead) {
+            if (in.phase == plan::Phase::kForward) {
+              done[ip] = compute.Launch(
+                  cpu,
+                  w_.root_post_flops_per_sample * batch / flops_rate +
+                      c_.kernel_launch_gpu_us,
+                  dep_times(in));
+              cpu += pm.CpuIssueTime(4);
+              if (last_iter) {
+                // 3x: the calibrated head covers its own forward + backward.
+                iter_flops += (w_.root_post_flops_per_sample * 3.0) * batch;
+              }
+            } else {
+              done[ip] = compute.Launch(
+                  cpu,
+                  2.0 * w_.root_post_flops_per_sample * batch / flops_rate +
+                      c_.kernel_launch_gpu_us,
+                  dep_times(in));
+              cpu += pm.CpuIssueTime(4);
+            }
+          } else {
+            const UnitSpec& u = w_.units[static_cast<size_t>(in.unit - 1)];
+            if (in.phase == plan::Phase::kForward) {
+              const double fwd =
+                  u.fwd_flops_per_sample * batch / flops_rate +
+                  u.n_kernels * c_.kernel_launch_gpu_us;
+              done[ip] = compute.Launch(cpu, fwd, dep_times(in));
+              cpu += pm.CpuIssueTime(u.n_kernels);
+              if (last_iter) iter_flops += fwd * flops_rate;
+            } else {
+              const double bwd =
+                  (2.0 + recompute) * u.fwd_flops_per_sample * batch /
+                      flops_rate +
+                  2 * u.n_kernels * c_.kernel_launch_gpu_us;
+              done[ip] = compute.Launch(cpu, bwd, dep_times(in));
+              cpu += pm.CpuIssueTime(2 * u.n_kernels);
+              if (last_iter) iter_flops += bwd * flops_rate;
+            }
+          }
+          break;
         }
-        bucket_fill = 0;
+
+        case plan::Op::kReduceGrad: {
+          // Bucketed AllReduce; the bucket's byte count is carried by the
+          // instruction (structure decided by the builder).
+          done[ip] = comm.Launch(cpu, cm.AllReduce(in.bytes, world_g),
+                                 dep_times(in));
+          cpu += c_.cpu_issue_us_per_kernel;
+          if (last_iter && world_g.hosts > 1) {
+            m.cross_host_bytes_per_gpu +=
+                2.0 * (world_g.size - 1) / world_g.size * in.bytes;
+          }
+          last_comm_end = done[ip];
+          break;
+        }
+
+        case plan::Op::kOptimStep: {
+          const double opt_us = 7.0 * total_params * 4 / kHbmBytesPerUs +
+                                c_.kernel_launch_gpu_us;
+          done[ip] = compute.Launch(cpu, opt_us, {last_comm_end});
+          cpu = std::max({cpu, done[ip], comm.available_at()});
+          break;
+        }
+
+        default:
+          break;  // DDP plans carry no other ops
       }
     }
-    // Root params reduce in the final bucket.
-    last_comm_end = comm.Launch(
-        cpu, cm.AllReduce(w_.root_param_numel * esize, world_g),
-        {prev});
-    cpu += c_.cpu_issue_us_per_kernel;
-    if (last_iter && world_g.hosts > 1) {
-      m.cross_host_bytes_per_gpu += 2.0 * (world_g.size - 1) / world_g.size *
-                                    w_.root_param_numel * esize;
-    }
-
-    const double opt_us =
-        7.0 * total_params * 4 / kHbmBytesPerUs + c_.kernel_launch_gpu_us;
-    sim::SimTime opt_end = compute.Launch(cpu, opt_us, {last_comm_end});
-    cpu = std::max({cpu, opt_end, comm.available_at()});
 
     if (last_iter) {
       m.iter_time_us = cpu - prev_iter_end;

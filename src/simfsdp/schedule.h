@@ -1,30 +1,40 @@
-// FSDP / DDP execution-schedule simulators.
+// FSDP / DDP execution-schedule simulators — thin interpreters over the
+// shared execution-plan IR (src/plan).
 //
-// Replays one training schedule per representative rank against the
-// virtual-time substrate (streams + caching allocator + cost models):
+// The schedule itself — when each unit's AllGather, compute, ReduceScatter,
+// and free are issued relative to each other (paper Secs 3.2–3.4) — is no
+// longer hand-written here: BuildSimStepPlan / BuildDdpSimPlan derive a
+// plan::StepPlan from the simulator config via the same plan::PlanBuilder
+// the real runtime's schedule is checked against, and Run() interprets that
+// plan's instructions, one representative rank, against the virtual-time
+// substrate (streams + caching allocator + cost models):
 //
-//  * forward: per unit — rate-limiter gate, unsharded-buffer allocation on
-//    the communication stream, AllGather, compute (dependent on the
-//    AllGather), record_stream, reshard-after-forward free; optional forward
-//    prefetch moves the next AllGather's *issue* ahead of the current
-//    compute issue (Sec 3.3.3 — matters when the CPU thread is the
-//    bottleneck);
-//  * backward: per unit in reverse — re-AllGather under RAF (with backward
-//    prefetch the next AllGather is issued before the current ReduceScatter,
-//    Sec 3.3.2; both share ONE communication stream, reproducing the
-//    ProcessGroupNCCL single-internal-stream serialization the paper
-//    describes), backward compute (2x forward, + recompute under activation
-//    checkpointing), ReduceScatter (+ AllReduce across replicas for hybrid
-//    sharding), frees;
-//  * optimizer step joins the iteration.
+//  * kUnshard — rate-limiter gate (its own kRateLimitGate instr), unsharded
+//    buffer allocation on the communication stream, AllGather launch (CPU
+//    offload prepends the H2D shard copy); prefetched unshards are the same
+//    instruction issued earlier in the plan (Secs 3.3.2/3.3.3);
+//  * kCompute — forward/backward kernels on the compute stream, dependent on
+//    the unit's AllGather via the instruction's dep edges (backward adds 2x
+//    forward cost, + recompute under activation checkpointing);
+//  * kReduceGrad / kAllReduceReplicas / kGradOffloadD2H — the gradient
+//    reduction chain on the single communication stream (hybrid sharding's
+//    replica AllReduce, CPU offload's D2H shard copy);
+//  * kReshard / kFreeGrad / kFreeAct — allocator releases (record_stream
+//    semantics), feeding the rate limiter's free-event queue;
+//  * kWaitUnshard / kWaitReduceGrad — free in virtual time: the simulated
+//    CPU thread runs ahead of the device (the Sec 3.4 model), so the wait
+//    markers exist only to keep the plan's canonical projection aligned with
+//    the real runtime's;
+//  * kOptimStep joins the iteration.
 //
-// Multiple iterations run back-to-back so the allocator reaches steady state
-// (the first iteration populates the cache); metrics report the last
-// iteration. Gradient accumulation with/without communication follows
-// Sec 3.3.4: without communication, ReduceScatters are skipped and unsharded
-// gradient buffers persist across microbatches.
+// Multiple iterations replay the same plan back-to-back so the allocator
+// reaches steady state (unshards of still-gathered units no-op, exactly like
+// the runtime's issue guard); metrics report the last iteration. Gradient
+// accumulation with/without communication follows Sec 3.3.4 (the plan
+// unrolls microbatches).
 #pragma once
 
+#include "plan/builder.h"
 #include "sim/allocator.h"
 #include "sim/topology.h"
 #include "simfsdp/workload.h"
@@ -80,10 +90,29 @@ struct SimMetrics {
   double cross_host_bytes_per_gpu = 0;  // per iteration
 };
 
+/// The step plan the FSDP simulator interprets for this workload/config:
+/// simulator-shape plan (split root compute, memory instructions, limiter
+/// gates) over units named "[root]", "unit1", …, "unitN".
+plan::StepPlan BuildSimStepPlan(const Workload& w, const sim::Topology& topo,
+                                const FsdpSimConfig& cfg);
+
+/// The DDP baseline's step plan: unit computes plus bucketed AllReduce
+/// issues placed by gradient byte counts.
+plan::StepPlan BuildDdpSimPlan(const Workload& w, const DdpSimConfig& cfg);
+
 class FsdpSimulator {
  public:
   FsdpSimulator(Workload workload, sim::Topology topo,
                 sim::SimConstants constants, FsdpSimConfig config);
+  /// Interpret an explicit plan instead of the config-derived one. The plan
+  /// must cover the workload's units (unit 0 = root); unit names may differ
+  /// (e.g. real module FQNs from a drift test) — they become trace labels.
+  FsdpSimulator(Workload workload, sim::Topology topo,
+                sim::SimConstants constants, FsdpSimConfig config,
+                plan::StepPlan plan);
+
+  /// The plan Run() interprets (one training step; iterations replay it).
+  const plan::StepPlan& plan() const { return plan_; }
 
   SimMetrics Run();
 
@@ -92,12 +121,15 @@ class FsdpSimulator {
   sim::Topology topo_;
   sim::SimConstants c_;
   FsdpSimConfig cfg_;
+  plan::StepPlan plan_;
 };
 
 class DdpSimulator {
  public:
   DdpSimulator(Workload workload, sim::Topology topo,
                sim::SimConstants constants, DdpSimConfig config);
+
+  const plan::StepPlan& plan() const { return plan_; }
 
   SimMetrics Run();
 
@@ -106,6 +138,7 @@ class DdpSimulator {
   sim::Topology topo_;
   sim::SimConstants c_;
   DdpSimConfig cfg_;
+  plan::StepPlan plan_;
 };
 
 /// Analytic per-GPU cross-host traffic for an M-byte model (paper Sec 3.2.2):

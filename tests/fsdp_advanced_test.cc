@@ -129,6 +129,12 @@ TEST(FullyShardTest, TrainingMatchesLocalReference) {
 
 TEST(FullyShardTest, WrapperAndFunctionalProduceSameEvents) {
   comm::DeviceMesh mesh(2, 2);
+  auto render = [](const std::vector<obs::TraceEvent>& events) {
+    std::vector<std::string> out;
+    out.reserve(events.size());
+    for (const auto& e : events) out.push_back(obs::RenderEvent(e));
+    return out;
+  };
   std::vector<std::string> wrapper_events, functional_events;
   RunOnRanks(2, [&](int r) {
     auto m1 = MakeModel(3);
@@ -136,14 +142,14 @@ TEST(FullyShardTest, WrapperAndFunctionalProduceSameEvents) {
     Tensor loss = ops::CrossEntropy(fsdp.Forward(RankTokens(r)),
                                     RankTargets(r));
     autograd::RunBackward(loss);
-    if (r == 0) wrapper_events = fsdp.events();
+    if (r == 0) wrapper_events = render(fsdp.trace_events());
   });
   RunOnRanks(2, [&](int r) {
     auto m2 = MakeModel(3);
     auto state = FullyShard(m2, mesh, r, BlockOpts());
     Tensor loss = ops::CrossEntropy((*m2)(RankTokens(r)), RankTargets(r));
     autograd::RunBackward(loss);
-    if (r == 0) functional_events = state->events();
+    if (r == 0) functional_events = render(state->trace_events());
   });
   ASSERT_EQ(wrapper_events, functional_events);
 }

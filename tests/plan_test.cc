@@ -1,0 +1,282 @@
+// Anti-drift contract for the shared execution-plan IR (src/plan):
+//
+//  1. the REAL runtime's executed instruction order (FsdpState::
+//     executed_schedule()) must equal the canonical projection of the plan
+//     the shared PlanBuilder predicts from the same options
+//     (ExpectedStepPlan()), and
+//  2. the SIMULATOR-shape plan built from the same knobs (and the real unit
+//     names) must project to the same canonical schedule, and be consumable
+//     by simfsdp::FsdpSimulator's explicit-plan constructor.
+//
+// Together these pin the real schedule and the simulated schedule to one
+// source of truth: a divergence in either layer breaks the string equality.
+// Exercised across {full shard, hybrid, no shard} x {backward prefetch
+// on/off} on a 4-rank toy transformer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "core/fsdp.h"
+#include "ddp/ddp.h"
+#include "nn/transformer.h"
+#include "plan/builder.h"
+#include "plan/plan.h"
+#include "simfsdp/schedule.h"
+#include "simfsdp/workload.h"
+#include "tests/test_util.h"
+
+namespace fsdp {
+namespace {
+
+using core::FsdpOptions;
+using core::FullyShardedDataParallel;
+using core::ShardingStrategy;
+
+constexpr int kWorld = 4;
+constexpr int kLayers = 4;
+
+nn::ModulePtr MakeModel(uint64_t seed = 7) {
+  nn::InitCtx ctx(Device::kCpu, seed);
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 13;
+  cfg.max_seq = 4;
+  cfg.dim = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = kLayers;
+  return std::make_shared<nn::TransformerModel>(cfg, ctx);
+}
+
+Tensor RankTokens(int rank) {
+  return ops::IndexTensor({(rank * 3 + 1) % 13, (rank * 5 + 2) % 13,
+                           (rank * 7 + 3) % 13, (rank + 4) % 13},
+                          {1, 4});
+}
+
+Tensor RankTargets(int rank) {
+  return ops::IndexTensor({(rank + 5) % 13, (rank + 6) % 13, (rank + 7) % 13,
+                           (rank + 8) % 13},
+                          {4});
+}
+
+int FactorFor(ShardingStrategy s) {
+  switch (s) {
+    case ShardingStrategy::kNoShard: return 1;
+    case ShardingStrategy::kHybridShard:
+    case ShardingStrategy::kHybridShardZero2: return 2;
+    default: return kWorld;
+  }
+}
+
+/// One training step on all ranks; returns rank 0's executed canonical
+/// schedule plus the builder plan the runtime predicts for itself.
+struct StepRecord {
+  std::vector<std::string> executed;
+  plan::StepPlan expected;
+};
+
+StepRecord RunRealStep(ShardingStrategy strategy, bool backward_prefetch) {
+  comm::DeviceMesh mesh(kWorld, FactorFor(strategy));
+  StepRecord rec;
+  RunOnRanks(kWorld, [&](int r) {
+    auto model = MakeModel();
+    FsdpOptions opts;
+    opts.strategy = strategy;
+    opts.auto_wrap_policy = core::ModuleTypePolicy({"TransformerBlock"});
+    opts.backward_prefetch = backward_prefetch;
+    FullyShardedDataParallel fsdp(model, mesh, r, opts);
+    Tensor loss =
+        ops::CrossEntropy(fsdp.Forward(RankTokens(r)), RankTargets(r));
+    autograd::RunBackward(loss);
+    if (r == 0) {
+      rec.executed = fsdp.state().executed_schedule();
+      rec.expected = fsdp.state().ExpectedStepPlan();
+    }
+  });
+  return rec;
+}
+
+/// The simulator-shape plan for the same schedule knobs, over the real unit
+/// names (forward order).
+plan::StepPlan BuildSimShapePlan(const StepRecord& rec,
+                                 ShardingStrategy strategy,
+                                 bool backward_prefetch) {
+  const int f = FactorFor(strategy);
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::SimShape();
+  o.reshard_after_forward = core::ReshardAfterForward(strategy);
+  o.backward_prefetch = backward_prefetch;
+  o.replica_allreduce = f < kWorld;
+  o.backward_reshard_frees = f > 1;
+  return plan::BuildFsdpStepPlan(rec.expected.unit_names, o);
+}
+
+class PlanDriftTest
+    : public ::testing::TestWithParam<std::tuple<ShardingStrategy, bool>> {};
+
+TEST_P(PlanDriftTest, RealOrderMatchesBuilderAndSimulatorPlan) {
+  const auto [strategy, backward_prefetch] = GetParam();
+  StepRecord rec = RunRealStep(strategy, backward_prefetch);
+  ASSERT_FALSE(rec.executed.empty());
+  ASSERT_EQ(rec.expected.unit_names.size(), kLayers + 1u);
+
+  // Real execution vs the runtime-shape builder plan.
+  EXPECT_EQ(rec.executed, rec.expected.Canonical());
+
+  // Real execution vs the simulator-shape plan over the same names. The sim
+  // shape adds memory/gate instructions and splits the root compute, but its
+  // canonical projection must be the same schedule.
+  plan::StepPlan sim_plan = BuildSimShapePlan(rec, strategy,
+                                              backward_prefetch);
+  EXPECT_EQ(rec.executed, sim_plan.Canonical());
+
+  // And the simulator must be able to interpret that exact plan (real unit
+  // names and all) against a matching workload.
+  simfsdp::TransformerShape shape;
+  shape.name = "toy";
+  shape.hidden = 64;
+  shape.layers = kLayers;
+  shape.heads = 2;
+  shape.seq = 16;
+  shape.vocab = 128;
+  simfsdp::Workload w = simfsdp::MakeTransformer(shape);
+  ASSERT_EQ(w.units.size(), static_cast<size_t>(kLayers));
+
+  simfsdp::FsdpSimConfig cfg;
+  cfg.sharding_factor = FactorFor(strategy);
+  cfg.reshard_after_forward = core::ReshardAfterForward(strategy);
+  cfg.backward_prefetch = backward_prefetch;
+  cfg.limit_all_gathers = 0;  // the plan carries no gate instructions
+  cfg.iterations = 2;
+  simfsdp::FsdpSimulator sim(w, sim::Topology{1, kWorld}, sim::SimConstants{},
+                             cfg, sim_plan);
+  simfsdp::SimMetrics m = sim.Run();
+  EXPECT_FALSE(m.oom);
+  EXPECT_GT(m.iter_time_us, 0);
+  EXPECT_GT(m.compute_busy_us, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, PlanDriftTest,
+    ::testing::Combine(::testing::Values(ShardingStrategy::kFullShard,
+                                         ShardingStrategy::kHybridShard,
+                                         ShardingStrategy::kNoShard),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name =
+          core::ShardingStrategyName(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '_') c = 'x';
+      }
+      return name + (std::get<1>(info.param) ? "Prefetch" : "NoPrefetch");
+    });
+
+// ------------------------------------------------ builder-level properties
+
+TEST(PlanBuilderTest, RuntimeAndSimShapesShareCanonicalSchedule) {
+  const std::vector<std::string> names{"[root]", "u1", "u2", "u3"};
+  plan::StepPlan rt =
+      plan::BuildFsdpStepPlan(names, plan::FsdpPlanOptions::RuntimeShape());
+  plan::StepPlan sim =
+      plan::BuildFsdpStepPlan(names, plan::FsdpPlanOptions::SimShape());
+  EXPECT_EQ(rt.Canonical(), sim.Canonical());
+  // The sim shape is strictly richer (memory instrs, split root compute).
+  EXPECT_GT(sim.size(), rt.size());
+}
+
+TEST(PlanBuilderTest, DependencyEdgesPointBackward) {
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::SimShape();
+  o.microbatches = 3;
+  o.accum_with_comm = false;
+  plan::StepPlan p = plan::BuildFsdpStepPlan({"[root]", "a", "b"}, o);
+  for (int i = 0; i < p.size(); ++i) {
+    for (int d : p.instrs[static_cast<size_t>(i)].deps) {
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, i) << "dep must precede its instruction";
+    }
+  }
+  // Without accumulation communication, only the last microbatch reduces.
+  int reduces = 0;
+  for (const plan::Instr& in : p.instrs) {
+    if (in.op == plan::Op::kReduceGrad) {
+      ++reduces;
+      EXPECT_EQ(in.microbatch, 2);
+    }
+  }
+  EXPECT_EQ(reduces, 3);  // root + 2 units, final microbatch only
+}
+
+TEST(PlanBuilderTest, BackwardPrefetchReordersUnshardBeforeReduce) {
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::RuntimeShape();
+  o.backward_prefetch = true;
+  plan::StepPlan p = plan::BuildFsdpStepPlan({"[root]", "a", "b"}, o);
+  auto canon = p.Canonical();
+  // After b's backward compute, b's ReduceScatter must come after a's
+  // (prefetched) backward AllGather — not the forward one, hence the `from`.
+  auto pos = [&](const std::string& s, int from) {
+    for (size_t i = static_cast<size_t>(from); i < canon.size(); ++i) {
+      if (canon[i] == s) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  const int bwd_b = pos("BWD:b", 0);
+  ASSERT_NE(bwd_b, -1);
+  const int prefetch_a = pos("UNSHARD:a", bwd_b);
+  const int reduce_b = pos("REDUCE_GRAD:b", bwd_b);
+  ASSERT_NE(prefetch_a, -1);
+  ASSERT_NE(reduce_b, -1);
+  EXPECT_LT(prefetch_a, reduce_b);
+}
+
+TEST(PlanBuilderTest, DdpPlanBucketsByBytes) {
+  plan::DdpPlanOptions o;
+  o.bucket_bytes = 100;
+  o.unit_bytes = {40, 60, 60, 60};  // root + 3 units
+  plan::StepPlan p = plan::BuildDdpStepPlan({"[root]", "a", "b", "c"}, o);
+  std::vector<int64_t> bucket_bytes;
+  for (const plan::Instr& in : p.instrs) {
+    if (in.op == plan::Op::kReduceGrad) bucket_bytes.push_back(in.bytes);
+  }
+  // c+b fill the first bucket (120 >= 100), a flushes at the last unit, the
+  // root reduces in its own final bucket.
+  EXPECT_EQ(bucket_bytes, (std::vector<int64_t>{120, 60, 40}));
+}
+
+// ------------------------------------------------ DDP executed-plan log
+
+TEST(DdpExecutedPlanTest, RecordsBucketReducesAndWaits) {
+  const int world = 2;
+  std::vector<plan::Instr> executed;
+  int num_buckets = 0;
+  auto comm = std::make_shared<comm::Communicator>(world);
+  RunOnRanks(world, [&](int r) {
+    ddp::DistributedDataParallel ddp(MakeModel(), comm::ProcessGroup(comm, r),
+                                     {.bucket_cap_numel = 64});
+    Tensor loss =
+        ops::CrossEntropy(ddp.Forward(RankTokens(r)), RankTargets(r));
+    autograd::RunBackward(loss);
+    if (r == 0) {
+      executed = ddp.executed_plan();
+      num_buckets = ddp.num_buckets();
+    }
+  });
+  ASSERT_GT(num_buckets, 1);
+  int reduces = 0, waits = 0;
+  for (const plan::Instr& in : executed) {
+    if (in.op == plan::Op::kReduceGrad) {
+      ++reduces;
+      EXPECT_GT(in.bytes, 0);
+    }
+    if (in.op == plan::Op::kWaitReduceGrad) ++waits;
+  }
+  EXPECT_EQ(reduces, num_buckets);
+  EXPECT_EQ(waits, num_buckets);
+  // Every reduce precedes the first wait only if backward produced buckets
+  // in order; at minimum the final wait follows the final reduce.
+  EXPECT_EQ(executed.back().op, plan::Op::kWaitReduceGrad);
+}
+
+}  // namespace
+}  // namespace fsdp
