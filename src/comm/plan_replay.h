@@ -1,0 +1,45 @@
+// Replays a typed StepPlan through the real collective runtime.
+//
+// The simulator interprets plans in virtual time; this is the wall-clock
+// counterpart: each rank walks the instruction list and issues the real
+// collective an instruction stands for (kUnshard -> async AllGatherBase,
+// kReduceGrad -> async ReduceScatter, kAllReduceReplicas -> AllReduce,
+// kInputExchange -> AllToAll, waits -> Work::WaitStatus), with kCompute and
+// Instr::delay_us realized as sleeps. Payloads are synthetic — the replayer
+// exercises the *schedule*, not the numerics.
+//
+// Together with plan::ApplyPerturbation this closes the plan-level
+// fault-injection loop (ROADMAP): perturb one rank's plan, replay all ranks
+// through a fault-armed ProcessGroup, and check that contract-violating
+// perturbations are caught by the watchdog/desync machinery while benign
+// ones complete OK. The same perturbed plan also runs through the simulator,
+// so both consumers of the IR see identical fault surfaces.
+#pragma once
+
+#include "comm/process_group.h"
+#include "common/status.h"
+#include "plan/plan.h"
+
+namespace fsdp::comm {
+
+struct ReplayOptions {
+  /// Elements of the synthetic per-rank shard used for every unit's
+  /// collective payloads.
+  int64_t unit_numel = 64;
+  /// Sleep standing in for one kCompute instruction (0 disables).
+  double compute_us = 0;
+  /// Applied to every issued collective (0 = communicator default).
+  double timeout_ms = 0;
+};
+
+/// Walks `plan` on the calling rank thread, issuing its collectives on `pg`
+/// in instruction order. Collectives are issued async and waited at the
+/// plan's wait instructions (kWaitUnshard per unit, kWaitReduceGrad for all
+/// pending reductions); any remaining Work is waited before returning.
+/// Returns the first non-OK Status any wait produced (abort/timeout/desync),
+/// or OK when the whole step completed. Must be entered by every rank of the
+/// process group (SPMD contract).
+Status ReplayPlan(ProcessGroup pg, const plan::StepPlan& plan,
+                  const ReplayOptions& options = {});
+
+}  // namespace fsdp::comm

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
+#include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 
 namespace fsdp::comm {
@@ -21,6 +25,9 @@ struct CommMetrics {
   obs::Counter& ar_bytes;
   obs::Counter& bcast_count;
   obs::Counter& bcast_bytes;
+  obs::Counter& timeouts;
+  obs::Counter& desyncs;
+  obs::Counter& aborts;
 
   CommMetrics()
       : ag_count(obs::MetricsRegistry::Get().GetCounter(
@@ -38,12 +45,56 @@ struct CommMetrics {
         bcast_count(obs::MetricsRegistry::Get().GetCounter(
             "comm.broadcast.count")),
         bcast_bytes(obs::MetricsRegistry::Get().GetCounter(
-            "comm.broadcast.bytes")) {}
+            "comm.broadcast.bytes")),
+        timeouts(obs::MetricsRegistry::Get().GetCounter("comm.timeouts")),
+        desyncs(obs::MetricsRegistry::Get().GetCounter("comm.desyncs")),
+        aborts(obs::MetricsRegistry::Get().GetCounter("comm.aborts")) {}
 };
 
 CommMetrics& Metrics() {
   static CommMetrics m;
   return m;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatMs(double ms) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << ms;
+  return os.str();
+}
+
+/// "ranks 0,2,3" (or "rank 0") for diagnosis messages.
+std::string RankList(const std::vector<int>& ranks) {
+  std::string out = ranks.size() == 1 ? "rank " : "ranks ";
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(ranks[i]);
+  }
+  return out;
 }
 
 }  // namespace
@@ -57,10 +108,37 @@ void Work::Wait() const {
   state_->cv.wait(lock, [&] { return state_->done; });
 }
 
+Status Work::WaitStatus() const {
+  if (!state_) return Status::OK();
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->status;
+}
+
+Status Work::WaitFor(double timeout_ms) const {
+  if (!state_) return Status::OK();
+  std::unique_lock<std::mutex> lock(state_->mu);
+  const bool done = state_->cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [&] { return state_->done; });
+  if (!done) {
+    return Status::Internal("Work::WaitFor timed out after " +
+                            FormatMs(timeout_ms) + " ms (collective #" +
+                            std::to_string(state_->seq) + " still pending)");
+  }
+  return state_->status;
+}
+
 bool Work::Completed() const {
   if (!state_) return true;
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->done;
+}
+
+int64_t Work::seq() const {
+  if (!state_) return -1;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->seq;
 }
 
 double Work::issue_us() const {
@@ -87,12 +165,30 @@ double Work::complete_us() const {
 Communicator::Communicator(int size)
     : size_(size), barrier_(size), src_slots_(size, nullptr),
       dst_slots_(size, nullptr), count_slots_(size, 0),
-      rank_stats_(size), queues_(size) {
+      rank_stats_(size), queues_(size), flight_(size), progress_(size),
+      sig_slots_(size) {
   FSDP_CHECK_MSG(size > 0, "communicator size must be positive");
 }
 
 Communicator::~Communicator() {
+  // The watchdog goes first: it must not fire (dump + abort) while the rest
+  // of the teardown races it.
+  if (watchdog_started_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
   if (!workers_started_.load(std::memory_order_acquire)) return;
+  // A communicator destroyed with scripted faults armed may have a worker
+  // parked in a hang/crash and peers stuck in body barriers; abort releases
+  // all of them so the drain below terminates.
+  if (faults_injected_.load(std::memory_order_relaxed) && !aborted()) {
+    Abort(Status::Internal(
+        "communicator '" + name_ + "' destroyed with scripted faults armed"));
+  }
   // Drain-then-join: flag stop, but workers keep executing queued ops until
   // their queues run dry. Fire-and-forget async ops are matched on every
   // rank (SPMD contract), so every pending barrier rendezvous completes.
@@ -155,39 +251,523 @@ void Communicator::WorkerLoop(int comm_rank) {
       op = std::move(q.ops.front());
       q.ops.pop_front();
     }
-    // Attribute everything below (trace events, check failures) to the
-    // issuing rank, not the worker's native thread.
-    RankScope scope(op.trace_rank);
-    {
-      std::lock_guard<std::mutex> lock(op.work->mu);
-      op.work->start_us = MonotonicMicros();
-    }
-    if (op.kind != obs::EventKind::kMarker) TransferDelay(op.bytes);
-    op.body();
-    const double end = MonotonicMicros();
-    auto& collector = obs::TraceCollector::Get();
-    if (collector.enabled() && op.kind != obs::EventKind::kMarker) {
-      obs::TraceEvent e;
-      e.rank = op.trace_rank;
-      e.kind = op.kind;
-      e.unit = op.label;
-      e.lane = "comm";
-      e.t_begin_us = op.work->issue_us;  // written before enqueue (see Issue)
-      e.t_end_us = end;
-      e.bytes = op.bytes;
-      collector.Record(std::move(e));
-    }
-    std::vector<Tensor> keepalive;
-    {
-      std::lock_guard<std::mutex> lock(op.work->mu);
-      op.work->complete_us = end;
-      op.work->done = true;
-      keepalive = std::move(op.work->keepalive);
-    }
-    op.work->cv.notify_all();
-    // Pinned tensors release here, outside the completion lock.
-    keepalive.clear();
+    ExecuteOp(comm_rank, op);
   }
+}
+
+void Communicator::ExecuteOp(int comm_rank, CommOp& op) {
+  // Attribute everything below (trace events, check failures) to the
+  // issuing rank, not the worker's native thread.
+  RankScope scope(op.trace_rank);
+
+  // Scripted faults fire before the op is marked started, so watchdog
+  // diagnoses correctly read "never entered".
+  if (injector_.armed()) {
+    FaultSpec fault;
+    if (injector_.Match(comm_rank, op.seq, op.label, &fault)) {
+      switch (fault.kind) {
+        case FaultKind::kDelay: {
+          // Straggler: interruptible stall, then the op proceeds normally.
+          WorkerQueue& q = queues_[comm_rank];
+          std::unique_lock<std::mutex> lock(q.mu);
+          q.cv.wait_for(
+              lock,
+              std::chrono::duration<double, std::micro>(fault.delay_us),
+              [&] { return q.stop || aborted(); });
+          break;
+        }
+        case FaultKind::kHang:
+        case FaultKind::kCrash: {
+          // The rank dies here: publish what it was holding (so the watchdog
+          // can name it), then park until abort or shutdown. A crashed
+          // rank's queue backs up behind this op — it stops draining.
+          const bool hang = fault.kind == FaultKind::kHang;
+          {
+            std::lock_guard<std::mutex> lock(progress_mu_);
+            RankProgress& p = progress_[comm_rank];
+            p.in_op = true;
+            p.cur_seq = op.seq;
+            p.cur_sig = op.sig;
+            p.cur_start_us = MonotonicMicros();
+            p.cur_timeout_ms = op.timeout_ms;
+            p.health = hang ? RankHealth::kHung : RankHealth::kCrashed;
+            p.stuck_seq = op.seq;
+            p.stuck_sig = op.sig;
+          }
+          WorkerQueue& q = queues_[comm_rank];
+          {
+            std::unique_lock<std::mutex> lock(q.mu);
+            q.cv.wait(lock, [&] { return q.stop || aborted(); });
+          }
+          Status st = aborted()
+                          ? abort_status()
+                          : Status::Internal(
+                                "communicator shut down while rank " +
+                                std::to_string(comm_rank) + " was " +
+                                (hang ? "hung" : "crashed") + " at " +
+                                op.sig.Render() + " #" +
+                                std::to_string(op.seq));
+          CompleteOp(comm_rank, op, std::move(st), OpState::kAborted);
+          return;
+        }
+        case FaultKind::kSkip: {
+          // Silent SPMD violation: the op "completes" without running. The
+          // desync rendezvous (or the watchdog, via the flight recorder)
+          // catches the divergence downstream.
+          CompleteOp(comm_rank, op, Status::OK(), OpState::kSkipped);
+          return;
+        }
+      }
+    }
+  }
+
+  if (aborted()) {
+    // Error-drain: pending and future ops complete with the abort Status
+    // without touching shared collective state.
+    Status st = abort_status();
+    if (st.ok()) st = Status::Internal("communicator aborted");
+    CompleteOp(comm_rank, op, std::move(st), OpState::kAborted);
+    return;
+  }
+
+  const double start = MonotonicMicros();
+  {
+    std::lock_guard<std::mutex> lock(op.work->mu);
+    op.work->start_us = start;
+  }
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    RankProgress& p = progress_[comm_rank];
+    p.in_op = true;
+    p.cur_seq = op.seq;
+    p.cur_sig = op.sig;
+    p.cur_start_us = start;
+    p.cur_timeout_ms = op.timeout_ms;
+    p.last_activity_us = start;
+  }
+  flight_.OnStarted(comm_rank, op.seq, start);
+
+  bool ok = true;
+  if (desync_detection_.load(std::memory_order_relaxed)) {
+    ok = Rendezvous(comm_rank, op);
+  }
+  if (ok) {
+    if (op.kind != obs::EventKind::kMarker) TransferDelay(op.bytes);
+    ok = op.body();
+  }
+
+  const double end = MonotonicMicros();
+  auto& collector = obs::TraceCollector::Get();
+  if (collector.enabled() && op.kind != obs::EventKind::kMarker) {
+    obs::TraceEvent e;
+    e.rank = op.trace_rank;
+    e.kind = op.kind;
+    e.unit = op.label;
+    e.lane = "comm";
+    e.t_begin_us = op.work->issue_us;  // written before enqueue (see Issue)
+    e.t_end_us = end;
+    e.bytes = op.bytes;
+    collector.Record(std::move(e));
+  }
+  Status st = Status::OK();
+  if (!ok) {
+    st = abort_status();
+    if (st.ok()) st = Status::Internal("collective aborted");
+  }
+  CompleteOp(comm_rank, op, std::move(st),
+             ok ? OpState::kCompleted : OpState::kAborted);
+}
+
+bool Communicator::Rendezvous(int comm_rank, const CommOp& op) {
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    sig_slots_[comm_rank] = SigSlot{op.seq, op.sig};
+  }
+  if (!barrier_.Wait() || aborted()) return false;
+  // All ranks have published, and no rank can overwrite its slot before
+  // every peer finishes checking: every op body contains at least one
+  // barrier round, so the earliest a peer can publish its *next* slot is
+  // after this op's first body barrier — which cannot complete until this
+  // rank arrives there too.
+  WatchdogDiagnosis diag;
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    // Majority vote picks the contract: the culprit is the minority, no
+    // matter which rank runs the check first. Ties go to the higher seq
+    // (the rank that skipped ahead).
+    int best = 0;
+    int best_count = -1;
+    for (int r = 0; r < size_; ++r) {
+      int count = 0;
+      for (int k = 0; k < size_; ++k) {
+        if (sig_slots_[k].seq == sig_slots_[r].seq &&
+            sig_slots_[k].sig == sig_slots_[r].sig) {
+          ++count;
+        }
+      }
+      if (count > best_count ||
+          (count == best_count &&
+           sig_slots_[r].seq < sig_slots_[best].seq)) {
+        best = r;
+        best_count = count;
+      }
+    }
+    const SigSlot& expected = sig_slots_[best];
+    std::vector<int> agree;
+    for (int r = 0; r < size_; ++r) {
+      const SigSlot& s = sig_slots_[r];
+      if (s.seq == expected.seq && s.sig == expected.sig) {
+        agree.push_back(r);
+        diag.expected_next.push_back(
+            {r, s.seq, s.sig.Render()});
+        continue;
+      }
+      if (diag.culprit_rank < 0) {
+        diag.culprit_rank = r;
+        diag.culprit_seq = s.seq;
+      }
+    }
+    if (diag.culprit_rank < 0) return true;  // all slots agree
+    const SigSlot& culprit = sig_slots_[diag.culprit_rank];
+    diag.desync = true;
+    diag.stuck_op = expected.sig.Render();
+    diag.reason = "collective desync on '" + name_ + "': rank " +
+                  std::to_string(diag.culprit_rank) + " entered " +
+                  culprit.sig.Render() + " #" +
+                  std::to_string(culprit.seq) + ", expected " +
+                  expected.sig.Render() + " #" +
+                  std::to_string(expected.seq) + " (held by " +
+                  RankList(agree) + ")";
+  }
+  AbortWithDiagnosis(std::move(diag), /*from_watchdog=*/false);
+  return false;
+}
+
+void Communicator::CompleteOp(int comm_rank, CommOp& op, Status status,
+                              OpState final_state) {
+  const double end = MonotonicMicros();
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    RankProgress& p = progress_[comm_rank];
+    p.in_op = false;
+    p.cur_seq = -1;
+    p.last_completed_seq = std::max(p.last_completed_seq, op.seq);
+    p.pending = std::max(0, p.pending - 1);
+    p.last_activity_us = end;
+    // health is sticky: a hung/crashed rank stays diagnosable after its
+    // parked op was error-completed by an abort.
+  }
+  flight_.OnFinished(comm_rank, op.seq, end, final_state);
+  std::vector<Tensor> keepalive;
+  {
+    std::lock_guard<std::mutex> lock(op.work->mu);
+    op.work->complete_us = end;
+    op.work->status = std::move(status);
+    op.work->done = true;
+    keepalive = std::move(op.work->keepalive);
+  }
+  op.work->cv.notify_all();
+  // Pinned tensors release here, outside the completion lock.
+  keepalive.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Communicator: fault tolerance
+
+void Communicator::SetDefaultTimeout(double timeout_ms) {
+  default_timeout_ms_.store(timeout_ms, std::memory_order_relaxed);
+}
+
+double Communicator::default_timeout_ms() const {
+  return default_timeout_ms_.load(std::memory_order_relaxed);
+}
+
+void Communicator::SetDesyncDetection(bool on) {
+  desync_detection_.store(on, std::memory_order_relaxed);
+}
+
+bool Communicator::desync_detection() const {
+  return desync_detection_.load(std::memory_order_relaxed);
+}
+
+void Communicator::InjectFault(FaultSpec spec) {
+  faults_injected_.store(true, std::memory_order_relaxed);
+  injector_.Inject(std::move(spec));
+}
+
+int64_t Communicator::RegisterIssue(int comm_rank, const OpSignature& sig,
+                                    double now_us) {
+  int64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    RankProgress& p = progress_[comm_rank];
+    seq = p.next_seq++;
+    p.last_issued_seq = seq;
+    ++p.pending;
+  }
+  flight_.OnIssued(comm_rank, seq, sig, now_us);
+  return seq;
+}
+
+bool Communicator::ClaimAbort(Status status, WatchdogDiagnosis* diag) {
+  FSDP_CHECK_MSG(!status.ok(), "Abort needs a non-OK status");
+  {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    if (aborted_.load(std::memory_order_acquire)) return false;
+    abort_status_ = std::move(status);
+    if (diag) diagnosis_ = std::move(*diag);
+    aborted_.store(true, std::memory_order_release);
+  }
+  Metrics().aborts.Add(1);
+  return true;
+}
+
+void Communicator::WakeAllAfterAbort() {
+  // Wake everything that can be parked: body barriers, fault-parked workers,
+  // idle workers (so they error-drain), and the watchdog.
+  barrier_.Abort();
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_cv_.notify_all();
+  }
+}
+
+bool Communicator::AbortImpl(Status status, WatchdogDiagnosis* diag) {
+  if (!ClaimAbort(std::move(status), diag)) return false;
+  WakeAllAfterAbort();
+  return true;
+}
+
+void Communicator::Abort(Status status) {
+  AbortImpl(std::move(status), nullptr);
+}
+
+Status Communicator::abort_status() const {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  return abort_status_;
+}
+
+WatchdogDiagnosis Communicator::last_diagnosis() const {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  return diagnosis_;
+}
+
+void Communicator::AbortWithDiagnosis(WatchdogDiagnosis diag,
+                                      bool from_watchdog) {
+  const bool desync = diag.desync;
+  Status st = Status::Internal(diag.reason);
+  if (!ClaimAbort(std::move(st), &diag)) return;  // a prior abort won
+  if (from_watchdog) Metrics().timeouts.Add(1);
+  if (desync) Metrics().desyncs.Add(1);
+  // Dump before waking: by the time any waiter observes the abort Status,
+  // the flight-recorder JSON (and flight_dump_path()) is already on disk.
+  DumpFlightRecorder();
+  WakeAllAfterAbort();
+}
+
+void Communicator::EnsureWatchdogStarted() {
+  if (watchdog_started_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(start_mu_);
+  if (!watchdog_.joinable()) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+    watchdog_started_.store(true, std::memory_order_release);
+  }
+}
+
+void Communicator::WatchdogLoop() {
+  constexpr auto kPoll = std::chrono::milliseconds(5);
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, kPoll, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    if (aborted()) continue;  // nothing left to watch; idle until shutdown
+    lock.unlock();
+    WatchdogScan();
+    lock.lock();
+  }
+}
+
+void Communicator::WatchdogScan() {
+  const double now = MonotonicMicros();
+  std::vector<RankProgress> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    snapshot = progress_;
+  }
+  // The anchor is the stuck op with the smallest sequence number — the
+  // earliest point where the stream stopped making progress.
+  int anchor = -1;
+  double waited_ms = 0;
+  for (int r = 0; r < size_; ++r) {
+    const RankProgress& p = snapshot[r];
+    if (!p.in_op || p.cur_timeout_ms <= 0) continue;
+    const double waited = (now - p.cur_start_us) / 1000.0;
+    if (waited < p.cur_timeout_ms) continue;
+    if (anchor < 0 || p.cur_seq < snapshot[anchor].cur_seq) {
+      anchor = r;
+      waited_ms = waited;
+    }
+  }
+  if (anchor < 0) return;
+  AbortWithDiagnosis(Diagnose(snapshot, anchor, waited_ms),
+                     /*from_watchdog=*/true);
+}
+
+WatchdogDiagnosis Communicator::Diagnose(
+    const std::vector<RankProgress>& snapshot, int anchor_rank,
+    double waited_ms) const {
+  const RankProgress& a = snapshot[anchor_rank];
+  const int64_t seq = a.cur_seq;
+  const OpSignature& sig = a.cur_sig;
+
+  WatchdogDiagnosis diag;
+  diag.culprit_seq = seq;
+  diag.stuck_op = sig.Render();
+
+  std::vector<int> blocked;
+  for (int r = 0; r < size_; ++r) {
+    const RankProgress& p = snapshot[r];
+    if (p.in_op && p.health == RankHealth::kHealthy && p.cur_seq == seq &&
+        p.cur_sig == sig) {
+      blocked.push_back(r);
+      diag.expected_next.push_back({r, seq, sig.Render()});
+    }
+  }
+
+  // Culprit candidates, most-specific first. Within a category the lowest
+  // rank wins, making the diagnosis deterministic.
+  std::string what;
+  for (int r = 0; diag.culprit_rank < 0 && r < size_; ++r) {
+    const RankProgress& p = snapshot[r];
+    if (p.health == RankHealth::kCrashed) {
+      diag.culprit_rank = r;
+      diag.culprit_seq = p.stuck_seq;
+      what = "rank " + std::to_string(r) +
+             " crashed (worker stopped draining) at " + p.stuck_sig.Render() +
+             " #" + std::to_string(p.stuck_seq);
+    } else if (p.health == RankHealth::kHung) {
+      diag.culprit_rank = r;
+      diag.culprit_seq = p.stuck_seq;
+      what = "rank " + std::to_string(r) + " hung and never entered " +
+             p.stuck_sig.Render() + " #" + std::to_string(p.stuck_seq);
+    }
+  }
+  for (int r = 0; diag.culprit_rank < 0 && r < size_; ++r) {
+    const RankProgress& p = snapshot[r];
+    if (p.in_op && (p.cur_seq != seq || !(p.cur_sig == sig))) {
+      diag.culprit_rank = r;
+      diag.culprit_seq = p.cur_seq;
+      diag.desync = true;
+      what = "rank " + std::to_string(r) + " is in " + p.cur_sig.Render() +
+             " #" + std::to_string(p.cur_seq) + " instead of " + sig.Render() +
+             " #" + std::to_string(seq);
+    }
+  }
+  for (int r = 0; diag.culprit_rank < 0 && r < size_; ++r) {
+    const RankProgress& p = snapshot[r];
+    if (p.in_op) continue;
+    if (p.last_issued_seq < seq) {
+      // The rank's application thread diverged: it never issued this op.
+      diag.culprit_rank = r;
+      diag.desync = true;
+      what = "rank " + std::to_string(r) + " never issued " + sig.Render() +
+             " #" + std::to_string(seq) + " (last issued #" +
+             std::to_string(p.last_issued_seq) + ")";
+    } else if (p.last_completed_seq >= seq) {
+      // The rank's worker already passed this seq — check how.
+      bool skipped = false;
+      for (const FlightRecord& rec : flight_.Records(r)) {
+        if (rec.seq == seq && rec.state == OpState::kSkipped) skipped = true;
+      }
+      diag.culprit_rank = r;
+      diag.desync = true;
+      what = "rank " + std::to_string(r) +
+             (skipped ? " skipped " : " already completed ") + sig.Render() +
+             " #" + std::to_string(seq) + " and moved on";
+    } else {
+      // Issued but its worker has not entered it (delayed or backed up).
+      diag.culprit_rank = r;
+      what = "rank " + std::to_string(r) + " issued " + sig.Render() + " #" +
+             std::to_string(seq) +
+             " but its worker never entered it (delayed or backed up)";
+    }
+  }
+  if (diag.culprit_rank < 0) {
+    what = "no culprit identified (timeout too low or a genuine stall)";
+  }
+
+  diag.reason = "collective watchdog on '" + name_ + "': " + what +
+                "; " + sig.Render() + " #" + std::to_string(seq) +
+                " stuck for " + FormatMs(waited_ms) + " ms > " +
+                FormatMs(a.cur_timeout_ms) + " ms";
+  if (!blocked.empty()) {
+    diag.reason += " (" + RankList(blocked) + " blocked in " + sig.Render() +
+                   " #" + std::to_string(seq) + ")";
+  }
+  return diag;
+}
+
+std::string Communicator::FlightRecorderJson() const {
+  const Status st = abort_status();
+  const WatchdogDiagnosis diag = last_diagnosis();
+  std::ostringstream os;
+  os << "{\"communicator\":\"" << EscapeJson(name_) << "\","
+     << "\"world_size\":" << size_ << ","
+     << "\"aborted\":" << (aborted() ? "true" : "false") << ","
+     << "\"status\":\"" << EscapeJson(st.ToString()) << "\","
+     << "\"diagnosis\":{"
+     << "\"culprit_rank\":" << diag.culprit_rank << ","
+     << "\"culprit_seq\":" << diag.culprit_seq << ","
+     << "\"stuck_op\":\"" << EscapeJson(diag.stuck_op) << "\","
+     << "\"desync\":" << (diag.desync ? "true" : "false") << ","
+     << "\"reason\":\"" << EscapeJson(diag.reason) << "\","
+     << "\"expected_next\":[";
+  for (size_t i = 0; i < diag.expected_next.size(); ++i) {
+    const auto& e = diag.expected_next[i];
+    if (i) os << ",";
+    os << "{\"rank\":" << e.rank << ",\"seq\":" << e.seq << ",\"op\":\""
+       << EscapeJson(e.op) << "\"}";
+  }
+  os << "]},\"ranks\":[";
+  for (int r = 0; r < size_; ++r) {
+    if (r) os << ",";
+    os << "{\"rank\":" << r << ",\"records\":[";
+    const std::vector<FlightRecord> records = flight_.Records(r);
+    for (size_t i = 0; i < records.size(); ++i) {
+      const FlightRecord& rec = records[i];
+      if (i) os << ",";
+      os << "{\"seq\":" << rec.seq << ",\"op\":\""
+         << EscapeJson(rec.sig.Render()) << "\",\"bytes\":" << rec.sig.bytes
+         << ",\"root\":" << rec.sig.root << ",\"state\":\""
+         << OpStateName(rec.state) << "\",\"issue_us\":" << rec.issue_us
+         << ",\"start_us\":" << rec.start_us
+         << ",\"complete_us\":" << rec.complete_us << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Communicator::DumpFlightRecorder(const std::string& path) {
+  const std::string target =
+      path.empty() ? obs::ArtifactPath("FLIGHT_" + name_ + ".json") : path;
+  std::ofstream out(target);
+  if (out) out << FlightRecorderJson() << "\n";
+  {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    flight_dump_path_ = target;
+  }
+  return target;
+}
+
+std::string Communicator::flight_dump_path() const {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  return flight_dump_path_;
 }
 
 // ---------------------------------------------------------------------------
@@ -201,8 +781,8 @@ ProcessGroup::ProcessGroup(std::shared_ptr<Communicator> comm, int rank)
 
 Work ProcessGroup::Issue(obs::EventKind kind, const CollectiveOptions& opts,
                          const char* default_label, int64_t bytes,
-                         std::function<void()> body,
-                         std::vector<Tensor> keepalive) {
+                         std::function<bool()> body,
+                         std::vector<Tensor> keepalive, int root) {
   auto state = std::make_shared<WorkState>();
   // Written before Enqueue; the queue mutex publishes it to the worker.
   state->issue_us = MonotonicMicros();
@@ -214,40 +794,47 @@ Work ProcessGroup::Issue(obs::EventKind kind, const CollectiveOptions& opts,
   op.kind = kind;
   op.label = opts.tag.empty() ? default_label : opts.tag;
   op.bytes = bytes;
+  op.sig = OpSignature{kind, op.label, bytes, root};
+  op.timeout_ms =
+      opts.timeout_ms > 0 ? opts.timeout_ms : comm_->default_timeout_ms();
+  op.seq = comm_->RegisterIssue(rank_, op.sig, state->issue_us);
+  state->seq = op.seq;
+  if (op.timeout_ms > 0) comm_->EnsureWatchdogStarted();
   comm_->Enqueue(rank_, std::move(op));
   Work w(std::move(state));
   if (!opts.async) w.Wait();
   return w;
 }
 
-void ProcessGroup::Barrier() {
+Work ProcessGroup::Barrier(const CollectiveOptions& opts) {
   Communicator* c = comm_.get();
-  Issue(obs::EventKind::kMarker, {}, "barrier", 0,
-        [c] { c->barrier_.Wait(); });
+  return Issue(obs::EventKind::kBarrier, opts, "barrier", 0,
+               [c] { return c->BodySync(); });
 }
 
 // -- raw bodies (comm-worker threads only) ----------------------------------
 
-void ProcessGroup::RunAllGatherBase(Communicator* c, int rank, float* dst,
+bool ProcessGroup::RunAllGatherBase(Communicator* c, int rank, float* dst,
                                     const float* src,
                                     int64_t numel_per_rank) {
   const int w = c->size_;
   c->src_slots_[rank] = src;
-  c->barrier_.Wait();
+  if (!c->BodySync()) return false;
   for (int k = 0; k < w; ++k) {
     std::memcpy(dst + static_cast<int64_t>(k) * numel_per_rank,
                 c->src_slots_[k],
                 static_cast<size_t>(numel_per_rank) * 4);
   }
-  c->barrier_.Wait();  // nobody may free src until all copies are done
+  // Nobody may free src until all copies are done.
+  return c->BodySync();
 }
 
-void ProcessGroup::RunReduceScatter(Communicator* c, int rank, float* dst,
+bool ProcessGroup::RunReduceScatter(Communicator* c, int rank, float* dst,
                                     const float* src, int64_t numel_per_rank,
                                     ReduceOp op, DType comm_dtype) {
   const int w = c->size_;
   c->src_slots_[rank] = src;
-  c->barrier_.Wait();
+  if (!c->BodySync()) return false;
   const int64_t off = static_cast<int64_t>(rank) * numel_per_rank;
   for (int64_t i = 0; i < numel_per_rank; ++i) {
     float acc = c->src_slots_[0][off + i];
@@ -262,23 +849,23 @@ void ProcessGroup::RunReduceScatter(Communicator* c, int rank, float* dst,
     }
     dst[i] = acc;
   }
-  c->barrier_.Wait();
+  return c->BodySync();
 }
 
-void ProcessGroup::RunAllReduce(Communicator* c, int rank, float* buf,
+bool ProcessGroup::RunAllReduce(Communicator* c, int rank, float* buf,
                                 int64_t numel, ReduceOp op,
                                 DType comm_dtype) {
   const int w = c->size_;
   c->src_slots_[rank] = buf;
   // One rank resizes the shared scratch; guarded by a barrier on both sides.
-  c->barrier_.Wait();
+  if (!c->BodySync()) return false;
   {
     std::lock_guard<std::mutex> lock(c->scratch_mu_);
     if (static_cast<int64_t>(c->scratch_.size()) < numel) {
       c->scratch_.resize(static_cast<size_t>(numel));
     }
   }
-  c->barrier_.Wait();
+  if (!c->BodySync()) return false;
   // Each rank reduces its own chunk into scratch (disjoint writes).
   const int64_t chunk = (numel + w - 1) / w;
   const int64_t lo = std::min<int64_t>(rank * chunk, numel);
@@ -296,33 +883,33 @@ void ProcessGroup::RunAllReduce(Communicator* c, int rank, float* buf,
     }
     c->scratch_[static_cast<size_t>(i)] = acc;
   }
-  c->barrier_.Wait();
+  if (!c->BodySync()) return false;
   std::memcpy(buf, c->scratch_.data(), static_cast<size_t>(numel) * 4);
-  c->barrier_.Wait();
+  return c->BodySync();
 }
 
-void ProcessGroup::RunBroadcast(Communicator* c, int rank, float* buf,
+bool ProcessGroup::RunBroadcast(Communicator* c, int rank, float* buf,
                                 int64_t numel, int root) {
   c->src_slots_[rank] = buf;
-  c->barrier_.Wait();
+  if (!c->BodySync()) return false;
   if (rank != root) {
     std::memcpy(buf, c->src_slots_[root], static_cast<size_t>(numel) * 4);
   }
-  c->barrier_.Wait();
+  return c->BodySync();
 }
 
-void ProcessGroup::RunAllToAll(Communicator* c, int rank, float* dst,
+bool ProcessGroup::RunAllToAll(Communicator* c, int rank, float* dst,
                                const float* src, int64_t chunk_numel) {
   const int w = c->size_;
   c->src_slots_[rank] = src;
-  c->barrier_.Wait();
+  if (!c->BodySync()) return false;
   for (int k = 0; k < w; ++k) {
     // Chunk `rank` of rank k's source lands in slot k of our destination.
     std::memcpy(dst + static_cast<int64_t>(k) * chunk_numel,
                 c->src_slots_[k] + static_cast<int64_t>(rank) * chunk_numel,
                 static_cast<size_t>(chunk_numel) * 4);
   }
-  c->barrier_.Wait();
+  return c->BodySync();
 }
 
 // -- public collectives -----------------------------------------------------
@@ -341,7 +928,7 @@ Work ProcessGroup::AllGatherBaseImpl(float* dst, const float* src,
   const int rank = rank_;
   return Issue(obs::EventKind::kAllGather, opts, "allgather_base", bytes,
                [c, rank, dst, src, numel_per_rank] {
-                 RunAllGatherBase(c, rank, dst, src, numel_per_rank);
+                 return RunAllGatherBase(c, rank, dst, src, numel_per_rank);
                },
                std::move(keepalive));
 }
@@ -371,13 +958,16 @@ Work ProcessGroup::AllGather(const std::vector<float*>& dsts, const float* src,
                [c, rank, dsts, src, numel_per_rank, w] {
                  std::vector<float> consolidated(
                      static_cast<size_t>(w * numel_per_rank));
-                 RunAllGatherBase(c, rank, consolidated.data(), src,
-                                  numel_per_rank);
+                 if (!RunAllGatherBase(c, rank, consolidated.data(), src,
+                                       numel_per_rank)) {
+                   return false;
+                 }
                  for (int k = 0; k < w; ++k) {
                    std::memcpy(dsts[k],
                                consolidated.data() + k * numel_per_rank,
                                static_cast<size_t>(numel_per_rank) * 4);
                  }
+                 return true;
                });
 }
 
@@ -408,8 +998,12 @@ Work ProcessGroup::AllGatherUneven(const std::vector<float*>& dsts,
                      std::memcpy(dsts[root], src,
                                  static_cast<size_t>(counts[root]) * 4);
                    }
-                   RunBroadcast(c, rank, dsts[root], counts[root], root);
+                   if (!RunBroadcast(c, rank, dsts[root], counts[root],
+                                     root)) {
+                     return false;
+                   }
                  }
+                 return true;
                });
 }
 
@@ -429,7 +1023,8 @@ Work ProcessGroup::ReduceScatterImpl(float* dst, const float* src,
   const DType dt = opts.comm_dtype;
   return Issue(obs::EventKind::kReduceScatter, opts, "reduce_scatter", bytes,
                [c, rank, dst, src, numel_per_rank, op, dt] {
-                 RunReduceScatter(c, rank, dst, src, numel_per_rank, op, dt);
+                 return RunReduceScatter(c, rank, dst, src, numel_per_rank,
+                                         op, dt);
                },
                std::move(keepalive));
 }
@@ -456,7 +1051,7 @@ Work ProcessGroup::AllReduceImpl(float* buf, int64_t numel,
   const DType dt = opts.comm_dtype;
   return Issue(obs::EventKind::kAllReduce, opts, "all_reduce", bytes,
                [c, rank, buf, numel, op, dt] {
-                 RunAllReduce(c, rank, buf, numel, op, dt);
+                 return RunAllReduce(c, rank, buf, numel, op, dt);
                },
                std::move(keepalive));
 }
@@ -478,9 +1073,9 @@ Work ProcessGroup::BroadcastImpl(float* buf, int64_t numel, int root,
   const int rank = rank_;
   return Issue(obs::EventKind::kBroadcast, opts, "broadcast", bytes,
                [c, rank, buf, numel, root] {
-                 RunBroadcast(c, rank, buf, numel, root);
+                 return RunBroadcast(c, rank, buf, numel, root);
                },
-               std::move(keepalive));
+               std::move(keepalive), root);
 }
 
 Work ProcessGroup::Broadcast(float* buf, int64_t numel, int root,
@@ -500,7 +1095,7 @@ Work ProcessGroup::AllToAll(float* dst, const float* src, int64_t chunk_numel,
   const int rank = rank_;
   return Issue(obs::EventKind::kAllToAll, opts, "all_to_all", bytes,
                [c, rank, dst, src, chunk_numel] {
-                 RunAllToAll(c, rank, dst, src, chunk_numel);
+                 return RunAllToAll(c, rank, dst, src, chunk_numel);
                });
 }
 
@@ -546,12 +1141,15 @@ DeviceMesh::DeviceMesh(int world_size, int sharding_factor)
   FSDP_CHECK_MSG(world_size % sharding_factor == 0,
                  "sharding factor must divide world size");
   world_ = std::make_shared<Communicator>(world_size);
+  world_->SetName("world");
   const int num_shard = world_size / sharding_factor;
   for (int g = 0; g < num_shard; ++g) {
     shard_groups_.push_back(std::make_shared<Communicator>(sharding_factor));
+    shard_groups_.back()->SetName("shard" + std::to_string(g));
   }
   for (int g = 0; g < sharding_factor; ++g) {
     replicate_groups_.push_back(std::make_shared<Communicator>(num_shard));
+    replicate_groups_.back()->SetName("replicate" + std::to_string(g));
   }
 }
 
@@ -575,6 +1173,18 @@ void DeviceMesh::SetInjectedLatency(double base_us, double us_per_mib) {
   for (auto& g : replicate_groups_) {
     g->SetInjectedLatency(base_us, us_per_mib);
   }
+}
+
+void DeviceMesh::SetDefaultTimeout(double timeout_ms) {
+  world_->SetDefaultTimeout(timeout_ms);
+  for (auto& g : shard_groups_) g->SetDefaultTimeout(timeout_ms);
+  for (auto& g : replicate_groups_) g->SetDefaultTimeout(timeout_ms);
+}
+
+void DeviceMesh::SetDesyncDetection(bool on) {
+  world_->SetDesyncDetection(on);
+  for (auto& g : shard_groups_) g->SetDesyncDetection(on);
+  for (auto& g : replicate_groups_) g->SetDesyncDetection(on);
 }
 
 }  // namespace fsdp::comm

@@ -34,6 +34,28 @@
 //
 // Per-rank byte/op counters support the traffic-model tests; they are
 // updated at issue time on the calling thread.
+//
+// Fault tolerance (ProcessGroupNCCL watchdog / flight-recorder analogue):
+// every op carries a per-rank dense *sequence number* and an OpSignature
+// (kind, label, bytes, root), recorded in a per-rank FlightRecorder ring.
+// Three opt-in layers harden the SPMD contract:
+//
+//   * desync detection (SetDesyncDetection): workers rendezvous before each
+//     op body and cross-check signatures — a skipped/reordered/mismatched
+//     collective aborts immediately with a culprit diagnosis instead of
+//     corrupting memory or deadlocking;
+//   * watchdog (CollectiveOptions::timeout_ms or SetDefaultTimeout): a
+//     per-communicator thread detects collectives stuck past their timeout,
+//     diagnoses the culprit rank from the per-rank progress table ("rank 2
+//     never entered RS:layer3 #17"), dumps the flight recorder as JSON via
+//     obs::ArtifactPath, and aborts;
+//   * graceful abort (Abort): poisons the shared barrier and all queues,
+//     wakes every waiter; pending and future Work completes with the abort
+//     Status (Work::WaitStatus / WaitFor), so callers degrade instead of
+//     hanging — FSDP/DDP propagate the error out of the train step.
+//
+// InjectFault scripts deterministic failures (hang / delay / crashed rank /
+// skipped collective) keyed by (rank, seq | tag) for tests and benches.
 #pragma once
 
 #include <atomic>
@@ -47,6 +69,8 @@
 #include <thread>
 #include <vector>
 
+#include "comm/fault.h"
+#include "common/status.h"
 #include "common/threading.h"
 #include "obs/trace.h"
 #include "tensor/dtype.h"
@@ -73,6 +97,10 @@ struct CollectiveOptions {
   /// Label for the exported trace span (defaults to the collective name).
   /// FSDP passes the unit name so comm-lane spans identify their unit.
   std::string tag;
+  /// Watchdog deadline for this collective in milliseconds. 0 falls back to
+  /// the communicator default (Communicator::SetDefaultTimeout); if that is
+  /// also 0 the op is never timed out.
+  double timeout_ms = 0;
 };
 
 /// Shared completion state behind a Work handle (internal).
@@ -80,6 +108,8 @@ struct WorkState {
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
+  Status status;           // completion status (abort/timeout propagate here)
+  int64_t seq = -1;        // per-rank collective sequence number
   double issue_us = 0;     // enqueued on the calling rank thread
   double start_us = 0;     // comm worker began executing
   double complete_us = 0;  // all barriers passed, results visible
@@ -100,8 +130,18 @@ class Work {
   /// for a default-constructed handle). May be called multiple times and
   /// from any thread.
   void Wait() const;
+  /// Blocks like Wait() and returns the completion Status: OK on success,
+  /// the abort Status if the communicator aborted (watchdog timeout, desync,
+  /// explicit Abort) while this op was pending.
+  Status WaitStatus() const;
+  /// Bounded wait: blocks up to `timeout_ms`, then returns kInternal if the
+  /// collective is still pending (the op keeps running — this does not abort
+  /// the communicator). Otherwise returns the completion Status.
+  Status WaitFor(double timeout_ms) const;
   /// Non-blocking completion probe.
   bool Completed() const;
+  /// Per-rank collective sequence number (-1 for default-constructed).
+  int64_t seq() const;
 
   /// Completion timestamps (MonotonicMicros domain) for observability:
   /// issue (enqueue), execution start on the worker, and completion. Zero
@@ -128,6 +168,26 @@ struct CommStats {
   int64_t broadcast_bytes = 0;
 };
 
+/// What the watchdog (or the desync rendezvous) concluded when it aborted a
+/// communicator: who broke the SPMD contract, where in the stream, and what
+/// the healthy ranks were waiting to run. Embedded in the abort Status
+/// message and in the flight-recorder JSON dump.
+struct WatchdogDiagnosis {
+  int culprit_rank = -1;
+  int64_t culprit_seq = -1;
+  std::string stuck_op;  // rendered signature of the stuck collective
+  std::string reason;    // full human-readable diagnosis
+  bool desync = false;   // contract violation vs. plain timeout
+  struct Expected {
+    int rank = -1;
+    int64_t seq = -1;
+    std::string op;  // rendered signature this rank is blocked in
+  };
+  /// The rendezvous point of the healthy ranks — what the culprit was
+  /// expected to enter next.
+  std::vector<Expected> expected_next;
+};
+
 /// Shared state of one communicator (one "NCCL communicator"): the per-rank
 /// comm-worker threads and queues, plus barriers and pointer-exchange slots
 /// for the fixed set of participants. Workers spawn lazily on the first
@@ -150,17 +210,76 @@ class Communicator {
   /// wall-clock time.
   void SetInjectedLatency(double base_us, double us_per_mib = 0);
 
+  // --- Fault tolerance -----------------------------------------------------
+
+  /// Display name used in diagnoses and the flight-recorder dump filename
+  /// ("world", "shard0", ...). Set before issuing collectives.
+  void SetName(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+  /// Default watchdog timeout for ops without CollectiveOptions::timeout_ms.
+  /// Non-zero arms the watchdog thread. 0 (the default) times out nothing.
+  void SetDefaultTimeout(double timeout_ms);
+  double default_timeout_ms() const;
+
+  /// Enables the pre-op signature rendezvous: workers cross-check (seq,
+  /// OpSignature) before every collective body and abort on mismatch. Off by
+  /// default (it adds one barrier round per op); the fault-overhead bench
+  /// measures both layers separately.
+  void SetDesyncDetection(bool on);
+  bool desync_detection() const;
+
+  /// Scripts a fault (see comm/fault.h) and arms the watchdog if a default
+  /// timeout is set. The destructor aborts a faulted communicator that was
+  /// never aborted, so parked workers always get released.
+  void InjectFault(FaultSpec spec);
+  void ClearFaults() { injector_.Clear(); }
+
+  /// Poisons the communicator: the shared barrier and all worker queues are
+  /// aborted, every parked worker and every Work waiter wakes, and all
+  /// pending + future ops complete with `status`. First abort wins;
+  /// subsequent calls are no-ops. Safe from any thread (watchdog, worker,
+  /// rank thread).
+  void Abort(Status status);
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  /// The first abort's Status (OK if never aborted).
+  Status abort_status() const;
+  /// Diagnosis of the watchdog/desync abort (default-constructed for manual
+  /// Abort() calls or when never aborted).
+  WatchdogDiagnosis last_diagnosis() const;
+
+  const FlightRecorder& flight_recorder() const { return flight_; }
+  /// Flight-recorder records of all ranks (+ diagnosis when aborted) as a
+  /// JSON document — the ProcessGroupNCCL "flight recorder dump" analogue.
+  std::string FlightRecorderJson() const;
+  /// Writes FlightRecorderJson() to `path`, or to
+  /// obs::ArtifactPath("FLIGHT_<name>.json") when empty. Returns the path
+  /// written (also retrievable via flight_dump_path()).
+  std::string DumpFlightRecorder(const std::string& path = "");
+  /// Path of the most recent dump ("" if none). The watchdog dumps
+  /// automatically before aborting.
+  std::string flight_dump_path() const;
+  /// Flight records as "flight"-lane trace events for the Chrome exporter.
+  std::vector<obs::TraceEvent> FlightTraceEvents() const {
+    return flight_.TraceEvents();
+  }
+
  private:
   friend class ProcessGroup;
 
   /// One enqueued collective for one rank's worker.
   struct CommOp {
-    std::function<void()> body;       // the rank's share of the collective
+    /// The rank's share of the collective; returns false when it bailed out
+    /// on a communicator abort (the op then completes with the abort Status).
+    std::function<bool()> body;
     std::shared_ptr<WorkState> work;
     int trace_rank = 0;               // issuer's global rank (attribution)
     obs::EventKind kind = obs::EventKind::kMarker;
     std::string label;
     int64_t bytes = 0;
+    int64_t seq = -1;                 // per-rank dense sequence number
+    OpSignature sig;                  // rendezvous identity
+    double timeout_ms = 0;            // effective watchdog deadline (0 = off)
   };
 
   struct WorkerQueue {
@@ -170,11 +289,80 @@ class Communicator {
     bool stop = false;
   };
 
+  enum class RankHealth : int { kHealthy = 0, kHung, kCrashed };
+
+  /// Watchdog's view of one rank's worker; updated under progress_mu_ at
+  /// issue, op entry and op completion.
+  struct RankProgress {
+    int64_t next_seq = 0;             // issue-side counter
+    int64_t last_issued_seq = -1;
+    int64_t last_completed_seq = -1;
+    int pending = 0;                  // issued but not finished
+    bool in_op = false;
+    int64_t cur_seq = -1;
+    OpSignature cur_sig;
+    double cur_start_us = 0;
+    double cur_timeout_ms = 0;
+    double last_activity_us = 0;
+    RankHealth health = RankHealth::kHealthy;
+    int64_t stuck_seq = -1;           // op a hung/crashed worker received
+    OpSignature stuck_sig;
+  };
+
+  /// Slot published at the desync rendezvous.
+  struct SigSlot {
+    int64_t seq = -1;
+    OpSignature sig;
+  };
+
   void EnsureWorkersStarted();
   void WorkerLoop(int comm_rank);
+  /// Runs one op on its worker: fault check, progress/flight bookkeeping,
+  /// optional signature rendezvous, transfer delay, body, completion.
+  void ExecuteOp(int comm_rank, CommOp& op);
+  /// Publishes (seq, sig), synchronizes, and cross-checks all ranks' slots.
+  /// Returns false (after aborting with a desync diagnosis) on mismatch or
+  /// when the communicator aborted mid-rendezvous.
+  bool Rendezvous(int comm_rank, const CommOp& op);
+  /// Completes `op`: final flight/progress records, publishes `status` into
+  /// the WorkState, wakes all waiters exactly once, releases the keepalive.
+  void CompleteOp(int comm_rank, CommOp& op, Status status,
+                  OpState final_state);
+  /// Synchronization point inside collective bodies: barrier + abort check.
+  /// Bodies bail out (returning early) when this returns false.
+  bool BodySync() {
+    return barrier_.Wait() && !aborted();
+  }
   void Enqueue(int comm_rank, CommOp op);
   /// Emulated transfer stall for `bytes` of payload (no-op when latency 0).
   void TransferDelay(int64_t bytes) const;
+
+  /// Issue-side bookkeeping (calling rank thread): assigns the rank's next
+  /// seq, records the issue in progress + flight recorder.
+  int64_t RegisterIssue(int comm_rank, const OpSignature& sig, double now_us);
+  void EnsureWatchdogStarted();
+  void WatchdogLoop();
+  /// One watchdog scan: looks for ops stuck past their deadline; on fire,
+  /// diagnoses the culprit, dumps the flight recorder and aborts.
+  void WatchdogScan();
+  /// Builds the culprit diagnosis for a stuck op (anchor = the minimum stuck
+  /// seq) from a snapshot of the progress table.
+  WatchdogDiagnosis Diagnose(const std::vector<RankProgress>& snapshot,
+                             int anchor_rank, double waited_ms) const;
+  /// Records the diagnosis, bumps metrics (comm.timeouts when fired by the
+  /// watchdog, comm.desyncs when diag.desync), dumps the flight recorder and
+  /// aborts with a Status carrying `diag.reason`.
+  void AbortWithDiagnosis(WatchdogDiagnosis diag, bool from_watchdog);
+  /// First-abort-wins core: publishes status (+ optional diagnosis), poisons
+  /// the barrier, wakes every queue and the watchdog. Returns false when a
+  /// prior abort already won.
+  bool AbortImpl(Status status, WatchdogDiagnosis* diag);
+  /// The claim half of AbortImpl: atomically publishes the abort state
+  /// without waking anyone, so the claimer can finish side effects (the
+  /// flight-recorder dump) before any waiter observes the abort.
+  bool ClaimAbort(Status status, WatchdogDiagnosis* diag);
+  /// The wake half: poisons the barrier, wakes every queue and the watchdog.
+  void WakeAllAfterAbort();
 
   int size_;
   Barrier barrier_;
@@ -191,6 +379,30 @@ class Communicator {
   std::mutex start_mu_;
   std::atomic<double> latency_base_us_{0};
   std::atomic<double> latency_us_per_mib_{0};
+
+  // Fault tolerance.
+  std::string name_ = "comm";
+  FaultInjector injector_;
+  std::atomic<bool> faults_injected_{false};
+  FlightRecorder flight_;
+  std::atomic<double> default_timeout_ms_{0};
+  std::atomic<bool> desync_detection_{false};
+
+  mutable std::mutex progress_mu_;
+  std::vector<RankProgress> progress_;
+  std::vector<SigSlot> sig_slots_;  // rendezvous exchange, one per rank
+
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mu_;
+  Status abort_status_;           // guarded by abort_mu_
+  WatchdogDiagnosis diagnosis_;   // guarded by abort_mu_
+  std::string flight_dump_path_;  // guarded by abort_mu_
+
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_started_{false};
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
 };
 
 /// Per-rank handle over a Communicator. All collective calls must be entered
@@ -238,7 +450,11 @@ class ProcessGroup {
   Work AllToAll(float* dst, const float* src, int64_t chunk_numel,
                 const CollectiveOptions& opts = {});
 
-  void Barrier();
+  /// Rendezvous of all ranks. Routed through Issue() like every collective:
+  /// it runs on the comm worker in FIFO order, carries a sequence number and
+  /// a kBarrier trace span, respects injected latency, and is covered by the
+  /// watchdog/desync machinery. Synchronous unless opts.async.
+  Work Barrier(const CollectiveOptions& opts = {});
 
   // Tensor conveniences (operate on the flat contents). These pin src/dst
   // in the Work until completion, so async callers may drop temporaries.
@@ -256,15 +472,22 @@ class ProcessGroup {
   const CommStats& stats() const { return comm_->rank_stats_[rank_]; }
   void ResetStats() { comm_->rank_stats_[rank_] = CommStats{}; }
 
+  /// The underlying communicator (shared by all rank handles) — the surface
+  /// for fault-tolerance controls: timeouts, desync detection, fault
+  /// injection, abort, flight-recorder dumps.
+  const std::shared_ptr<Communicator>& communicator() const { return comm_; }
+
  private:
   CommStats& mutable_stats() { return comm_->rank_stats_[rank_]; }
 
   /// Enqueues `body` onto this rank's comm worker as a `kind` span carrying
   /// `bytes` of payload; waits for completion unless opts.async. `keepalive`
   /// tensors stay pinned in the Work until the worker completes the op.
+  /// `root` is the broadcast root for signature purposes (-1 otherwise).
   Work Issue(obs::EventKind kind, const CollectiveOptions& opts,
              const char* default_label, int64_t bytes,
-             std::function<void()> body, std::vector<Tensor> keepalive = {});
+             std::function<bool()> body, std::vector<Tensor> keepalive = {},
+             int root = -1);
 
   // Pointer entry points + tensor conveniences funnel through these so the
   // tensor overloads can pin their operands.
@@ -283,16 +506,18 @@ class ProcessGroup {
   // Raw per-rank collective bodies; run on the comm-worker threads only.
   // Static (no ProcessGroup capture) so an async op enqueued through a
   // temporary handle stays valid: the communicator outlives its workers.
-  static void RunAllGatherBase(Communicator* c, int rank, float* dst,
+  // Each returns false when it bailed out early on a communicator abort
+  // (results are then garbage; the Work completes with the abort Status).
+  static bool RunAllGatherBase(Communicator* c, int rank, float* dst,
                                const float* src, int64_t numel_per_rank);
-  static void RunReduceScatter(Communicator* c, int rank, float* dst,
+  static bool RunReduceScatter(Communicator* c, int rank, float* dst,
                                const float* src, int64_t numel_per_rank,
                                ReduceOp op, DType comm_dtype);
-  static void RunAllReduce(Communicator* c, int rank, float* buf,
+  static bool RunAllReduce(Communicator* c, int rank, float* buf,
                            int64_t numel, ReduceOp op, DType comm_dtype);
-  static void RunBroadcast(Communicator* c, int rank, float* buf,
+  static bool RunBroadcast(Communicator* c, int rank, float* buf,
                            int64_t numel, int root);
-  static void RunAllToAll(Communicator* c, int rank, float* dst,
+  static bool RunAllToAll(Communicator* c, int rank, float* dst,
                           const float* src, int64_t chunk_numel);
 
   std::shared_ptr<Communicator> comm_;
@@ -321,6 +546,12 @@ class DeviceMesh {
   /// Applies Communicator::SetInjectedLatency to the world and every
   /// subgroup communicator of this mesh.
   void SetInjectedLatency(double base_us, double us_per_mib = 0);
+
+  /// Arms the watchdog on the world and every subgroup communicator.
+  void SetDefaultTimeout(double timeout_ms);
+  /// Enables the desync rendezvous on the world and every subgroup
+  /// communicator.
+  void SetDesyncDetection(bool on);
 
  private:
   int world_size_;

@@ -20,6 +20,10 @@ namespace fsdp {
 
 /// Reusable barrier for a fixed set of participants. Sense-reversing so it can
 /// be re-entered immediately; arrival order across phases cannot deadlock.
+/// Abort() permanently poisons the barrier: every current waiter wakes and
+/// every future Wait() returns immediately — the escape hatch the
+/// fault-tolerant collective runtime relies on (a dead rank otherwise parks
+/// every peer in here forever).
 class Barrier {
  public:
   explicit Barrier(int num_threads) : num_threads_(num_threads) {
@@ -29,12 +33,14 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
-  /// Blocks until all participants have arrived. Returns true on exactly one
-  /// participant per phase (the last to arrive), which callers can use to run
-  /// a once-per-phase action before anyone proceeds is NOT guaranteed — the
-  /// action must be done before calling Wait by a designated rank instead.
+  /// Blocks until all participants have arrived (or the barrier is aborted).
+  /// Returns true when this barrier round completed normally; false when the
+  /// barrier was aborted before the round completed (callers must then bail
+  /// out instead of touching shared collective state). After Abort() every
+  /// Wait() returns false immediately.
   bool Wait() {
     std::unique_lock<std::mutex> lock(mu_);
+    if (aborted_) return false;
     const bool phase = phase_;
     if (++arrived_ == num_threads_) {
       arrived_ = 0;
@@ -42,18 +48,35 @@ class Barrier {
       cv_.notify_all();
       return true;
     }
-    cv_.wait(lock, [&] { return phase_ != phase; });
-    return false;
+    cv_.wait(lock, [&] { return aborted_ || phase_ != phase; });
+    // The phase flip is the authoritative completion signal: an abort that
+    // lands after this round completed must not fail stale waiters.
+    return phase_ != phase;
+  }
+
+  /// Poisons the barrier: wakes all current waiters, and every subsequent
+  /// Wait() returns immediately. Irreversible (the participant set can no
+  /// longer be trusted to re-converge).
+  void Abort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborted_;
   }
 
   int num_threads() const { return num_threads_; }
 
  private:
   const int num_threads_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   int arrived_ = 0;
   bool phase_ = false;
+  bool aborted_ = false;
 };
 
 /// Runs `fn(rank)` on `world_size` threads and joins them all. Any FSDP_CHECK

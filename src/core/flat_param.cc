@@ -131,17 +131,21 @@ void FlatParamHandle::UnshardAsync(const std::string& tag) {
   unshard_in_flight_ = true;
 }
 
-void FlatParamHandle::WaitUnshard() {
-  if (!unshard_in_flight_) return;
-  unshard_work_.Wait();
+Status FlatParamHandle::WaitUnshard() {
+  if (!unshard_in_flight_) return Status::OK();
+  Status st = unshard_work_.WaitStatus();
   unshard_work_ = comm::Work();
   unshard_in_flight_ = false;
+  // The storage is marked unsharded even on failure: the bytes exist (they
+  // were allocated before the issue), they are just garbage. Reshard()
+  // remains the single teardown path either way.
   unsharded_ = true;
+  return st;
 }
 
-void FlatParamHandle::Unshard() {
+Status FlatParamHandle::Unshard() {
   UnshardAsync();
-  WaitUnshard();
+  return WaitUnshard();
 }
 
 void FlatParamHandle::UseUnshardedViews() {
@@ -154,8 +158,9 @@ void FlatParamHandle::UseUnshardedViews() {
 }
 
 void FlatParamHandle::Reshard() {
-  // A pending gather must land before its destination storage dies.
-  WaitUnshard();
+  // A pending gather must land before its destination storage dies. The
+  // Status is irrelevant here: freed is freed, also after an abort.
+  (void)WaitUnshard();
   // Free the unsharded flat parameter's bytes (PyTorch's resize_(0)): the
   // memory accounting drops to the sharded footprint, and any stale read —
   // the shared-parameter pitfall of Sec 7.2.2, or a missing pre-backward
@@ -191,19 +196,25 @@ void FlatParamHandle::BeginGradientReduce(float grad_divisor,
   reduce_in_flight_ = true;
 }
 
-void FlatParamHandle::FinishGradientReduce() {
-  if (!reduce_in_flight_) return;
+Status FlatParamHandle::FinishGradientReduce() {
+  if (!reduce_in_flight_) return Status::OK();
   NoGradGuard no_grad;
-  reduce_work_.Wait();
+  Status st = reduce_work_.WaitStatus();
   reduce_work_ = comm::Work();
   reduce_in_flight_ = false;
   Tensor shard_grad = pending_shard_grad_;
   pending_shard_grad_ = Tensor();
-  if (replicate_pg_.valid()) {
+  if (st.ok() && replicate_pg_.valid()) {
     // Hybrid sharding (Eq. 1): reduce the sharded gradients across replicas.
     comm::CollectiveOptions ar_opts;
     ar_opts.comm_dtype = mp_.reduce_dtype;
-    replicate_pg_.AllReduce(shard_grad, ar_opts);
+    st = replicate_pg_.AllReduce(shard_grad, ar_opts).WaitStatus();
+  }
+  if (!st.ok()) {
+    // Drop the garbage reduction; the sharded .grad keeps its previous
+    // value, so a failed step cannot corrupt the optimizer state.
+    ClearUnshardedGrad();
+    return st;
   }
   if (pending_divisor_ != 1.f) shard_grad.Mul_(1.f / pending_divisor_);
 
@@ -214,11 +225,12 @@ void FlatParamHandle::FinishGradientReduce() {
     sharded_param_.set_grad(shard_grad);
   }
   ClearUnshardedGrad();
+  return Status::OK();
 }
 
-void FlatParamHandle::PrepareGradient(float grad_divisor) {
+Status FlatParamHandle::PrepareGradient(float grad_divisor) {
   BeginGradientReduce(grad_divisor);
-  FinishGradientReduce();
+  return FinishGradientReduce();
 }
 
 void FlatParamHandle::ClearUnshardedGrad() { unsharded_param_.zero_grad(); }

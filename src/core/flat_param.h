@@ -94,10 +94,13 @@ class FlatParamHandle {
   /// precision is on. `tag` labels the comm-lane trace span (unit name).
   void UnshardAsync(const std::string& tag = "");
   /// Blocks until the issued AllGather completed; afterwards the unsharded
-  /// values are valid. No-op when nothing is in flight.
-  void WaitUnshard();
+  /// values are valid. No-op (OK) when nothing is in flight. Returns the
+  /// collective's completion Status: non-OK when the communicator aborted
+  /// (watchdog timeout / desync / explicit abort) — the unsharded bytes are
+  /// then garbage and must not be consumed.
+  Status WaitUnshard();
   /// Synchronous unshard: UnshardAsync + WaitUnshard.
-  void Unshard();
+  Status Unshard();
   /// True between UnshardAsync and WaitUnshard.
   bool unshard_in_flight() const { return unshard_in_flight_; }
   /// The pending unshard's completion handle (trivially-complete when none).
@@ -114,12 +117,14 @@ class FlatParamHandle {
   /// data-parallel world size) in FinishGradientReduce.
   void BeginGradientReduce(float grad_divisor, const std::string& tag = "");
   /// Waits for the issued ReduceScatter, runs the hybrid-sharding replica
-  /// AllReduce, divides, and accumulates into the sharded .grad. No-op when
-  /// no reduction is in flight.
-  void FinishGradientReduce();
+  /// AllReduce, divides, and accumulates into the sharded .grad. No-op (OK)
+  /// when no reduction is in flight. On a non-OK Status (aborted
+  /// communicator) the garbage reduction is dropped: the sharded .grad is
+  /// left untouched so a failed step cannot corrupt the optimizer state.
+  Status FinishGradientReduce();
   bool gradient_reduce_in_flight() const { return reduce_in_flight_; }
   /// Synchronous gradient path: BeginGradientReduce + FinishGradientReduce.
-  void PrepareGradient(float grad_divisor);
+  Status PrepareGradient(float grad_divisor);
   /// Drops the unsharded gradient accumulated on the autograd leaf.
   void ClearUnshardedGrad();
 

@@ -270,7 +270,7 @@ void FsdpState::ConsumeUnshard(Unit& unit, plan::Phase phase) {
   if (unit.handle->unshard_in_flight()) {
     RecordInstr(plan::Op::kWaitUnshard, &unit, phase);
     if (!unit.handle->unshard_work().Completed()) ++waits_on_pending_;
-    unit.handle->WaitUnshard();
+    NoteError(unit.handle->WaitUnshard());
   }
   if (unit.inflight) {
     unit.inflight = false;
@@ -417,7 +417,7 @@ void FsdpState::OnBackwardFinal() {
   // unsharded, and roll the observed forward order into the next
   // iteration's forward-prefetch hints.
   for (Unit& unit : units_) {
-    unit.handle->FinishGradientReduce();
+    NoteError(unit.handle->FinishGradientReduce());
   }
   for (Unit& unit : units_) {
     ConsumeUnshard(unit, plan::Phase::kBackward);  // straggling prefetches

@@ -182,6 +182,13 @@ class FsdpState {
   /// True if the last completed iteration observed a pre-forward order
   /// different from the previous one (dynamic graph detected).
   bool order_changed() const { return order_changed_; }
+  /// Sticky first communication error (fault-tolerant runtime): when a
+  /// collective aborts (watchdog timeout, desync, explicit Abort), the
+  /// train step completes structurally — garbage reductions are dropped so
+  /// sharded .grad / optimizer state stay uncorrupted — and the abort
+  /// Status lands here instead of crashing the rank thread. Callers check
+  /// after each step; OK means every collective of the step completed.
+  const Status& status() const { return status_; }
   int rank() const { return rank_; }
   nn::Module& module() { return *module_; }
   const FsdpOptions& options() const { return options_; }
@@ -208,6 +215,11 @@ class FsdpState {
   /// Appends a typed plan instruction to the executed-plan log.
   void RecordInstr(plan::Op op, const Unit* unit, plan::Phase phase,
                    bool prefetch = false);
+
+  /// Records the first non-OK collective Status (sticky; see status()).
+  void NoteError(const Status& st) {
+    if (status_.ok() && !st.ok()) status_ = st;
+  }
 
   void ArmIteration();  // root pre-forward: per-iteration reset
   /// Issues the unit's AllGather asynchronously (no-op if unsharded or
@@ -249,6 +261,7 @@ class FsdpState {
   int max_inflight_ = 0;
   int throttled_prefetches_ = 0;
   int waits_on_pending_ = 0;
+  Status status_;  // sticky first collective error (see status())
   std::vector<obs::TraceEvent> trace_;   // the typed log
   std::vector<std::string> events_;      // thin rendering of trace_
   std::vector<plan::Instr> executed_;    // the executed-plan log

@@ -105,16 +105,22 @@ void DistributedDataParallel::CompleteBucketReduce(Bucket& bucket) {
   in.phase = plan::Phase::kBackward;
   in.lane = plan::Lane::kHost;
   executed_.push_back(std::move(in));
-  bucket.work.Wait();
-  int64_t off = 0;
-  for (Tensor* slot : bucket.params) {
-    Tensor g = slot->grad();
-    if (!g.defined()) {
-      g = Tensor::Zeros(slot->shape());
-      slot->set_grad(g);
+  Status st = bucket.work.WaitStatus();
+  if (st.ok()) {
+    int64_t off = 0;
+    for (Tensor* slot : bucket.params) {
+      Tensor g = slot->grad();
+      if (!g.defined()) {
+        g = Tensor::Zeros(slot->shape());
+        slot->set_grad(g);
+      }
+      g.CopyFrom_(bucket.flat.SliceView(off, {g.numel()}));
+      off += slot->numel();
     }
-    g.CopyFrom_(bucket.flat.SliceView(off, {g.numel()}));
-    off += slot->numel();
+  } else if (status_.ok()) {
+    // Aborted reduction: the flat buffer holds garbage — leave .grad at its
+    // local values and surface the first error through status().
+    status_ = std::move(st);
   }
   bucket.work = comm::Work();
   bucket.flat = Tensor();

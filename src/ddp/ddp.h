@@ -51,6 +51,13 @@ class DistributedDataParallel : public nn::Module {
   nn::Module& module() { return *module_; }
   int num_buckets() const { return static_cast<int>(buckets_.size()); }
 
+  /// Sticky first communication error: when a bucket AllReduce aborts
+  /// (watchdog timeout / desync / explicit Abort) the reduced garbage is NOT
+  /// scattered back — .grad keeps its local (unreduced) values — and the
+  /// abort Status lands here instead of crashing the backward. Callers check
+  /// after each step; OK means every bucket of the step reduced cleanly.
+  const Status& status() const { return status_; }
+
   /// Executed plan instructions: one kReduceGrad per issued bucket (in issue
   /// order, `unit` = bucket index, `bytes` = bucket gradient bytes) and one
   /// kWaitReduceGrad per completed bucket. Note the real bucket structure is
@@ -85,6 +92,7 @@ class DistributedDataParallel : public nn::Module {
   DdpOptions options_;
   std::vector<Bucket> buckets_;
   std::vector<plan::Instr> executed_;
+  Status status_;  // sticky first collective error (see status())
   bool require_sync_ = true;
   bool callback_queued_ = false;
 };

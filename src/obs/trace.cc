@@ -21,6 +21,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kH2D: return "H2D";
     case EventKind::kD2H: return "D2H";
     case EventKind::kAlloc: return "ALLOC";
+    case EventKind::kBarrier: return "BARRIER";
     case EventKind::kMarker: return "MARK";
   }
   return "?";

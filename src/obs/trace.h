@@ -49,6 +49,7 @@ enum class EventKind : int {
   kH2D,             // host-to-device copy (CPU offload, simulator)
   kD2H,
   kAlloc,           // allocator events (simulator)
+  kBarrier,         // ProcessGroup::Barrier rendezvous (comm lane)
   kMarker,          // free-form instant
 };
 

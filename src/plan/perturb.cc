@@ -1,0 +1,130 @@
+#include "plan/perturb.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace fsdp::plan {
+
+const char* PerturbKindName(PerturbKind kind) {
+  switch (kind) {
+    case PerturbKind::kDropInstr: return "drop";
+    case PerturbKind::kSwapAdjacent: return "swap";
+    case PerturbKind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+namespace {
+
+StepPlan DropInstr(const StepPlan& base, int index) {
+  StepPlan out;
+  out.unit_names = base.unit_names;
+  out.instrs.reserve(base.instrs.size() - 1);
+  const std::vector<int>& through = base.instrs[index].deps;
+  for (int i = 0; i < base.size(); ++i) {
+    if (i == index) continue;
+    Instr instr = base.instrs[i];
+    std::vector<int> deps;
+    for (int d : instr.deps) {
+      if (d == index) {
+        // Dependents inherit the dropped instruction's own deps, keeping the
+        // graph well-formed (the wait moves one hop up).
+        for (int t : through) deps.push_back(t);
+      } else {
+        deps.push_back(d > index ? d - 1 : d);
+      }
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    instr.deps = std::move(deps);
+    out.instrs.push_back(std::move(instr));
+  }
+  return out;
+}
+
+StepPlan SwapAdjacent(const StepPlan& base, int index) {
+  StepPlan out = base;
+  const int a = index;      // earlier position, becomes later
+  const int b = index + 1;  // later position, becomes earlier
+  std::swap(out.instrs[a], out.instrs[b]);
+  // out.instrs[a] is the old instrs[b]: a dep on `a` (its new own position)
+  // would be a self/forward edge — drop it, the reorder means it no longer
+  // waits for the displaced instruction.
+  for (int pos : {a, b}) {
+    std::vector<int>& deps = out.instrs[pos].deps;
+    deps.erase(std::remove_if(deps.begin(), deps.end(),
+                              [&](int d) { return d >= pos; }),
+               deps.end());
+  }
+  // Remap edges of later instructions: a dep on old-a now lives at b and
+  // vice versa. (Edges from instructions before `a` cannot reference them.)
+  for (int i = b + 1; i < out.size(); ++i) {
+    for (int& d : out.instrs[i].deps) {
+      if (d == a) {
+        d = b;
+      } else if (d == b) {
+        d = a;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StepPlan ApplyPerturbation(const StepPlan& base, const Perturbation& p) {
+  FSDP_CHECK_MSG(p.index >= 0 && p.index < base.size(),
+                 "perturbation index " << p.index << " out of range [0, "
+                                       << base.size() << ")");
+  switch (p.kind) {
+    case PerturbKind::kDropInstr:
+      return DropInstr(base, p.index);
+    case PerturbKind::kSwapAdjacent: {
+      FSDP_CHECK_MSG(p.index + 1 < base.size(),
+                     "swap at " << p.index << " has no successor");
+      return SwapAdjacent(base, p.index);
+    }
+    case PerturbKind::kDelay: {
+      StepPlan out = base;
+      out.instrs[p.index].delay_us += p.delay_us;
+      return out;
+    }
+  }
+  return base;
+}
+
+bool PerturbsCollectives(const StepPlan& base, const Perturbation& p) {
+  const bool comm_at = base.instrs[p.index].lane == Lane::kComm;
+  switch (p.kind) {
+    case PerturbKind::kDropInstr:
+      return comm_at;
+    case PerturbKind::kSwapAdjacent:
+      // Only a swap of two comm-lane instructions reorders the rank's
+      // collective stream; swapping comm with compute leaves the stream's
+      // own order intact (issue order within the comm lane is what peers
+      // rendezvous against).
+      return comm_at && p.index + 1 < base.size() &&
+             base.instrs[p.index + 1].lane == Lane::kComm;
+    case PerturbKind::kDelay:
+      return false;
+  }
+  return false;
+}
+
+std::string DescribePerturbation(const StepPlan& base, const Perturbation& p) {
+  std::string out = PerturbKindName(p.kind);
+  out += "[" + RenderInstr(base.instrs[p.index], base.unit_names) + " @" +
+         std::to_string(p.index);
+  if (p.kind == PerturbKind::kSwapAdjacent && p.index + 1 < base.size()) {
+    out += " <-> " + RenderInstr(base.instrs[p.index + 1], base.unit_names) +
+           " @" + std::to_string(p.index + 1);
+  }
+  if (p.kind == PerturbKind::kDelay) {
+    out += " +" + std::to_string(static_cast<int64_t>(p.delay_us)) + "us";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fsdp::plan

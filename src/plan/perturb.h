@@ -1,0 +1,59 @@
+// Plan-level fault injection: perturbations of a StepPlan.
+//
+// The SPMD contract (paper Sec 3.3.2) is a property of the *instruction
+// stream*: every rank issues the same collectives in the same order. A
+// Perturbation edits one rank's StepPlan the way a real divergence would —
+// a dropped collective (diverged control flow), two adjacent instructions
+// swapped (nondeterministic module order), or an instruction delayed (a
+// straggler) — so tests can replay the perturbed plan through both the
+// simulator and the real runtime and assert which perturbations are benign
+// and which ones the watchdog/desync machinery must catch.
+//
+// PerturbsCollectives is the classifier: it answers, from the plan alone,
+// whether a perturbation breaks the cross-rank collective contract (drop or
+// reorder of comm-lane instructions) — the ground truth the fault tests
+// compare the runtime's verdict against.
+#pragma once
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace fsdp::plan {
+
+enum class PerturbKind : int {
+  kDropInstr = 0,  // remove instruction `index` (diverged control flow)
+  kSwapAdjacent,   // exchange instructions `index` and `index + 1`
+  kDelay,          // add `delay_us` before instruction `index` (straggler)
+};
+
+const char* PerturbKindName(PerturbKind kind);
+
+struct Perturbation {
+  PerturbKind kind = PerturbKind::kDelay;
+  int index = 0;         // instruction position in the base plan
+  double delay_us = 0;   // kDelay only
+};
+
+/// Returns a copy of `base` with `p` applied.
+///  * kDropInstr splices dependency edges *through* the removed instruction
+///    (dependents inherit its deps) and reindexes all edges;
+///  * kSwapAdjacent exchanges the two instructions and drops any dep edge
+///    between them (the reordered instruction no longer waits);
+///  * kDelay adds p.delay_us to the instruction's Instr::delay_us.
+/// Out-of-range perturbations are checked.
+StepPlan ApplyPerturbation(const StepPlan& base, const Perturbation& p);
+
+/// True when applying `p` on one rank (while peers run `base`) violates the
+/// cross-rank collective contract: dropping a comm-lane instruction, or
+/// swapping two instructions that are *both* comm-lane (which reorders that
+/// rank's collective stream). Delays and compute-only edits are benign —
+/// they change timing, not the stream. A delay is still benign here even if
+/// it exceeds a watchdog timeout: that is a timeout, not a desync, and the
+/// fault tests account for it separately.
+bool PerturbsCollectives(const StepPlan& base, const Perturbation& p);
+
+/// "drop[RS_GRAD:layer2 @7]" — human-readable description for test output.
+std::string DescribePerturbation(const StepPlan& base, const Perturbation& p);
+
+}  // namespace fsdp::plan

@@ -69,6 +69,10 @@ struct Instr {
   bool prefetch = false;  // unshard issued ahead of first use (Secs 3.3.2/3.3.3)
   int microbatch = 0;
   int64_t bytes = 0;      // payload where structural (DDP bucket bytes)
+  /// Extra latency injected before this instruction executes (fault
+  /// perturbations; see plan/perturb.h). Virtual microseconds in the
+  /// simulator, real microseconds in the plan replayer.
+  double delay_us = 0;
   /// Completion edges: indices of earlier instructions this one starts
   /// after. Same-lane ordering is implicit (streams execute in order);
   /// edges express the cross-lane waits (compute after its AllGather, the

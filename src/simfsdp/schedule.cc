@@ -263,6 +263,10 @@ SimMetrics FsdpSimulator::Run() {
     for (size_t ip = 0; ip < plan_.instrs.size() && !oom; ++ip) {
       const plan::Instr& in = plan_.instrs[ip];
       const size_t ui = in.unit >= 0 ? static_cast<size_t>(in.unit) : 0;
+      // Perturbation-injected straggler delay (plan/perturb.h): stall the
+      // issuing CPU thread before this instruction, pushing everything
+      // launched after it.
+      if (in.delay_us > 0) cpu += in.delay_us;
       switch (in.op) {
         case plan::Op::kRateLimitGate:
           // Gates pair with their unshard: both no-op for a still-gathered

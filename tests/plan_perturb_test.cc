@@ -1,0 +1,237 @@
+// Plan-level fault injection (plan/perturb.h): perturbations of a StepPlan
+// replayed through BOTH consumers of the IR —
+//
+//  * the real collective runtime (comm::ReplayPlan over a fault-armed
+//    Communicator): perturbations that violate the cross-rank collective
+//    contract (PerturbsCollectives == true) must be caught by the
+//    watchdog/desync machinery, benign ones must complete OK on all ranks;
+//  * the simulator (simfsdp::FsdpSimulator over a perturbed sim-shape plan):
+//    perturbed plans stay interpretable, and injected straggler delays show
+//    up in virtual time.
+//
+// Plus unit tests of the perturbation algebra itself (dependency splicing on
+// drop, edge remapping on swap).
+#include <gtest/gtest.h>
+
+#include "comm/plan_replay.h"
+#include "common/threading.h"
+#include "plan/builder.h"
+#include "plan/perturb.h"
+#include "simfsdp/schedule.h"
+#include "simfsdp/workload.h"
+
+namespace fsdp {
+namespace {
+
+using plan::ApplyPerturbation;
+using plan::Instr;
+using plan::Perturbation;
+using plan::PerturbKind;
+using plan::PerturbsCollectives;
+using plan::StepPlan;
+
+/// A tiny synthetic plan for the algebra tests: four instructions with a
+/// dependency chain 0 <- 1 <- 2 and 3 depending on both 1 and 2.
+StepPlan ChainPlan() {
+  StepPlan p;
+  p.unit_names = {"u"};
+  for (int i = 0; i < 4; ++i) {
+    Instr in;
+    in.op = plan::Op::kCompute;
+    in.unit = 0;
+    p.instrs.push_back(in);
+  }
+  p.instrs[1].deps = {0};
+  p.instrs[2].deps = {1};
+  p.instrs[3].deps = {1, 2};
+  return p;
+}
+
+TEST(PlanPerturbTest, DropSplicesDependenciesThroughRemovedInstr) {
+  StepPlan p = ApplyPerturbation(ChainPlan(), {PerturbKind::kDropInstr, 1, 0});
+  ASSERT_EQ(p.size(), 3);
+  // Old instr 2 (now 1) inherited the dropped instr's dep on 0.
+  EXPECT_EQ(p.instrs[1].deps, (std::vector<int>{0}));
+  // Old instr 3 (now 2): its dep on the dropped instr was spliced to 0, its
+  // dep on old-2 reindexed to 1.
+  EXPECT_EQ(p.instrs[2].deps, (std::vector<int>{0, 1}));
+}
+
+TEST(PlanPerturbTest, SwapRemapsEdgesAndDropsTheInterEdge) {
+  StepPlan p = ApplyPerturbation(ChainPlan(),
+                                 {PerturbKind::kSwapAdjacent, 1, 0});
+  ASSERT_EQ(p.size(), 4);
+  // Positions 1 and 2 exchanged. The moved-earlier instr (old 2) depended on
+  // old 1, which now runs after it: that edge is dropped. Its other deps
+  // (none) stay. The moved-later instr (old 1) keeps its dep on 0.
+  EXPECT_TRUE(p.instrs[1].deps.empty());
+  EXPECT_EQ(p.instrs[2].deps, (std::vector<int>{0}));
+  // A later instruction's edges follow the instructions to their new slots
+  // (remapped in place: the dep on old-1 now points at 2 and vice versa).
+  EXPECT_EQ(p.instrs[3].deps, (std::vector<int>{2, 1}));
+}
+
+TEST(PlanPerturbTest, DelayAccumulatesOnTheInstr) {
+  StepPlan base = ChainPlan();
+  StepPlan p = ApplyPerturbation(base, {PerturbKind::kDelay, 2, 1500.0});
+  EXPECT_EQ(p.instrs[2].delay_us, 1500.0);
+  p = ApplyPerturbation(p, {PerturbKind::kDelay, 2, 500.0});
+  EXPECT_EQ(p.instrs[2].delay_us, 2000.0);
+  EXPECT_FALSE(PerturbsCollectives(base, {PerturbKind::kDelay, 2, 1500.0}));
+}
+
+/// First instruction at or after `from` on `lane`, or -1.
+int FindLane(const StepPlan& p, plan::Lane lane, int from = 0) {
+  for (int i = from; i < p.size(); ++i) {
+    if (p.instrs[i].lane == lane) return i;
+  }
+  return -1;
+}
+
+/// First position where instructions i and i+1 are both comm-lane.
+int FindAdjacentCommPair(const StepPlan& p) {
+  for (int i = 0; i + 1 < p.size(); ++i) {
+    if (p.instrs[i].lane == plan::Lane::kComm &&
+        p.instrs[i + 1].lane == plan::Lane::kComm) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+StepPlan RuntimeBasePlan() {
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::RuntimeShape();
+  return plan::BuildFsdpStepPlan({"[root]", "layer1", "layer2", "layer3"}, o);
+}
+
+TEST(PlanPerturbTest, ClassifierSeparatesContractViolations) {
+  const StepPlan base = RuntimeBasePlan();
+  const int comm_i = FindLane(base, plan::Lane::kComm);
+  const int host_i = FindLane(base, plan::Lane::kHost);
+  const int pair = FindAdjacentCommPair(base);
+  ASSERT_GE(comm_i, 0);
+  ASSERT_GE(host_i, 0);
+  ASSERT_GE(pair, 0);  // backward prefetch puts AG next to RS
+
+  EXPECT_TRUE(PerturbsCollectives(base, {PerturbKind::kDropInstr, comm_i, 0}));
+  EXPECT_FALSE(PerturbsCollectives(base, {PerturbKind::kDropInstr, host_i, 0}));
+  EXPECT_TRUE(PerturbsCollectives(base, {PerturbKind::kSwapAdjacent, pair, 0}));
+  // Swapping a collective with a non-collective neighbour keeps this rank's
+  // collective stream intact.
+  const int host_after_comm =
+      base.instrs[comm_i + 1].lane != plan::Lane::kComm ? comm_i : -1;
+  if (host_after_comm >= 0) {
+    EXPECT_FALSE(PerturbsCollectives(
+        base, {PerturbKind::kSwapAdjacent, host_after_comm, 0}));
+  }
+  EXPECT_FALSE(PerturbsCollectives(base, {PerturbKind::kDelay, comm_i, 100}));
+}
+
+// The closed loop (ROADMAP "plan-level fault injection"): rank 0 replays a
+// perturbed plan while ranks 1..3 replay the base plan through one
+// fault-armed communicator. The runtime's verdict (aborted or not) must
+// match the static classifier for every perturbation.
+TEST(PlanPerturbTest, RuntimeCatchesExactlyTheContractViolations) {
+  const int w = 4;
+  const StepPlan base = RuntimeBasePlan();
+
+  std::vector<Perturbation> cases;
+  // Benign straggler: 10 ms delay before the first collective.
+  cases.push_back({PerturbKind::kDelay, FindLane(base, plan::Lane::kComm),
+                   10000.0});
+  // Benign structural edit: drop a wait marker (host lane).
+  cases.push_back({PerturbKind::kDropInstr,
+                   FindLane(base, plan::Lane::kHost), 0});
+  // Contract violations: drop a collective; reorder two collectives.
+  cases.push_back({PerturbKind::kDropInstr,
+                   FindLane(base, plan::Lane::kComm), 0});
+  cases.push_back({PerturbKind::kSwapAdjacent, FindAdjacentCommPair(base),
+                   0});
+  // Dropping the LAST collective leaves the peers waiting at end of stream —
+  // only the watchdog (not the rendezvous) can catch that shape.
+  int last_comm = -1;
+  for (int i = 0; i < base.size(); ++i) {
+    if (base.instrs[i].lane == plan::Lane::kComm) last_comm = i;
+  }
+  cases.push_back({PerturbKind::kDropInstr, last_comm, 0});
+
+  for (const Perturbation& p : cases) {
+    ASSERT_GE(p.index, 0);
+    const std::string label = plan::DescribePerturbation(base, p);
+    const bool violates = PerturbsCollectives(base, p);
+    const StepPlan perturbed = ApplyPerturbation(base, p);
+
+    auto comm = std::make_shared<comm::Communicator>(w);
+    comm->SetName("perturb");
+    comm->SetDesyncDetection(true);
+    comm->SetDefaultTimeout(150);
+
+    std::vector<Status> status(w);
+    RunOnRanks(w, [&](int r) {
+      comm::ReplayOptions ro;
+      ro.timeout_ms = 150;
+      status[r] = comm::ReplayPlan(comm::ProcessGroup(comm, r),
+                                   r == 0 ? perturbed : base, ro);
+    });
+
+    EXPECT_EQ(comm->aborted(), violates) << label;
+    if (violates) {
+      // The runtime blamed the perturbed rank, and at least one rank saw
+      // the abort Status from its waits.
+      EXPECT_EQ(comm->last_diagnosis().culprit_rank, 0) << label;
+      bool any_error = false;
+      for (const Status& st : status) any_error |= !st.ok();
+      EXPECT_TRUE(any_error) << label;
+    } else {
+      for (int r = 0; r < w; ++r) {
+        EXPECT_TRUE(status[r].ok()) << label << " rank " << r << ": "
+                                    << status[r].ToString();
+      }
+    }
+  }
+}
+
+// The same perturbation kinds through the simulator: the IR's second
+// consumer interprets perturbed plans without falling over, and straggler
+// delays surface in virtual time.
+TEST(PlanPerturbTest, SimulatorRepaysPerturbedPlans) {
+  const simfsdp::Workload w = simfsdp::T5_611M();
+  const sim::Topology topo{1, 8};
+  const sim::SimConstants constants{};
+  simfsdp::FsdpSimConfig cfg;
+  cfg.iterations = 2;
+  const StepPlan base = simfsdp::BuildSimStepPlan(w, topo, cfg);
+
+  auto run = [&](const StepPlan& plan) {
+    return simfsdp::FsdpSimulator(w, topo, constants, cfg, plan).Run();
+  };
+  const simfsdp::SimMetrics m_base = run(base);
+  ASSERT_FALSE(m_base.oom);
+
+  // A 50 ms straggler delay on the first collective stalls the virtual CPU
+  // thread and must lengthen the iteration by about that much.
+  const int comm_i = FindLane(base, plan::Lane::kComm);
+  ASSERT_GE(comm_i, 0);
+  const simfsdp::SimMetrics m_delay =
+      run(ApplyPerturbation(base, {PerturbKind::kDelay, comm_i, 50000.0}));
+  EXPECT_GE(m_delay.iter_time_us, m_base.iter_time_us + 40000.0);
+
+  // A dropped collective is benign on a single simulated rank (the desync
+  // only exists cross-rank — exactly why the real runtime must catch it):
+  // the interpreter still completes, guarded by its issue/free checks.
+  const simfsdp::SimMetrics m_drop =
+      run(ApplyPerturbation(base, {PerturbKind::kDropInstr, comm_i, 0}));
+  EXPECT_FALSE(m_drop.oom);
+  EXPECT_GT(m_drop.iter_time_us, 0);
+
+  const int pair = FindAdjacentCommPair(base);
+  if (pair >= 0) {
+    const simfsdp::SimMetrics m_swap =
+        run(ApplyPerturbation(base, {PerturbKind::kSwapAdjacent, pair, 0}));
+    EXPECT_FALSE(m_swap.oom);
+    EXPECT_GT(m_swap.iter_time_us, 0);
+  }
+}
+
+}  // namespace
+}  // namespace fsdp
