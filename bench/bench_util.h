@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/artifact.h"
 #include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "sim/topology.h"
@@ -98,19 +99,25 @@ class JsonRow {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
-/// Writes {"bench": <name>, "rows": [...]} to BENCH_<name>.json under
-/// obs::ArtifactPath (so $FSDP_ARTIFACT_DIR or ./build, not the source
-/// tree) and says so on stdout. The output parses with obs::ParseJson
+/// Writes {"bench": <name>, <artifact envelope>, "rows": [...]} to
+/// BENCH_<name>.json under obs::ArtifactPath (so $FSDP_ARTIFACT_DIR or
+/// ./build, not the source tree) and says so on stdout. Every bench
+/// artifact carries the shared schema version plus run metadata (world
+/// size, ranks, preset) so it joins against PROFILE_* artifacts from the
+/// same run; obs::ValidateArtifactJson checks the envelope and the smoke
+/// tests fail on malformed output. The output parses with obs::ParseJson
 /// (obs_test validates the writers against the parser).
 inline void WriteBenchJson(const std::string& name,
-                           const std::vector<JsonRow>& rows) {
+                           const std::vector<JsonRow>& rows,
+                           const obs::ArtifactMeta& meta = {}) {
   const std::string path = obs::ArtifactPath("BENCH_" + name + ".json");
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
     return;
   }
-  out << "{\"bench\": \"" << obs::JsonEscape(name) << "\", \"rows\": [";
+  out << "{\"bench\": \"" << obs::JsonEscape(name) << "\", "
+      << obs::ArtifactEnvelopeJson(meta) << ", \"rows\": [";
   for (size_t i = 0; i < rows.size(); ++i) {
     if (i > 0) out << ", ";
     out << rows[i].ToJson();

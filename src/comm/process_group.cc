@@ -365,6 +365,7 @@ void Communicator::ExecuteOp(int comm_rank, CommOp& op) {
     e.unit = op.label;
     e.lane = "comm";
     e.t_begin_us = op.work->issue_us;  // written before enqueue (see Issue)
+    e.t_exec_us = start;               // worker pickup: queue delay ends here
     e.t_end_us = end;
     e.bytes = op.bytes;
     collector.Record(std::move(e));

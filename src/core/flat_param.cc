@@ -208,6 +208,10 @@ Status FlatParamHandle::FinishGradientReduce() {
     // Hybrid sharding (Eq. 1): reduce the sharded gradients across replicas.
     comm::CollectiveOptions ar_opts;
     ar_opts.comm_dtype = mp_.reduce_dtype;
+    // Tag with the unit FQN like the shard-group collectives: fault
+    // injection targets it, and the profiler joins the recorded span
+    // against the kAllReduceReplicas instruction by this name.
+    ar_opts.tag = name_;
     st = replicate_pg_.AllReduce(shard_grad, ar_opts).WaitStatus();
   }
   if (!st.ok()) {

@@ -270,7 +270,16 @@ void FsdpState::ConsumeUnshard(Unit& unit, plan::Phase phase) {
   if (unit.handle->unshard_in_flight()) {
     RecordInstr(plan::Op::kWaitUnshard, &unit, phase);
     if (!unit.handle->unshard_work().Completed()) ++waits_on_pending_;
+    const double t0 = MonotonicMicros();
     NoteError(unit.handle->WaitUnshard());
+    // Collector-only wait span, 1:1 with the kWaitUnshard instruction above
+    // (the profiler joins them; the state log stays span-free here so the
+    // schedule assertions keep their exact sequences).
+    if (options_.record_events && obs::TraceCollector::Get().enabled()) {
+      obs::TraceCollector::Get().Record(obs::TraceEvent{
+          rank_, obs::EventKind::kWait, unit.name, "runtime", t0,
+          MonotonicMicros(), 0});
+    }
   }
   if (unit.inflight) {
     unit.inflight = false;
@@ -358,11 +367,25 @@ void FsdpState::OnPreBackward(Unit& unit) {
   }
   IssueUnshard(unit, plan::Phase::kBackward);
   ConsumeUnshard(unit, plan::Phase::kBackward);
+  // The unit's backward compute runs from here until its post-backward hook.
+  // Stamped after the gather wait so the exported span does not absorb it
+  // (mirrors fwd_begin_us in OnPreForward).
+  unit.bwd_begin_us = MonotonicMicros();
 }
 
 void FsdpState::OnPostBackward(Unit& unit) {
   unit.backward_done = true;
   RecordInstr(plan::Op::kCompute, &unit, plan::Phase::kBackward);
+  // Collector-only backward span (compute lane), the kCompute/backward
+  // counterpart of OnPostForward's forward span.
+  if (options_.record_events && obs::TraceCollector::Get().enabled()) {
+    const double now = MonotonicMicros();
+    const double begin = unit.bwd_begin_us > 0 ? unit.bwd_begin_us : now;
+    obs::TraceCollector::Get().Record(obs::TraceEvent{
+        rank_, obs::EventKind::kBackward, unit.name, "compute", begin, now,
+        0});
+  }
+  unit.bwd_begin_us = 0;
   // Backward prefetch: issue the *next* AllGather before the *current*
   // ReduceScatter so the single in-order communication stream does not
   // stall the next gradient computation (Sec 3.3.2).
@@ -416,9 +439,11 @@ void FsdpState::OnBackwardFinal() {
   // replica AllReduce, divide and accumulate), reshard everything still
   // unsharded, and roll the observed forward order into the next
   // iteration's forward-prefetch hints.
+  const double reduce_wait_begin = MonotonicMicros();
   for (Unit& unit : units_) {
     NoteError(unit.handle->FinishGradientReduce());
   }
+  const double reduce_wait_end = MonotonicMicros();
   for (Unit& unit : units_) {
     ConsumeUnshard(unit, plan::Phase::kBackward);  // straggling prefetches
     if (unit.handle->is_unsharded() && require_sync_) {
@@ -432,6 +457,13 @@ void FsdpState::OnBackwardFinal() {
   // queue_callback join) — one end-of-backward wait in the executed plan.
   if (require_sync_) {
     RecordInstr(plan::Op::kWaitReduceGrad, nullptr, plan::Phase::kBackward);
+    // Collector-only span over the FinishGradientReduce joins above, 1:1
+    // with the single end-of-backward kWaitReduceGrad instruction.
+    if (options_.record_events && obs::TraceCollector::Get().enabled()) {
+      obs::TraceCollector::Get().Record(obs::TraceEvent{
+          rank_, obs::EventKind::kWait, "", "runtime", reduce_wait_begin,
+          reduce_wait_end, 0});
+    }
   }
   // Execution-order validation (Sec 3.3.2's "freshly observed each
   // iteration"): surface dynamic-graph order changes.

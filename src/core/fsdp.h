@@ -202,6 +202,7 @@ class FsdpState {
     bool inflight = false;        // unsharded but not yet consumed
     bool backward_done = false;   // this backward pass
     double fwd_begin_us = 0;      // forward-span start (trace export)
+    double bwd_begin_us = 0;      // backward-span start (trace export)
   };
 
   void BuildUnits(comm::DeviceMesh& mesh);

@@ -1,6 +1,8 @@
 #include "ddp/ddp.h"
 
 #include "autograd/engine.h"
+#include "common/rank_context.h"
+#include "obs/trace.h"
 
 namespace fsdp::ddp {
 
@@ -99,13 +101,24 @@ void DistributedDataParallel::IssueBucketReduce(Bucket& bucket) {
 
 void DistributedDataParallel::CompleteBucketReduce(Bucket& bucket) {
   NoGradGuard no_grad;
+  const int index = static_cast<int>(&bucket - buckets_.data());
   plan::Instr in;
   in.op = plan::Op::kWaitReduceGrad;
-  in.unit = static_cast<int>(&bucket - buckets_.data());
+  in.unit = index;
   in.phase = plan::Phase::kBackward;
   in.lane = plan::Lane::kHost;
   executed_.push_back(std::move(in));
+  const double t0 = MonotonicMicros();
   Status st = bucket.work.WaitStatus();
+  // Collector-only wait span, 1:1 with the kWaitReduceGrad instruction, so
+  // the profiler can join per-bucket queue/wait time (the bucket AllReduce
+  // span itself is recorded by the comm worker under the same tag).
+  if (obs::TraceCollector::Get().enabled()) {
+    obs::TraceCollector::Get().Record(obs::TraceEvent{
+        pg_.rank(), obs::EventKind::kWait,
+        "ddp_bucket" + std::to_string(index), "runtime", t0,
+        MonotonicMicros(), 0});
+  }
   if (st.ok()) {
     int64_t off = 0;
     for (Tensor* slot : bucket.params) {

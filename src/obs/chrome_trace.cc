@@ -1,7 +1,5 @@
 #include "obs/chrome_trace.h"
 
-#include <cstdlib>
-#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -21,6 +19,11 @@ void AppendTs(std::ostringstream& out, double us) {
 }  // namespace
 
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  return ChromeTraceJson(events, {});
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const std::vector<CounterTrack>& counters) {
   // Assign one integer tid per (rank, lane), in first-appearance order, so
   // classic chrome://tracing (which wants numeric tids) is happy.
   std::map<std::pair<int, std::string>, int> lane_tids;
@@ -64,31 +67,35 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
         << ", \"args\": {\"bytes\": " << e.bytes << "}}";
     first = false;
   }
+  for (const CounterTrack& track : counters) {
+    for (const CounterSample& s : track.samples) {
+      out << (first ? "" : ", ") << "{\"name\": \""
+          << JsonEscape(track.name) << "\", \"ph\": \"C\", \"ts\": ";
+      AppendTs(out, s.t_us);
+      out << ", \"pid\": " << track.rank << ", \"tid\": 0, \"args\": {\""
+          << JsonEscape(track.name) << "\": ";
+      AppendTs(out, s.value);
+      out << "}}";
+      first = false;
+    }
+  }
   out << "], \"displayTimeUnit\": \"ms\"}";
   return out.str();
 }
 
 Status WriteChromeTrace(const std::string& path,
                         const std::vector<TraceEvent>& events) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  out << ChromeTraceJson(events) << "\n";
-  if (!out) return Status::IOError("write failed for " + path);
-  return Status::OK();
+  return WriteChromeTrace(path, events, {});
 }
 
-std::string ArtifactPath(const std::string& filename) {
-  namespace fs = std::filesystem;
-  if (const char* dir = std::getenv("FSDP_ARTIFACT_DIR"); dir && *dir) {
-    std::error_code ec;
-    fs::create_directories(dir, ec);  // best effort; open reports failure
-    return (fs::path(dir) / filename).string();
-  }
-  std::error_code ec;
-  if (fs::is_directory("build", ec)) {
-    return (fs::path("build") / filename).string();
-  }
-  return filename;
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const std::vector<CounterTrack>& counters) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << ChromeTraceJson(events, counters) << "\n";
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
 }
 
 }  // namespace fsdp::obs

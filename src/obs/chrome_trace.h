@@ -6,27 +6,43 @@
 // per distinct `lane` string within a rank (compute vs comm streams render
 // as separate rows). Metadata ("ph":"M") events name each process
 // ("rank N") and thread lane so the UI is self-describing.
+// Counter ("ph":"C") tracks render as stacked-area rows under the process —
+// used for the profiler's memory and in-flight-collective timelines.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "obs/artifact.h"  // ArtifactPath (moved; kept reachable from here)
 #include "obs/trace.h"
 
 namespace fsdp::obs {
 
+/// One sample of a Chrome counter track.
+struct CounterSample {
+  double t_us = 0;
+  double value = 0;
+};
+
+/// A "ph":"C" counter timeline rendered under pid = rank.
+struct CounterTrack {
+  std::string name;
+  int rank = 0;
+  std::vector<CounterSample> samples;
+};
+
 /// The full trace document: {"traceEvents": [...], "displayTimeUnit": "ms"}.
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+/// Same, with counter tracks appended after the span events.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const std::vector<CounterTrack>& counters);
 
 /// Writes ChromeTraceJson(events) to `path`.
 Status WriteChromeTrace(const std::string& path,
                         const std::vector<TraceEvent>& events);
-
-/// Resolves where a generated artifact (bench JSON, exported trace) should
-/// land: $FSDP_ARTIFACT_DIR if set (created if missing), else ./build when
-/// it exists (the common run-from-source-root case), else the current
-/// directory. Keeps runtime output out of the source tree.
-std::string ArtifactPath(const std::string& filename);
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const std::vector<CounterTrack>& counters);
 
 }  // namespace fsdp::obs

@@ -22,6 +22,7 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kD2H: return "D2H";
     case EventKind::kAlloc: return "ALLOC";
     case EventKind::kBarrier: return "BARRIER";
+    case EventKind::kWait: return "WAIT";
     case EventKind::kMarker: return "MARK";
   }
   return "?";

@@ -50,6 +50,7 @@ enum class EventKind : int {
   kD2H,
   kAlloc,           // allocator events (simulator)
   kBarrier,         // ProcessGroup::Barrier rendezvous (comm lane)
+  kWait,            // rank thread blocked on an async collective ("WAIT")
   kMarker,          // free-form instant
 };
 
@@ -64,6 +65,10 @@ struct TraceEvent {
   double t_begin_us = 0;   // real or virtual microseconds
   double t_end_us = 0;     // == t_begin_us for instant events
   int64_t bytes = 0;       // payload size where meaningful, else 0
+  /// Comm-lane spans: when the comm worker actually started executing the
+  /// collective (t_begin_us is the issue time). 0 when not applicable —
+  /// queue delay = t_exec_us - t_begin_us is only meaningful when set.
+  double t_exec_us = 0;
 
   double duration_us() const { return t_end_us - t_begin_us; }
 };

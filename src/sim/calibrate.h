@@ -1,0 +1,98 @@
+// Simulator calibration from measured step profiles.
+//
+// The simulator's cost models (sim/topology.h) describe the paper's A100 /
+// NCCL testbed; this repo's functional runtime executes on whatever host it
+// runs on. CalibrateFromProfile closes that gap: it fits the calibratable
+// SimConstants — dense compute rate (matmul_efficiency + kernel launch) and
+// link bandwidth/launch latency — from the per-instruction durations a
+// joined StepProfile measured, so PlanBuilder / simfsdp what-if runs predict
+// *this* substrate instead of the paper's.
+//
+// The collective fit inverts the model's own ring formula in its calibrated
+// shape: hop latency folded into the launch term and a saturation-free link
+// (half_peak = 0, so eff_bw = bw exactly),
+//
+//     t = launch + moved_bytes / bw,
+//
+// which is linear in x = moved_bytes: an ordinary least-squares line over
+// the (x, measured service time) samples of every AllGather /
+// ReduceScatter / AllReduce yields bw (slope⁻¹) and launch (intercept).
+// The fitted constants zero both half_peak knees and the straggler term so
+// the model's predictions are exactly the fitted line — whatever
+// size-independent overhead the substrate has lands in launch, whatever
+// scales with bytes lands in bw.
+// Compute samples fit t = launch + flops / rate the same way, using each
+// compute instruction's *self* time (its span minus nested unit spans, so
+// the root's whole-pass span does not double-count its children).
+//
+// EvaluateConstants runs the same per-instruction prediction WITHOUT
+// fitting and reports the real-vs-sim error, so calibration quality is
+// quantitative: CalibrateFromProfile(...).mean_abs_err_us should beat
+// EvaluateConstants(..., SimConstants{}) on the same profile (asserted in
+// tests/calibrate_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "sim/topology.h"
+#include "tensor/dtype.h"
+
+namespace fsdp::sim {
+
+struct CalibrationOptions {
+  /// Topology of the measured run (tests: one host, world ranks).
+  Topology topo{1, 4};
+  /// Sharding factor of the measured run; 0 means full-world sharding.
+  int sharding_factor = 0;
+  /// Samples per step in the measured run (scales compute FLOPs).
+  int batch_samples = 1;
+  /// Dense forward FLOPs per parameter per sample (≈2 for matmul-dominated
+  /// models); backward is charged 2x forward.
+  double flops_per_param_sample = 2.0;
+  DType compute_dtype = DType::kF32;
+};
+
+/// One modeled instruction: measured vs predicted duration.
+struct InstrFit {
+  std::string label;
+  double measured_us = 0;
+  double predicted_us = 0;
+  double abs_err_us = 0;
+};
+
+/// Per-unit quantities recovered from the profile (usable to assemble a
+/// simfsdp workload matching the measured model).
+struct CalibratedUnit {
+  std::string name;
+  int64_t param_numel = 0;
+  double fwd_flops = 0;  // per step (batch included)
+};
+
+struct CalibrationReport {
+  SimConstants constants;    // the calibrated (or evaluated) shape
+  int samples = 0;           // modeled instructions compared
+  double mean_abs_err_us = 0;
+  double mean_rel_err = 0;   // mean |m-p| / max(m, 1us)
+  std::vector<InstrFit> instrs;
+  std::vector<CalibratedUnit> units;
+};
+
+/// Predicts every modeled instruction (unshard / reduce / replica AllReduce
+/// / compute) of the complete steps with `constants` and reports the
+/// per-instruction real-vs-sim error. No fitting.
+CalibrationReport EvaluateConstants(const std::vector<obs::StepProfile>& steps,
+                                    const CalibrationOptions& opts,
+                                    const SimConstants& constants);
+
+/// Fits compute rate and link bandwidth/launch from the measured durations
+/// (starting from `base` for everything not fitted), then evaluates the
+/// fitted constants. Falls back to `base` values when a dimension has no
+/// samples.
+CalibrationReport CalibrateFromProfile(const std::vector<obs::StepProfile>& steps,
+                                       const CalibrationOptions& opts,
+                                       SimConstants base = SimConstants{});
+
+}  // namespace fsdp::sim

@@ -333,6 +333,11 @@ TEST(ObsMetricsTest, BenchJsonWriterRoundTrips) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().message();
   const obs::JsonValue& doc = parsed.ValueOrDie();
   EXPECT_EQ(doc["bench"].AsString(), "obs_test");
+  // Every bench artifact carries the shared schema envelope.
+  const Status envelope = obs::ValidateArtifactJson(doc);
+  EXPECT_TRUE(envelope.ok()) << envelope.ToString();
+  EXPECT_EQ(static_cast<int>(doc["schema_version"].AsNumber()),
+            obs::kArtifactSchemaVersion);
   const auto& out = doc["rows"].AsArray();
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0]["model"].AsString(), "T5-11B \"quoted\"");
