@@ -20,7 +20,8 @@ int main() {
       FsdpSimConfig cfg;
       cfg.batch_per_gpu = 2;
       cfg.microbatches = mb;
-      cfg.accum_with_comm = with_comm;
+      cfg.accum = with_comm ? plan::AccumMode::kReduceEveryMicrobatch
+                            : plan::AccumMode::kReduceLastMicrobatch;
       auto m = FsdpSimulator(T5_11B(), topo, c, cfg).Run();
       Row("%-12d %-10s | %10.1fms %14.1f %16.2f", mb,
           with_comm ? "with" : "without", m.iter_time_us / 1e3,

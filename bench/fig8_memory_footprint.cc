@@ -5,6 +5,11 @@
 // shards); GPT-175B at 128 GPUs + batch 2 reaches the 80GB reserved
 // capacity (the Fig 7(b) defragmentation case); T5-11B stays comfortably
 // below capacity everywhere.
+//
+// The "static" column replays the same plan against the compiled arena
+// layout (plan::BuildArenaPlan + sim::ArenaAllocator): one up-front
+// reservation whose peak must never exceed the caching allocator's
+// fragmented peak (the binary aborts if it does).
 #include "bench/bench_util.h"
 
 int main() {
@@ -18,8 +23,8 @@ int main() {
                    int batch, int factor, bool raf, bool ckpt,
                    std::vector<int> gpu_counts) {
     Header(fig, std::string(name) + " peak memory per GPU (GiB)");
-    Row("%-6s | %11s %11s %11s | %8s", "GPUs", "allocated", "active",
-        "reserved", "retries");
+    Row("%-6s | %11s %11s %11s %11s | %8s", "GPUs", "allocated", "active",
+        "reserved", "static", "retries");
     for (int gpus : gpu_counts) {
       FsdpSimConfig cfg;
       cfg.batch_per_gpu = batch;
@@ -28,9 +33,23 @@ int main() {
       cfg.activation_checkpointing = ckpt;
       auto m =
           FsdpSimulator(make_workload(gpus), TopoFor(gpus), c, cfg).Run();
-      Row("%-6d | %11.1f %11.1f %11.1f | %8lld", gpus, GiB(m.peak_allocated),
-          GiB(m.peak_active), GiB(m.peak_reserved),
-          static_cast<long long>(m.num_alloc_retries));
+      FsdpSimConfig cfg_static = cfg;
+      cfg_static.static_memory_plan = true;
+      auto ms = FsdpSimulator(make_workload(gpus), TopoFor(gpus), c,
+                              cfg_static)
+                    .Run();
+      // The compiled arena fits wherever the free-list allocator fit — and
+      // decides OOM up front instead of via mid-iteration retries.
+      if (!m.oom) {
+        FSDP_CHECK_MSG(ms.peak_reserved <= m.peak_reserved,
+                       "static plan reserves " << GiB(ms.peak_reserved)
+                       << " GiB > caching allocator's "
+                       << GiB(m.peak_reserved) << " GiB on " << name << "@"
+                       << gpus);
+      }
+      Row("%-6d | %11.1f %11.1f %11.1f %11.1f | %8lld", gpus,
+          GiB(m.peak_allocated), GiB(m.peak_active), GiB(m.peak_reserved),
+          GiB(ms.peak_reserved), static_cast<long long>(m.num_alloc_retries));
       rows.push_back(JsonRow()
                          .Set("fig", fig)
                          .Set("model", name)
@@ -39,6 +58,7 @@ int main() {
                          .Set("allocated_gib", GiB(m.peak_allocated))
                          .Set("active_gib", GiB(m.peak_active))
                          .Set("reserved_gib", GiB(m.peak_reserved))
+                         .Set("static_reserved_gib", GiB(ms.peak_reserved))
                          .Set("retries", m.num_alloc_retries));
     }
   };

@@ -1,6 +1,7 @@
 #include "comm/plan_replay.h"
 
 #include <chrono>
+#include <deque>
 #include <thread>
 #include <vector>
 
@@ -42,6 +43,14 @@ Status ReplayPlan(ProcessGroup pg, const plan::StepPlan& plan,
   std::vector<float> exchange_src(static_cast<size_t>(n) * w, 1.0f);
   std::vector<float> exchange_dst(static_cast<size_t>(n) * w, 0.0f);
 
+  // Batched collectives (Instr::batch_units, emitted by the fusion passes)
+  // issue ONE call over a concatenated payload. The scratch must stay alive
+  // until the drain below; a deque keeps addresses stable.
+  struct BatchScratch {
+    std::vector<float> src, dst;
+  };
+  std::deque<BatchScratch> batch_scratch;
+
   std::vector<Work> pending_reduces;
   Status first_error;
   auto note = [&](Status st) {
@@ -60,10 +69,26 @@ Status ReplayPlan(ProcessGroup pg, const plan::StepPlan& plan,
     }
     switch (in.op) {
       case plan::Op::kUnshard: {
-        UnitBuffers& u = units[ui];
-        u.unshard = pg.AllGatherBase(u.unsharded.data(), u.shard.data(), n,
-                                     opts);
-        u.unshard_pending = true;
+        if (in.batch_units.empty()) {
+          UnitBuffers& u = units[ui];
+          u.unshard = pg.AllGatherBase(u.unsharded.data(), u.shard.data(), n,
+                                       opts);
+          u.unshard_pending = true;
+          break;
+        }
+        // Fused AllGather: one collective over the covered units'
+        // concatenated shards; every member shares the Work handle.
+        const std::vector<int> covered = plan::CoveredUnits(in);
+        const int64_t total = n * static_cast<int64_t>(covered.size());
+        batch_scratch.emplace_back();
+        BatchScratch& b = batch_scratch.back();
+        b.src.assign(static_cast<size_t>(total), 1.0f);
+        b.dst.assign(static_cast<size_t>(total) * w, 0.0f);
+        Work work = pg.AllGatherBase(b.dst.data(), b.src.data(), total, opts);
+        for (int cu : covered) {
+          units[static_cast<size_t>(cu)].unshard = work;
+          units[static_cast<size_t>(cu)].unshard_pending = true;
+        }
         break;
       }
       case plan::Op::kWaitUnshard: {
@@ -82,10 +107,22 @@ Status ReplayPlan(ProcessGroup pg, const plan::StepPlan& plan,
                  .WaitStatus());
         break;
       case plan::Op::kReduceGrad: {
-        UnitBuffers& u = units[ui];
+        if (in.batch_units.empty()) {
+          UnitBuffers& u = units[ui];
+          pending_reduces.push_back(
+              pg.ReduceScatter(u.grad_shard.data(), u.grad_full.data(), n,
+                               opts));
+          break;
+        }
+        // Fused ReduceScatter over the covered units' concatenated grads.
+        const std::vector<int> covered = plan::CoveredUnits(in);
+        const int64_t total = n * static_cast<int64_t>(covered.size());
+        batch_scratch.emplace_back();
+        BatchScratch& b = batch_scratch.back();
+        b.src.assign(static_cast<size_t>(total) * w, 1.0f);
+        b.dst.assign(static_cast<size_t>(total), 0.0f);
         pending_reduces.push_back(
-            pg.ReduceScatter(u.grad_shard.data(), u.grad_full.data(), n,
-                             opts));
+            pg.ReduceScatter(b.dst.data(), b.src.data(), total, opts));
         break;
       }
       case plan::Op::kAllReduceReplicas: {

@@ -526,12 +526,13 @@ plan::StepPlan FsdpState::ExpectedStepPlan() const {
   names.push_back(units_[0].name);
   for (size_t i = units_.size(); i-- > 1;) names.push_back(units_[i].name);
 
-  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::RuntimeShape();
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::Runtime();
   o.reshard_after_forward = ReshardAfterForward(options_.strategy);
   o.backward_prefetch = options_.backward_prefetch;
   o.forward_prefetch = options_.forward_prefetch;
   o.replica_allreduce = units_[0].handle->replicate_pg().valid();
-  o.grad_sync = require_sync_;
+  o.accum = require_sync_ ? plan::AccumMode::kReduceEveryMicrobatch
+                          : plan::AccumMode::kNoSync;
   return plan::BuildFsdpStepPlan(names, o);
 }
 

@@ -4,6 +4,58 @@
 
 namespace fsdp::plan {
 
+const char* ReshardPolicyName(ReshardPolicy p) {
+  switch (p) {
+    case ReshardPolicy::kAfterBackward: return "after_backward";
+    case ReshardPolicy::kIfGradSync: return "if_grad_sync";
+    case ReshardPolicy::kKeepUnsharded: return "keep_unsharded";
+    case ReshardPolicy::kNever: return "never";
+  }
+  return "?";
+}
+
+const char* AccumModeName(AccumMode m) {
+  switch (m) {
+    case AccumMode::kReduceEveryMicrobatch: return "reduce_every_microbatch";
+    case AccumMode::kReduceLastMicrobatch: return "reduce_last_microbatch";
+    case AccumMode::kNoSync: return "no_sync";
+  }
+  return "?";
+}
+
+Status FsdpPlanOptions::Validate() const {
+  if (microbatches < 1) {
+    return Status::Invalid("microbatches must be >= 1, got " +
+                           std::to_string(microbatches));
+  }
+  // The rate limiter blocks unshards on freed-buffer events; a plan that
+  // never reshards has no free events to unblock on, so the gates would
+  // starve the schedule (the simulator's CPU thread deadlocks in effect).
+  const bool backward_frees = reshard == ReshardPolicy::kAfterBackward ||
+                              reshard == ReshardPolicy::kIfGradSync;
+  if (limiter && !reshard_after_forward && !backward_frees) {
+    return Status::Invalid(
+        std::string("rate limiter would starve: no reshard ever frees an "
+                    "unsharded buffer (reshard_after_forward=false, "
+                    "reshard=") +
+        ReshardPolicyName(reshard) + ")");
+  }
+  return Status::OK();
+}
+
+FsdpPlanOptions FsdpPlanOptions::Runtime() {
+  FsdpPlanOptions o;
+  o.reshard = ReshardPolicy::kIfGradSync;
+  return o;
+}
+
+FsdpPlanOptions FsdpPlanOptions::Sim() {
+  FsdpPlanOptions o;
+  o.root_compute_split = true;
+  o.memory_instrs = true;
+  return o;
+}
+
 namespace {
 
 // Per-unit emission state. Mirrors the runtime's own guards (FsdpState's
@@ -90,17 +142,20 @@ class Emitter {
   }
 
   void BackwardReshard(int u, bool sync_mb) {
-    if (!o_.backward_reshard) return;
-    if (o_.reshard_requires_sync && !sync_mb) return;
-    Emit(Op::kReshard, u, Phase::kBackward, Seg::kMain, Lane::kHost, false,
-         {prev_bwd_});
-    if (o_.backward_reshard_frees) st_[u].unsharded = false;
+    if (o_.reshard == ReshardPolicy::kNever) return;
+    if (o_.reshard == ReshardPolicy::kIfGradSync && !sync_mb) return;
+    const bool retain = o_.reshard == ReshardPolicy::kKeepUnsharded;
+    int r = Emit(Op::kReshard, u, Phase::kBackward, Seg::kMain, Lane::kHost,
+                 false, {prev_bwd_});
+    plan_.instrs[static_cast<size_t>(r)].retain = retain;
+    if (!retain) st_[u].unsharded = false;
   }
 
   void BuildMicrobatch() {
     const int n = static_cast<int>(st_.size());
-    const bool sync_mb =
-        o_.grad_sync && (o_.accum_with_comm || mb_ + 1 == o_.microbatches);
+    const bool sync_mb = o_.accum != AccumMode::kNoSync &&
+                         (o_.accum == AccumMode::kReduceEveryMicrobatch ||
+                          mb_ + 1 == o_.microbatches);
     for (UnitState& s : st_) s.backward_done = false;
 
     // ---------- forward ----------
@@ -214,7 +269,8 @@ class Emitter {
 StepPlan BuildFsdpStepPlan(const std::vector<std::string>& unit_names,
                            const FsdpPlanOptions& options) {
   FSDP_CHECK_MSG(!unit_names.empty(), "plan needs at least the root unit");
-  FSDP_CHECK_MSG(options.microbatches >= 1, "microbatches must be >= 1");
+  const Status st = options.Validate();
+  FSDP_CHECK_MSG(st.ok(), st.message());
   StepPlan plan;
   plan.unit_names = unit_names;
   Emitter(plan, options).Build();

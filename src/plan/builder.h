@@ -12,11 +12,11 @@
 //
 // Two fidelity *shapes* share the one emission core, selected by flags:
 //
-//   * runtime shape (FsdpPlanOptions::RuntimeShape / ExpectedStepPlan in
+//   * runtime shape (FsdpPlanOptions::Runtime() / ExpectedStepPlan in
 //     core/fsdp.h): the root computes as one unit, Wait* markers are
 //     emitted, substrate bookkeeping (allocator frees, gates) is not — this
 //     matches the hook order core::FsdpState records;
-//   * simulator shape (FsdpPlanOptions::SimShape): the analytic workloads
+//   * simulator shape (FsdpPlanOptions::Sim()): the analytic workloads
 //     split the root into embedding-side prologue + head epilogue, and the
 //     plan carries the rate-limiter gates and activation/gradient frees the
 //     virtual-memory substrate interprets. Wait markers are still emitted
@@ -31,9 +31,47 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "plan/plan.h"
 
 namespace fsdp::plan {
+
+/// What happens to a unit's gathered parameter after its backward. Replaces
+/// the former backward_reshard / backward_reshard_frees /
+/// reshard_requires_sync boolean triple — the one policy is shared by the
+/// runtime (core::FsdpState::ExpectedStepPlan) and the simulator
+/// (simfsdp::BuildSimStepPlan), so both layers answer "is the parameter
+/// resident after backward?" identically.
+enum class ReshardPolicy : int {
+  /// Free after each unit's backward, on every microbatch (ZeRO-3 style).
+  kAfterBackward = 0,
+  /// Free only on gradient-syncing microbatches — the functional runtime's
+  /// behaviour: no_sync / accumulation microbatches keep parameters
+  /// unsharded so the next microbatch skips the re-gather (Sec 3.3.4).
+  kIfGradSync,
+  /// Emit the reshard instruction but release nothing: the F = 1 no-op
+  /// reshard, after which later unshards of the unit are skipped.
+  kKeepUnsharded,
+  /// No backward reshard instruction at all.
+  kNever,
+};
+
+/// Gradient accumulation mode (Sec 3.3.4). Replaces the former grad_sync /
+/// accum_with_comm boolean pair; shared by the runtime and the simulator
+/// (the real-vs-sim no_sync drift closes because both derive their schedule
+/// from this one enum).
+enum class AccumMode : int {
+  /// Reduce every microbatch (accumulate *with* communication).
+  kReduceEveryMicrobatch = 0,
+  /// Reduce only the last microbatch (no_sync accumulation: unsharded
+  /// gradients accumulate locally, one reduction at the end).
+  kReduceLastMicrobatch,
+  /// Drop every reduction — the step inside a no_sync guard.
+  kNoSync,
+};
+
+const char* ReshardPolicyName(ReshardPolicy p);
+const char* AccumModeName(AccumMode m);
 
 struct FsdpPlanOptions {
   /// Free unsharded parameters after each non-root unit's forward; re-gather
@@ -50,18 +88,10 @@ struct FsdpPlanOptions {
   bool limiter = false;
   /// F < W: gradient reduction is ReduceScatter + replica AllReduce (Eq. 1).
   bool replica_allreduce = false;
-  /// Free the unsharded parameter after each unit's backward.
-  bool backward_reshard = true;
-  /// Whether the backward reshard actually releases the gathered parameter
-  /// for re-gathering. True everywhere except the simulator's F = 1 case,
-  /// where resharding is a no-op and the next step's unshard is skipped.
-  bool backward_reshard_frees = true;
-  /// Runtime ties the backward reshard to gradient sync (no_sync keeps
-  /// parameters unsharded); the simulator frees regardless (it re-gathers
-  /// per microbatch under accumulation).
-  bool reshard_requires_sync = false;
-  /// require_backward_grad_sync: false drops every reduction (no_sync).
-  bool grad_sync = true;
+  /// Backward resharding policy (see ReshardPolicy).
+  ReshardPolicy reshard = ReshardPolicy::kAfterBackward;
+  /// Gradient accumulation mode (see AccumMode).
+  AccumMode accum = AccumMode::kReduceEveryMicrobatch;
   bool cpu_offload = false;    // H2D before AllGather, D2H after reduction
   bool input_exchange = false; // DHEN sparse all-to-all feeding forward
   /// Split the root into RootPre/RootHead compute segments (see file
@@ -74,20 +104,58 @@ struct FsdpPlanOptions {
   /// there — that run-ahead is the Sec 3.4 story).
   bool emit_waits = true;
   int microbatches = 1;
-  /// Gradient accumulation variant: true reduces every microbatch, false
-  /// only the last (Sec 3.3.4).
-  bool accum_with_comm = true;
 
-  static FsdpPlanOptions RuntimeShape() {
-    FsdpPlanOptions o;
-    o.reshard_requires_sync = true;
-    return o;
+  /// Checks knob consistency so an invalid combination fails at plan-build
+  /// time instead of producing a silently-wrong plan: microbatch bounds, and
+  /// a rate limiter whose free-event supply the resharding policy would
+  /// starve. BuildFsdpStepPlan aborts on a non-OK status; callers building
+  /// options programmatically can validate first.
+  Status Validate() const;
+
+  /// Runtime-shape factory (validated): the plan core::FsdpState records —
+  /// root computes as one unit, Wait* markers emitted, no substrate
+  /// bookkeeping, resharding tied to gradient sync (kIfGradSync).
+  static FsdpPlanOptions Runtime();
+  /// Simulator-shape factory (validated): split root compute, FreeGrad/
+  /// FreeAct memory instructions for the virtual-memory substrate.
+  static FsdpPlanOptions Sim();
+
+  // ----- deprecated shims (one PR): the pre-enum flag API -----
+  [[deprecated("use Runtime()")]] static FsdpPlanOptions RuntimeShape() {
+    return Runtime();
   }
-  static FsdpPlanOptions SimShape() {
-    FsdpPlanOptions o;
-    o.root_compute_split = true;
-    o.memory_instrs = true;
-    return o;
+  [[deprecated("use Sim()")]] static FsdpPlanOptions SimShape() {
+    return Sim();
+  }
+  [[deprecated("use reshard = ReshardPolicy::...")]]
+  void set_backward_reshard(bool v) {
+    if (!v) reshard = ReshardPolicy::kNever;
+    else if (reshard == ReshardPolicy::kNever)
+      reshard = ReshardPolicy::kAfterBackward;
+  }
+  [[deprecated("use reshard = ReshardPolicy::kKeepUnsharded")]]
+  void set_backward_reshard_frees(bool v) {
+    if (!v) reshard = ReshardPolicy::kKeepUnsharded;
+    else if (reshard == ReshardPolicy::kKeepUnsharded)
+      reshard = ReshardPolicy::kAfterBackward;
+  }
+  [[deprecated("use reshard = ReshardPolicy::kIfGradSync")]]
+  void set_reshard_requires_sync(bool v) {
+    if (v) reshard = ReshardPolicy::kIfGradSync;
+    else if (reshard == ReshardPolicy::kIfGradSync)
+      reshard = ReshardPolicy::kAfterBackward;
+  }
+  [[deprecated("use accum = AccumMode::kNoSync")]]
+  void set_grad_sync(bool v) {
+    if (!v) accum = AccumMode::kNoSync;
+    else if (accum == AccumMode::kNoSync)
+      accum = AccumMode::kReduceEveryMicrobatch;
+  }
+  [[deprecated("use accum = AccumMode::...")]]
+  void set_accum_with_comm(bool v) {
+    if (accum == AccumMode::kNoSync) return;  // no_sync dominates
+    accum = v ? AccumMode::kReduceEveryMicrobatch
+              : AccumMode::kReduceLastMicrobatch;
   }
 };
 

@@ -51,11 +51,27 @@ obs::EventKind ToEventKind(Op op, Phase phase) {
   return obs::EventKind::kMarker;
 }
 
+std::vector<int> CoveredUnits(const Instr& instr) {
+  std::vector<int> units;
+  if (instr.unit < 0) return units;
+  units.reserve(instr.batch_units.size() + 1);
+  units.push_back(instr.unit);
+  units.insert(units.end(), instr.batch_units.begin(),
+               instr.batch_units.end());
+  return units;
+}
+
 std::string RenderInstr(const Instr& instr,
                         const std::vector<std::string>& names) {
   std::string label;
   if (instr.unit >= 0 && instr.unit < static_cast<int>(names.size())) {
     label = names[static_cast<size_t>(instr.unit)];
+    for (int b : instr.batch_units) {
+      label += "+";
+      if (b >= 0 && b < static_cast<int>(names.size())) {
+        label += names[static_cast<size_t>(b)];
+      }
+    }
   }
   if (instr.op == Op::kCompute) {
     // Computes render by phase. The root prologue (kRootPre) renders as the

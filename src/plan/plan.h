@@ -68,7 +68,17 @@ struct Instr {
   Lane lane = Lane::kCompute;
   bool prefetch = false;  // unshard issued ahead of first use (Secs 3.3.2/3.3.3)
   int microbatch = 0;
-  int64_t bytes = 0;      // payload where structural (DDP bucket bytes)
+  int64_t bytes = 0;      // payload where structural (DDP bucket bytes,
+                          //   fused-collective totals)
+  /// Additional units a batched collective covers (the fusion pass of
+  /// plan/passes.h): the instruction moves this unit's payload plus every
+  /// listed unit's in ONE collective. Empty for unbatched instructions.
+  /// Meaningful on kUnshard / kReduceGrad.
+  std::vector<int> batch_units;
+  /// kReshard only: the gathered parameter is NOT released (the F = 1
+  /// no-op reshard, ReshardPolicy::kKeepUnsharded) — the unit stays
+  /// resident and later unshards of it are skipped.
+  bool retain = false;
   /// Extra latency injected before this instruction executes (fault
   /// perturbations; see plan/perturb.h). Virtual microseconds in the
   /// simulator, real microseconds in the plan replayer.
@@ -100,9 +110,14 @@ const char* LaneName(Lane lane);
 obs::EventKind ToEventKind(Op op, Phase phase);
 
 /// Renders one instruction as "OP:unit" (e.g. "UNSHARD:blocks.0",
-/// "BWD:blocks.1", "FWD:[root].head"). `names` supplies unit labels.
+/// "BWD:blocks.1", "FWD:[root].head"). Batched collectives render every
+/// covered unit ("UNSHARD:a+b+c"). `names` supplies unit labels.
 std::string RenderInstr(const Instr& instr,
                         const std::vector<std::string>& names);
+
+/// The units a (possibly batched) collective covers: `unit` followed by
+/// `batch_units`. Returns an empty vector for unit-less instructions.
+std::vector<int> CoveredUnits(const Instr& instr);
 
 /// True for ops that define the schedule the paper's claims are about —
 /// collective issues, computes, waits, and resharding frees. Substrate

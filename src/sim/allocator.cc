@@ -223,4 +223,112 @@ void CachingAllocator::ResetPeaks() {
   stats_.peak_reserved = stats_.reserved_bytes;
 }
 
+
+// ---------------------------------------------------------------------------
+// ArenaAllocator
+// ---------------------------------------------------------------------------
+
+ArenaAllocator::ArenaAllocator(plan::ArenaPlan layout, int64_t capacity_bytes)
+    : layout_(std::move(layout)), capacity_(capacity_bytes) {
+  for (size_t i = 0; i < layout_.assignments.size(); ++i) {
+    const plan::ArenaAssignment& a = layout_.assignments[i];
+    by_key_[{static_cast<int>(a.kind), a.unit}].push_back(i);
+  }
+  // One reservation for the whole arena, decided at compile time.
+  stats_.reserved_bytes = layout_.total_bytes;
+  stats_.num_segment_allocs = 1;
+  UpdatePeaksArena();
+}
+
+void ArenaAllocator::UpdatePeaksArena() {
+  stats_.peak_allocated =
+      std::max(stats_.peak_allocated, stats_.allocated_bytes);
+  stats_.peak_active = std::max(stats_.peak_active, stats_.active_bytes);
+  stats_.peak_reserved = std::max(stats_.peak_reserved, stats_.reserved_bytes);
+}
+
+ArenaAllocator::MallocOutcome ArenaAllocator::Malloc(plan::BufKind kind,
+                                                     int unit, int64_t bytes) {
+  MallocOutcome out;
+  if (layout_.total_bytes > capacity_) {
+    out.ok = false;
+    return out;
+  }
+  const std::pair<int, int> key{static_cast<int>(kind), unit};
+  auto it = by_key_.find(key);
+  size_t& cur = cursor_[key];
+  FSDP_CHECK_MSG(it != by_key_.end() && cur < it->second.size(),
+                 "arena walk diverged: unplanned " << plan::BufKindName(kind)
+                 << " lifetime for unit " << unit);
+  const plan::ArenaAssignment& a = layout_.assignments[it->second[cur]];
+  FSDP_CHECK_MSG(bytes <= a.bytes,
+                 "arena walk diverged: " << plan::BufKindName(kind)
+                 << " unit " << unit << " wants " << bytes
+                 << " B, planned " << a.bytes << " B");
+  ++cur;
+  Block b;
+  b.bytes = a.bytes;
+  b.in_use = true;
+  out.block = next_id_++;
+  blocks_[out.block] = b;
+  stats_.allocated_bytes += b.bytes;
+  stats_.active_bytes = stats_.allocated_bytes;
+  ++stats_.num_mallocs;
+  UpdatePeaksArena();
+  return out;
+}
+
+ArenaAllocator::MallocOutcome ArenaAllocator::MallocPersistent(int64_t bytes) {
+  MallocOutcome out;
+  if (layout_.total_bytes > capacity_) {
+    out.ok = false;
+    return out;
+  }
+  FSDP_CHECK_MSG(persistent_used_ + bytes <= layout_.persistent_bytes,
+                 "persistent region overflow: " << persistent_used_ << " + "
+                 << bytes << " > " << layout_.persistent_bytes);
+  persistent_used_ += bytes;
+  Block b;
+  b.bytes = bytes;
+  b.in_use = true;
+  out.block = next_id_++;
+  blocks_[out.block] = b;
+  stats_.allocated_bytes += bytes;
+  stats_.active_bytes = stats_.allocated_bytes;
+  ++stats_.num_mallocs;
+  UpdatePeaksArena();
+  return out;
+}
+
+void ArenaAllocator::Free(BlockId id) {
+  auto it = blocks_.find(id);
+  FSDP_CHECK(it != blocks_.end() && it->second.in_use);
+  it->second.in_use = false;
+  stats_.allocated_bytes -= it->second.bytes;
+  stats_.active_bytes = stats_.allocated_bytes;
+  blocks_.erase(it);
+}
+
+void ArenaAllocator::BeginIteration() {
+  for (auto& [key, cur] : cursor_) cur = 0;
+}
+
+const AllocatorStats& ArenaAllocator::stats() {
+  UpdatePeaksArena();
+  return stats_;
+}
+
+int64_t ArenaAllocator::block_bytes(BlockId id) const {
+  auto it = blocks_.find(id);
+  FSDP_CHECK(it != blocks_.end());
+  return it->second.bytes;
+}
+
+void ArenaAllocator::ResetPeaks() {
+  stats_.peak_allocated = stats_.allocated_bytes;
+  stats_.peak_active = stats_.active_bytes;
+  stats_.peak_reserved = stats_.reserved_bytes;
+}
+
 }  // namespace fsdp::sim
+

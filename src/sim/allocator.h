@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "plan/passes.h"
 #include "sim/stream.h"
 
 namespace fsdp::sim {
@@ -118,6 +119,65 @@ class CachingAllocator {
   void UpdatePeaks();
 
   AllocatorConfig config_;
+  std::map<BlockId, Block> blocks_;
+  BlockId next_id_ = 0;
+  AllocatorStats stats_;
+};
+
+/// O(1) allocator over a precompiled arena layout (plan::BuildArenaPlan).
+///
+/// The plan compiler already decided every buffer's offset from the plan's
+/// liveness intervals, so the hot path is a per-(kind, unit) cursor bump —
+/// no free-list search, no rounding decisions, no cudaMalloc retries, and no
+/// record_stream event gating (the layout's intervals are conservative
+/// against the plan order the interpreter replays). The whole arena is one
+/// up-front reservation: `reserved` is constant at total_bytes, and the OOM
+/// decision happens once, against the compiled total, instead of emergently
+/// mid-iteration.
+///
+/// Persistent state allocated outside the plan walk (master/optimizer
+/// shards, framework overhead) carves from the layout's base region via
+/// MallocPersistent.
+class ArenaAllocator {
+ public:
+  using BlockId = int64_t;
+
+  ArenaAllocator(plan::ArenaPlan layout, int64_t capacity_bytes);
+
+  struct MallocOutcome {
+    BlockId block = -1;
+    bool ok = true;  // false: the compiled arena exceeds device capacity
+  };
+
+  /// Serves the next planned lifetime of (kind, unit). Aborts if the
+  /// interpreter's walk diverges from the plan the layout was compiled from
+  /// (more lifetimes than planned, or a larger request than reserved).
+  MallocOutcome Malloc(plan::BufKind kind, int unit, int64_t bytes);
+  /// Carves persistent state from the always-live base region.
+  MallocOutcome MallocPersistent(int64_t bytes);
+  void Free(BlockId id);
+  /// Rewinds the per-key lifetime cursors for the next replay of the plan.
+  void BeginIteration();
+
+  const AllocatorStats& stats();
+  void ResetPeaks();
+  int64_t block_bytes(BlockId id) const;
+  int64_t total_bytes() const { return layout_.total_bytes; }
+
+ private:
+  struct Block {
+    int64_t bytes = 0;
+    bool in_use = false;
+  };
+
+  void UpdatePeaksArena();
+
+  plan::ArenaPlan layout_;
+  int64_t capacity_ = 0;
+  // (kind, unit) -> indices into layout_.assignments, in plan order.
+  std::map<std::pair<int, int>, std::vector<size_t>> by_key_;
+  std::map<std::pair<int, int>, size_t> cursor_;
+  int64_t persistent_used_ = 0;
   std::map<BlockId, Block> blocks_;
   BlockId next_id_ = 0;
   AllocatorStats stats_;

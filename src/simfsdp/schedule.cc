@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
+#include "plan/passes.h"
 
 namespace fsdp::simfsdp {
 
@@ -62,23 +64,104 @@ int NormalizedShardingFactor(const sim::Topology& topo,
   return cfg.sharding_factor <= 0 ? topo.world() : cfg.sharding_factor;
 }
 
+// The byte side of the per-unit table, shared by Run()'s cost table, the
+// pass options (fusion payloads), and the memory-plan options (arena buffer
+// sizes) — one computation, so compiler and interpreter agree byte-for-byte.
+struct UnitSizes {
+  int64_t padded_numel = 0;
+  int64_t shard_bytes = 0;
+  int64_t unsharded_bytes = 0;
+  int64_t grad_bytes = 0;
+  int64_t reduce_total_bytes = 0;
+  int64_t act_bytes = 0;
+  int64_t recompute_bytes = 0;
+};
+
+std::vector<UnitSizes> UnitSizeTable(const Workload& w, int f,
+                                     const FsdpSimConfig& cfg) {
+  const int64_t psize = SizeOf(cfg.param_dtype);
+  const int64_t rsize = SizeOf(cfg.reduce_dtype);
+  const int batch = cfg.batch_per_gpu;
+  auto fill = [&](int64_t params, int64_t act, int64_t ckpt) {
+    UnitSizes s;
+    s.padded_numel = (params + f - 1) / f * f;
+    s.shard_bytes = s.padded_numel / f * psize;
+    s.unsharded_bytes = s.padded_numel * psize;
+    s.grad_bytes = s.padded_numel * rsize;
+    s.reduce_total_bytes = s.padded_numel * rsize;
+    s.act_bytes = (cfg.activation_checkpointing ? ckpt : act) * batch;
+    s.recompute_bytes =
+        cfg.activation_checkpointing ? (act - ckpt) * batch : 0;
+    return s;
+  };
+  std::vector<UnitSizes> table;
+  table.reserve(w.units.size() + 1);
+  table.push_back(fill(w.root_param_numel, w.root_act_bytes_per_sample,
+                       w.root_act_bytes_per_sample));
+  for (const UnitSpec& u : w.units) {
+    table.push_back(
+        fill(u.param_numel, u.act_bytes_per_sample, u.ckpt_bytes_per_sample));
+  }
+  return table;
+}
+
 }  // namespace
 
 plan::StepPlan BuildSimStepPlan(const Workload& w, const sim::Topology& topo,
                                 const FsdpSimConfig& cfg) {
   const int f = NormalizedShardingFactor(topo, cfg);
-  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::SimShape();
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::Sim();
   o.reshard_after_forward = cfg.reshard_after_forward;
   o.backward_prefetch = cfg.backward_prefetch;
   o.forward_prefetch = cfg.forward_prefetch;
   o.limiter = cfg.limit_all_gathers > 0;
   o.replica_allreduce = topo.world() / f > 1;
-  o.backward_reshard_frees = f > 1;
+  // F = 1 resharding is the no-op reshard (the unit stays resident);
+  // otherwise the reshard is tied to gradient sync exactly like the
+  // runtime's, so no_sync / accumulation microbatches keep parameters
+  // gathered on both sides of the anti-drift contract.
+  o.reshard = f > 1 ? plan::ReshardPolicy::kIfGradSync
+                    : plan::ReshardPolicy::kKeepUnsharded;
   o.cpu_offload = cfg.cpu_offload_params;
   o.input_exchange = w.sparse_exchange_bytes_per_sample > 0;
   o.microbatches = cfg.microbatches;
-  o.accum_with_comm = cfg.accum_with_comm;
+  o.accum = cfg.accum;
   return plan::BuildFsdpStepPlan(SimUnitNames(w), o);
+}
+
+plan::PassOptions MakePassOptions(const Workload& w, const sim::Topology& topo,
+                                  const FsdpSimConfig& cfg) {
+  const int f = NormalizedShardingFactor(topo, cfg);
+  plan::PassOptions o;
+  for (const UnitSizes& s : UnitSizeTable(w, f, cfg)) {
+    o.unit_shard_bytes.push_back(s.shard_bytes);
+    o.unit_reduce_bytes.push_back(s.reduce_total_bytes);
+  }
+  return o;
+}
+
+plan::MemoryPlanOptions MakeMemoryPlanOptions(const Workload& w,
+                                              const sim::Topology& topo,
+                                              const sim::SimConstants& c,
+                                              const FsdpSimConfig& cfg) {
+  const int f = NormalizedShardingFactor(topo, cfg);
+  plan::MemoryPlanOptions o;
+  int64_t shard_total = 0;
+  for (const UnitSizes& s : UnitSizeTable(w, f, cfg)) {
+    o.param_bytes.push_back(s.unsharded_bytes);
+    o.grad_bytes.push_back(s.grad_bytes);
+    o.act_bytes.push_back(s.act_bytes);
+    o.recompute_bytes.push_back(s.recompute_bytes);
+    shard_total += s.padded_numel / f;
+  }
+  o.head_bytes = w.head_act_bytes_per_sample * cfg.batch_per_gpu;
+  // Mirrors Run()'s pre-plan persistent allocations: framework overhead,
+  // FP32 master shard + gradient shard + two Adam states (on device only
+  // without CPU offload), and non-FSDP state.
+  o.persistent_bytes = c.framework_overhead_bytes;
+  if (!cfg.cpu_offload_params) o.persistent_bytes += shard_total * 16;
+  if (w.non_fsdp_state_bytes > 0) o.persistent_bytes += w.non_fsdp_state_bytes;
+  return o;
 }
 
 FsdpSimulator::FsdpSimulator(Workload workload, sim::Topology topo,
@@ -117,15 +200,32 @@ SimMetrics FsdpSimulator::Run() {
   sim::AllocatorConfig acfg;
   acfg.capacity_bytes = c_.hbm_bytes;
   sim::CachingAllocator alloc(acfg);
+  // Static memory planning: compile the plan's buffer lifetimes into an
+  // arena layout once, and serve every plan-driven allocation as an O(1)
+  // cursor bump — no free-list search, no cudaMalloc retries.
+  std::optional<sim::ArenaAllocator> arena;
+  if (cfg_.static_memory_plan) {
+    arena.emplace(
+        plan::BuildArenaPlan(plan_, MakeMemoryPlanOptions(w_, topo_, c_, cfg_)),
+        c_.hbm_bytes);
+  }
 
   sim::SimTime cpu = 0;
   bool oom = false;
   auto device_sync = [&]() {
     return std::max(compute.available_at(), comm.available_at());
   };
-  auto malloc_block = [&](int64_t bytes,
-                          int stream) -> sim::CachingAllocator::BlockId {
+  auto malloc_block = [&](int64_t bytes, int stream, plan::BufKind kind,
+                          int unit) -> sim::CachingAllocator::BlockId {
     if (oom || bytes <= 0) return -1;
+    if (arena) {
+      auto out = arena->Malloc(kind, unit, bytes);
+      if (!out.ok) {
+        oom = true;
+        return -1;
+      }
+      return out.block;
+    }
     auto out = alloc.Malloc(bytes, stream, cpu, device_sync);
     cpu = out.cpu_time_after;
     if (!out.ok) {
@@ -134,21 +234,42 @@ SimMetrics FsdpSimulator::Run() {
     }
     return out.block;
   };
+  auto persist_block = [&](int64_t bytes) {
+    if (oom || bytes <= 0) return;
+    if (arena) {
+      if (!arena->MallocPersistent(bytes).ok) oom = true;
+      return;
+    }
+    auto out = alloc.Malloc(bytes, kComputeStream, cpu, device_sync);
+    cpu = out.cpu_time_after;
+    if (!out.ok) oom = true;
+  };
+  auto record_use = [&](sim::CachingAllocator::BlockId id, int stream,
+                        sim::SimTime completes_at) {
+    // The arena layout is conservative against plan order; no event gating.
+    if (!arena) alloc.RecordStreamUse(id, stream, completes_at);
+  };
+  auto free_block = [&](sim::CachingAllocator::BlockId id) {
+    if (arena) {
+      arena->Free(id);
+    } else {
+      alloc.Free(id, cpu);
+    }
+  };
 
-  const int64_t psize = SizeOf(cfg_.param_dtype);
-  const int64_t rsize = SizeOf(cfg_.reduce_dtype);
   const int batch = cfg_.batch_per_gpu;
 
   // ---- build unit table: index 0 is the root unit ----
   std::vector<UnitSim> units(w_.units.size() + 1);
   const double flops_rate = FlopsPerUs(c_, cfg_.param_dtype);
-  auto fill = [&](UnitSim& u, int64_t params, double fwd_flops,
-                  int64_t act_bytes, int64_t ckpt_bytes, int n_kernels) {
-    u.padded_numel = (params + f - 1) / f * f;
-    u.shard_bytes = u.padded_numel / f * psize;
-    u.unsharded_bytes = u.padded_numel * psize;
-    u.grad_bytes = u.padded_numel * rsize;
-    u.reduce_total_bytes = u.padded_numel * rsize;
+  const std::vector<UnitSizes> sizes = UnitSizeTable(w_, f, cfg_);
+  auto fill = [&](UnitSim& u, const UnitSizes& s, double fwd_flops,
+                  int n_kernels) {
+    u.padded_numel = s.padded_numel;
+    u.shard_bytes = s.shard_bytes;
+    u.unsharded_bytes = s.unsharded_bytes;
+    u.grad_bytes = s.grad_bytes;
+    u.reduce_total_bytes = s.reduce_total_bytes;
     u.fwd_us = fwd_flops * batch / flops_rate +
                n_kernels * c_.kernel_launch_gpu_us;
     // backward = 2x forward matmuls (+ recompute under checkpointing).
@@ -157,18 +278,14 @@ SimMetrics FsdpSimulator::Run() {
                2 * n_kernels * c_.kernel_launch_gpu_us;
     u.cpu_fwd_us = pm.CpuIssueTime(n_kernels);
     u.cpu_bwd_us = pm.CpuIssueTime(2 * n_kernels);
-    u.act_bytes =
-        (cfg_.activation_checkpointing ? ckpt_bytes : act_bytes) * batch;
-    u.recompute_bytes =
-        cfg_.activation_checkpointing ? (act_bytes - ckpt_bytes) * batch : 0;
+    u.act_bytes = s.act_bytes;
+    u.recompute_bytes = s.recompute_bytes;
   };
-  fill(units[0], w_.root_param_numel,
-       w_.root_pre_flops_per_sample + w_.root_post_flops_per_sample,
-       w_.root_act_bytes_per_sample, w_.root_act_bytes_per_sample, 6);
+  fill(units[0], sizes[0],
+       w_.root_pre_flops_per_sample + w_.root_post_flops_per_sample, 6);
   for (size_t i = 0; i < w_.units.size(); ++i) {
     const UnitSpec& spec = w_.units[i];
-    fill(units[i + 1], spec.param_numel, spec.fwd_flops_per_sample,
-         spec.act_bytes_per_sample, spec.ckpt_bytes_per_sample,
+    fill(units[i + 1], sizes[i + 1], spec.fwd_flops_per_sample,
          spec.n_kernels);
   }
   for (size_t i = 0; i < units.size(); ++i) {
@@ -176,29 +293,23 @@ SimMetrics FsdpSimulator::Run() {
   }
 
   // ---- persistent state (allocated once) ----
-  (void)malloc_block(c_.framework_overhead_bytes, kComputeStream);
+  persist_block(c_.framework_overhead_bytes);
   int64_t shard_total = 0;
   for (const UnitSim& u : units) shard_total += u.padded_numel / f;
   if (!cfg_.cpu_offload_params) {
     // FP32 master shard + FP32 gradient shard + two Adam states.
-    (void)malloc_block(shard_total * 4, kComputeStream);
-    (void)malloc_block(shard_total * 4, kComputeStream);
-    (void)malloc_block(shard_total * 8, kComputeStream);
+    persist_block(shard_total * 4);
+    persist_block(shard_total * 4);
+    persist_block(shard_total * 8);
   }
   // (With CPU offload the shards live in host memory; only transient device
   // buffers remain.)
   if (w_.non_fsdp_state_bytes > 0) {
-    (void)malloc_block(w_.non_fsdp_state_bytes, kComputeStream);
+    persist_block(w_.non_fsdp_state_bytes);
   }
   const double pcie_bytes_per_us = c_.pcie_gbps * 1e3;
 
   // ---- cost helpers ----
-  auto ag_time = [&](const UnitSim& u) {
-    return cm.AllGatherBase(u.shard_bytes, shard_g);
-  };
-  auto rs_time = [&](const UnitSim& u) {
-    return cm.ReduceScatter(u.reduce_total_bytes, shard_g);
-  };
   auto ar_time = [&](const UnitSim& u) {
     return cm.AllReduce(u.reduce_total_bytes / f, repl_g);
   };
@@ -251,10 +362,15 @@ SimMetrics FsdpSimulator::Run() {
 
   for (int iter = 0; iter < cfg_.iterations && !oom; ++iter) {
     const bool last_iter = iter + 1 == cfg_.iterations;
+    if (arena) arena->BeginIteration();
     if (last_iter) {
       compute_busy_before = compute.busy_us();
       comm_busy_before = comm.busy_us();
-      alloc.ResetPeaks();
+      if (arena) {
+        arena->ResetPeaks();
+      } else {
+        alloc.ResetPeaks();
+      }
       m.cross_host_bytes_per_gpu = 0;
       iter_flops = 0;
     }
@@ -275,24 +391,44 @@ SimMetrics FsdpSimulator::Run() {
           break;
 
         case plan::Op::kUnshard: {
-          UnitSim& u = units[ui];
-          if (u.unsharded) break;  // retained from a previous step
-          u.param_block = malloc_block(u.unsharded_bytes, kCommStream);
+          // A batched instruction (the fusion pass) gathers every covered
+          // unit's shard in ONE collective; unbatched instructions cover
+          // exactly their own unit. Units retained from a previous step are
+          // skipped (the runtime's issue guard).
+          int64_t sum_shard = 0, sum_unsharded = 0;
+          std::vector<int> need;
+          for (int cu : plan::CoveredUnits(in)) {
+            const UnitSim& u = units[static_cast<size_t>(cu)];
+            if (u.unsharded) continue;
+            need.push_back(cu);
+            sum_shard += u.shard_bytes;
+            sum_unsharded += u.unsharded_bytes;
+          }
+          if (need.empty()) break;  // retained from a previous step
+          for (int cu : need) {
+            UnitSim& u = units[static_cast<size_t>(cu)];
+            u.param_block = malloc_block(u.unsharded_bytes, kCommStream,
+                                         plan::BufKind::kParam, cu);
+          }
           if (oom) break;
+          std::string label = units[static_cast<size_t>(need.front())].label;
+          for (size_t k = 1; k < need.size(); ++k) {
+            label += "+" + units[static_cast<size_t>(need[k])].label;
+          }
           if (cfg_.cpu_offload_params) {
-            // H2D copy of the local shard precedes the AllGather (FSDP
+            // H2D copy of the local shard(s) precedes the AllGather (FSDP
             // CPUOffload streams the shard up just in time).
-            comm.Launch(cpu, u.shard_bytes / pcie_bytes_per_us, {},
-                        obs::EventKind::kH2D, u.label, u.shard_bytes);
+            comm.Launch(cpu, sum_shard / pcie_bytes_per_us, {},
+                        obs::EventKind::kH2D, label, sum_shard);
             cpu += c_.cpu_issue_us_per_kernel;
           }
-          done[ip] = comm.Launch(cpu, ag_time(u), {},
-                                 obs::EventKind::kAllGather, u.label,
-                                 u.unsharded_bytes);
+          done[ip] = comm.Launch(cpu, cm.AllGatherBase(sum_shard, shard_g),
+                                 {}, obs::EventKind::kAllGather, label,
+                                 sum_unsharded);
           cpu += c_.cpu_issue_us_per_kernel;
-          u.unsharded = true;
+          for (int cu : need) units[static_cast<size_t>(cu)].unsharded = true;
           if (last_iter) {
-            add_traffic(static_cast<double>(shard_g.size - 1) * u.shard_bytes,
+            add_traffic(static_cast<double>(shard_g.size - 1) * sum_shard,
                         shard_g);
           }
           break;
@@ -332,7 +468,8 @@ SimMetrics FsdpSimulator::Run() {
               // Head / logits at the end of forward; logits and loss scratch
               // live until the head backward completes.
               head_block = malloc_block(w_.head_act_bytes_per_sample * batch,
-                                        kComputeStream);
+                                        kComputeStream, plan::BufKind::kHead,
+                                        in.unit);
               done[ip] = compute.Launch(
                   cpu,
                   w_.root_post_flops_per_sample * batch / flops_rate +
@@ -345,7 +482,8 @@ SimMetrics FsdpSimulator::Run() {
               }
             } else {
               if (in.unit != 0 && u.act_block < 0) {
-                u.act_block = malloc_block(u.act_bytes, kComputeStream);
+                u.act_block = malloc_block(u.act_bytes, kComputeStream,
+                                           plan::BufKind::kAct, in.unit);
               }
               done[ip] = compute.Launch(cpu, u.fwd_us,
                                         dep_times(in, params_ready),
@@ -353,7 +491,7 @@ SimMetrics FsdpSimulator::Run() {
               cpu += u.cpu_fwd_us;
               if (last_iter) iter_flops += u.fwd_us * flops_rate;
               if (u.param_block >= 0) {
-                alloc.RecordStreamUse(u.param_block, kComputeStream, done[ip]);
+                record_use(u.param_block, kComputeStream, done[ip]);
               }
             }
           } else {  // backward
@@ -369,8 +507,8 @@ SimMetrics FsdpSimulator::Run() {
                 iter_flops += 2.0 * w_.root_post_flops_per_sample * batch;
               }
               if (head_block >= 0) {
-                alloc.RecordStreamUse(head_block, kComputeStream, done[ip]);
-                alloc.Free(head_block, cpu);
+                record_use(head_block, kComputeStream, done[ip]);
+                free_block(head_block);
                 head_block = -1;
               }
             } else if (in.seg == plan::Seg::kRootPre) {
@@ -384,25 +522,27 @@ SimMetrics FsdpSimulator::Run() {
                   dep_times(in), obs::EventKind::kBackward, u.label);
               cpu += pm.CpuIssueTime(2);
               if (u.grad_block < 0) {
-                u.grad_block = malloc_block(u.grad_bytes, kComputeStream);
+                u.grad_block = malloc_block(u.grad_bytes, kComputeStream,
+                                            plan::BufKind::kGrad, in.unit);
               }
               last_comm_end = std::max(last_comm_end, done[ip]);
             } else {
               if (u.grad_block < 0) {
-                u.grad_block = malloc_block(u.grad_bytes, kComputeStream);
+                u.grad_block = malloc_block(u.grad_bytes, kComputeStream,
+                                            plan::BufKind::kGrad, in.unit);
               }
               // Activation checkpointing re-materializes the full
               // activations for the duration of this unit's backward.
               sim::CachingAllocator::BlockId recompute_block =
-                  malloc_block(u.recompute_bytes, kComputeStream);
+                  malloc_block(u.recompute_bytes, kComputeStream,
+                               plan::BufKind::kRecompute, in.unit);
               done[ip] = compute.Launch(cpu, u.bwd_us, dep_times(in),
                                         obs::EventKind::kBackward, u.label);
               cpu += u.cpu_bwd_us;
               if (last_iter) iter_flops += u.bwd_us * flops_rate;
               if (recompute_block >= 0) {
-                alloc.RecordStreamUse(recompute_block, kComputeStream,
-                                      done[ip]);
-                alloc.Free(recompute_block, cpu);
+                record_use(recompute_block, kComputeStream, done[ip]);
+                free_block(recompute_block);
               }
             }
           }
@@ -410,14 +550,22 @@ SimMetrics FsdpSimulator::Run() {
         }
 
         case plan::Op::kReduceGrad: {
-          UnitSim& u = units[ui];
-          done[ip] = comm.Launch(cpu, rs_time(u), dep_times(in),
-                                 obs::EventKind::kReduceScatter, u.label,
-                                 u.reduce_total_bytes);
+          // Batched reductions (the fusion pass) reduce every covered
+          // unit's gradient in one ReduceScatter.
+          int64_t sum_reduce = 0;
+          std::string label;
+          for (int cu : plan::CoveredUnits(in)) {
+            sum_reduce += units[static_cast<size_t>(cu)].reduce_total_bytes;
+            if (!label.empty()) label += "+";
+            label += units[static_cast<size_t>(cu)].label;
+          }
+          done[ip] = comm.Launch(cpu, cm.ReduceScatter(sum_reduce, shard_g),
+                                 dep_times(in), obs::EventKind::kReduceScatter,
+                                 label, sum_reduce);
           cpu += c_.cpu_issue_us_per_kernel;
           if (last_iter) {
             add_traffic(static_cast<double>(shard_g.size - 1) / shard_g.size *
-                            u.reduce_total_bytes,
+                            sum_reduce,
                         shard_g);
           }
           last_comm_end = std::max(last_comm_end, done[ip]);
@@ -462,8 +610,8 @@ SimMetrics FsdpSimulator::Run() {
         case plan::Op::kFreeGrad: {
           UnitSim& u = units[ui];
           if (u.grad_block >= 0) {
-            alloc.RecordStreamUse(u.grad_block, kCommStream, dep_max(in));
-            alloc.Free(u.grad_block, cpu);
+            record_use(u.grad_block, kCommStream, dep_max(in));
+            free_block(u.grad_block);
             u.grad_block = -1;
           }
           break;
@@ -474,15 +622,17 @@ SimMetrics FsdpSimulator::Run() {
           if (in.phase == plan::Phase::kForward) {
             // Reshard-after-forward: the compute handler already recorded
             // the parameter's use; the free event feeds the rate limiter.
-            if (u.param_block >= 0) alloc.Free(u.param_block, cpu);
+            if (u.param_block >= 0) free_block(u.param_block);
             u.param_block = -1;
             u.unsharded = false;
             free_events.push_back(dep_max(in));
-          } else if (u.param_block >= 0 && f > 1) {
-            // Backward reshard (all sharded strategies). The root's free is
-            // not a limiter event — nothing can be gathered behind it.
-            alloc.RecordStreamUse(u.param_block, kComputeStream, dep_max(in));
-            alloc.Free(u.param_block, cpu);
+          } else if (u.param_block >= 0 && !in.retain) {
+            // Backward reshard (all sharded strategies; the plan's retain
+            // flag marks the F = 1 no-op reshard that keeps the unit
+            // resident). The root's free is not a limiter event — nothing
+            // can be gathered behind it.
+            record_use(u.param_block, kComputeStream, dep_max(in));
+            free_block(u.param_block);
             u.param_block = -1;
             u.unsharded = false;
             if (in.unit != 0) free_events.push_back(dep_max(in));
@@ -493,8 +643,8 @@ SimMetrics FsdpSimulator::Run() {
         case plan::Op::kFreeAct: {
           UnitSim& u = units[ui];
           if (u.act_block >= 0) {
-            alloc.RecordStreamUse(u.act_block, kComputeStream, dep_max(in));
-            alloc.Free(u.act_block, cpu);
+            record_use(u.act_block, kComputeStream, dep_max(in));
+            free_block(u.act_block);
             u.act_block = -1;
           }
           break;
@@ -525,7 +675,7 @@ SimMetrics FsdpSimulator::Run() {
       m.iter_time_us = cpu - prev_iter_end;
       m.compute_busy_us = compute.busy_us() - compute_busy_before;
       m.comm_busy_us = comm.busy_us() - comm_busy_before;
-      const auto& st = alloc.stats(cpu);
+      const auto& st = arena ? arena->stats() : alloc.stats(cpu);
       m.peak_allocated = st.peak_allocated;
       m.peak_active = st.peak_active;
       m.peak_reserved = st.peak_reserved;

@@ -35,6 +35,7 @@
 #pragma once
 
 #include "plan/builder.h"
+#include "plan/passes.h"
 #include "sim/allocator.h"
 #include "sim/topology.h"
 #include "simfsdp/workload.h"
@@ -56,9 +57,20 @@ struct FsdpSimConfig {
   DType reduce_dtype = DType::kBF16;
   bool activation_checkpointing = true;
   int batch_per_gpu = 1;
-  int microbatches = 1;        // gradient accumulation
-  bool accum_with_comm = true; // Sec 3.3.4 variant
-  int iterations = 3;          // first iterations warm the allocator
+  int microbatches = 1;  // gradient accumulation
+  /// Gradient accumulation mode (Sec 3.3.4) — the same enum the runtime's
+  /// plan derives from, so real and simulated no_sync behave identically.
+  plan::AccumMode accum = plan::AccumMode::kReduceEveryMicrobatch;
+  [[deprecated("use accum = plan::AccumMode::...")]]
+  void set_accum_with_comm(bool v) {
+    accum = v ? plan::AccumMode::kReduceEveryMicrobatch
+              : plan::AccumMode::kReduceLastMicrobatch;
+  }
+  /// Interpret the plan against a compiled arena layout (plan::BuildArenaPlan)
+  /// instead of the caching allocator: O(1) bump allocation, one up-front
+  /// reservation, no cudaMalloc retries.
+  bool static_memory_plan = false;
+  int iterations = 3;  // first iterations warm the allocator
   /// Record every stream op into the global obs::TraceCollector with
   /// *virtual* timestamps (pid = trace_rank, tid lanes compute/comm), so a
   /// simulated Fig 5 timeline exports straight to chrome://tracing via
@@ -95,6 +107,23 @@ struct SimMetrics {
 /// gates) over units named "[root]", "unit1", …, "unitN".
 plan::StepPlan BuildSimStepPlan(const Workload& w, const sim::Topology& topo,
                                 const FsdpSimConfig& cfg);
+
+/// Pass inputs (per-unit shard / reduce payload bytes) for this workload and
+/// config, from the same unit-size table Run() costs instructions with — so
+/// the compiler's fusion thresholds and the interpreter agree byte-for-byte.
+/// Fusion thresholds (fuse_below_bytes etc.) are left at their defaults for
+/// the caller to set.
+plan::PassOptions MakePassOptions(const Workload& w, const sim::Topology& topo,
+                                  const FsdpSimConfig& cfg);
+
+/// Static-memory-planning inputs: per-unit buffer sizes plus the persistent
+/// base bytes Run() allocates outside the plan walk. BuildArenaPlan over the
+/// simulator's plan with these options yields the layout Run() replays when
+/// cfg.static_memory_plan is set.
+plan::MemoryPlanOptions MakeMemoryPlanOptions(const Workload& w,
+                                              const sim::Topology& topo,
+                                              const sim::SimConstants& c,
+                                              const FsdpSimConfig& cfg);
 
 /// The DDP baseline's step plan: unit computes plus bucketed AllReduce
 /// issues placed by gradient byte counts.

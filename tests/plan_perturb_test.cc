@@ -100,7 +100,7 @@ int FindAdjacentCommPair(const StepPlan& p) {
 }
 
 StepPlan RuntimeBasePlan() {
-  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::RuntimeShape();
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::Runtime();
   return plan::BuildFsdpStepPlan({"[root]", "layer1", "layer2", "layer3"}, o);
 }
 

@@ -15,8 +15,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "autograd/engine.h"
@@ -24,6 +26,7 @@
 #include "ddp/ddp.h"
 #include "nn/transformer.h"
 #include "plan/builder.h"
+#include "plan/passes.h"
 #include "plan/plan.h"
 #include "simfsdp/schedule.h"
 #include "simfsdp/workload.h"
@@ -75,6 +78,7 @@ int FactorFor(ShardingStrategy s) {
 /// schedule plus the builder plan the runtime predicts for itself.
 struct StepRecord {
   std::vector<std::string> executed;
+  std::vector<plan::Instr> executed_instrs;
   plan::StepPlan expected;
 };
 
@@ -93,6 +97,7 @@ StepRecord RunRealStep(ShardingStrategy strategy, bool backward_prefetch) {
     autograd::RunBackward(loss);
     if (r == 0) {
       rec.executed = fsdp.state().executed_schedule();
+      rec.executed_instrs = fsdp.state().executed_plan();
       rec.expected = fsdp.state().ExpectedStepPlan();
     }
   });
@@ -105,11 +110,12 @@ plan::StepPlan BuildSimShapePlan(const StepRecord& rec,
                                  ShardingStrategy strategy,
                                  bool backward_prefetch) {
   const int f = FactorFor(strategy);
-  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::SimShape();
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::Sim();
   o.reshard_after_forward = core::ReshardAfterForward(strategy);
   o.backward_prefetch = backward_prefetch;
   o.replica_allreduce = f < kWorld;
-  o.backward_reshard_frees = f > 1;
+  o.reshard = f > 1 ? plan::ReshardPolicy::kIfGradSync
+                    : plan::ReshardPolicy::kKeepUnsharded;
   return plan::BuildFsdpStepPlan(rec.expected.unit_names, o);
 }
 
@@ -125,11 +131,25 @@ TEST_P(PlanDriftTest, RealOrderMatchesBuilderAndSimulatorPlan) {
   // Real execution vs the runtime-shape builder plan.
   EXPECT_EQ(rec.executed, rec.expected.Canonical());
 
+  // Every recorded and predicted plan must be structurally sound: the
+  // executed-plan log this rank actually issued, the builder's prediction,
+  // and the simulator-shape plan all pass the compiler's validator.
+  plan::PlanValidator validator;
+  plan::StepPlan executed_plan;
+  executed_plan.unit_names = rec.expected.unit_names;
+  executed_plan.instrs = rec.executed_instrs;
+  Status st = validator.Check(executed_plan);
+  EXPECT_TRUE(st.ok()) << "executed plan: " << st.message();
+  st = validator.Check(rec.expected);
+  EXPECT_TRUE(st.ok()) << "expected plan: " << st.message();
+
   // Real execution vs the simulator-shape plan over the same names. The sim
   // shape adds memory/gate instructions and splits the root compute, but its
   // canonical projection must be the same schedule.
   plan::StepPlan sim_plan = BuildSimShapePlan(rec, strategy,
                                               backward_prefetch);
+  st = validator.Check(sim_plan);
+  EXPECT_TRUE(st.ok()) << "sim plan: " << st.message();
   EXPECT_EQ(rec.executed, sim_plan.Canonical());
 
   // And the simulator must be able to interpret that exact plan (real unit
@@ -178,18 +198,18 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(PlanBuilderTest, RuntimeAndSimShapesShareCanonicalSchedule) {
   const std::vector<std::string> names{"[root]", "u1", "u2", "u3"};
   plan::StepPlan rt =
-      plan::BuildFsdpStepPlan(names, plan::FsdpPlanOptions::RuntimeShape());
+      plan::BuildFsdpStepPlan(names, plan::FsdpPlanOptions::Runtime());
   plan::StepPlan sim =
-      plan::BuildFsdpStepPlan(names, plan::FsdpPlanOptions::SimShape());
+      plan::BuildFsdpStepPlan(names, plan::FsdpPlanOptions::Sim());
   EXPECT_EQ(rt.Canonical(), sim.Canonical());
   // The sim shape is strictly richer (memory instrs, split root compute).
   EXPECT_GT(sim.size(), rt.size());
 }
 
 TEST(PlanBuilderTest, DependencyEdgesPointBackward) {
-  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::SimShape();
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::Sim();
   o.microbatches = 3;
-  o.accum_with_comm = false;
+  o.accum = plan::AccumMode::kReduceLastMicrobatch;
   plan::StepPlan p = plan::BuildFsdpStepPlan({"[root]", "a", "b"}, o);
   for (int i = 0; i < p.size(); ++i) {
     for (int d : p.instrs[static_cast<size_t>(i)].deps) {
@@ -209,7 +229,7 @@ TEST(PlanBuilderTest, DependencyEdgesPointBackward) {
 }
 
 TEST(PlanBuilderTest, BackwardPrefetchReordersUnshardBeforeReduce) {
-  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::RuntimeShape();
+  plan::FsdpPlanOptions o = plan::FsdpPlanOptions::Runtime();
   o.backward_prefetch = true;
   plan::StepPlan p = plan::BuildFsdpStepPlan({"[root]", "a", "b"}, o);
   auto canon = p.Canonical();
@@ -244,6 +264,71 @@ TEST(PlanBuilderTest, DdpPlanBucketsByBytes) {
   EXPECT_EQ(bucket_bytes, (std::vector<int64_t>{120, 60, 40}));
 }
 
+// ------------------------------------------------ pass semantics property
+
+/// The multiset of (microbatch, unit) pairs a plan gathers / reduces — the
+/// semantic payload the compiler passes must preserve exactly (batched
+/// instructions count once per covered unit).
+std::multiset<std::pair<int, int>> CollectiveUnits(const plan::StepPlan& p,
+                                                   plan::Op op) {
+  std::multiset<std::pair<int, int>> out;
+  for (const plan::Instr& in : p.instrs) {
+    if (in.op != op) continue;
+    for (int u : plan::CoveredUnits(in)) out.insert({in.microbatch, u});
+  }
+  return out;
+}
+
+TEST(PassPropertyTest, DefaultPipelinePreservesCollectiveSemantics) {
+  const std::vector<std::string> names{"[root]", "u1", "u2", "u3",
+                                       "u4", "u5", "u6"};
+  plan::PassOptions popt;
+  popt.unit_shard_bytes.assign(names.size(), 1 << 20);
+  popt.unit_reduce_bytes.assign(names.size(), 1 << 20);
+  popt.fuse_below_bytes = 4 << 20;  // everything is a fusion candidate
+
+  int total_rewrites = 0;
+  for (plan::ReshardPolicy reshard :
+       {plan::ReshardPolicy::kIfGradSync, plan::ReshardPolicy::kAfterBackward,
+        plan::ReshardPolicy::kKeepUnsharded}) {
+    for (bool backward_prefetch : {false, true}) {
+      for (bool forward_prefetch : {false, true}) {
+        for (int microbatches : {1, 2}) {
+          plan::FsdpPlanOptions o = plan::FsdpPlanOptions::Sim();
+          o.reshard = reshard;
+          o.reshard_after_forward =
+              reshard != plan::ReshardPolicy::kKeepUnsharded;
+          o.backward_prefetch = backward_prefetch;
+          o.forward_prefetch = forward_prefetch;
+          o.microbatches = microbatches;
+          if (microbatches > 1) {
+            o.accum = plan::AccumMode::kReduceLastMicrobatch;
+          }
+          plan::StepPlan p = plan::BuildFsdpStepPlan(names, o);
+          const auto gathers_before =
+              CollectiveUnits(p, plan::Op::kUnshard);
+          const auto reduces_before =
+              CollectiveUnits(p, plan::Op::kReduceGrad);
+
+          // Run validates before and after every pass (FSDP_CHECK aborts on
+          // a corrupting rewrite), so surviving it IS the structural check.
+          plan::PassManager pm = plan::PassManager::Default(popt);
+          plan::PassResult res = pm.Run(p);
+          total_rewrites += res.total_rewrites();
+
+          EXPECT_EQ(gathers_before, CollectiveUnits(p, plan::Op::kUnshard))
+              << "pass dropped or duplicated a gather";
+          EXPECT_EQ(reduces_before, CollectiveUnits(p, plan::Op::kReduceGrad))
+              << "pass dropped or duplicated a reduction";
+        }
+      }
+    }
+  }
+  // The property must not hold vacuously: the grid has plans the pipeline
+  // actually rewrites.
+  EXPECT_GT(total_rewrites, 0);
+}
+
 // ------------------------------------------------ DDP executed-plan log
 
 TEST(DdpExecutedPlanTest, RecordsBucketReducesAndWaits) {
@@ -263,6 +348,14 @@ TEST(DdpExecutedPlanTest, RecordsBucketReducesAndWaits) {
     }
   });
   ASSERT_GT(num_buckets, 1);
+  // The recorded DDP plan passes the compiler's validator (bucketed
+  // AllReduce, no unshards — the gather checks don't apply). Instr::unit
+  // indexes buckets here, so size the name table to the bucket count.
+  plan::StepPlan ddp_plan;
+  ddp_plan.unit_names.assign(static_cast<size_t>(num_buckets), "");
+  ddp_plan.instrs = executed;
+  const Status st = plan::PlanValidator{}.Check(ddp_plan);
+  EXPECT_TRUE(st.ok()) << st.message();
   int reduces = 0, waits = 0;
   for (const plan::Instr& in : executed) {
     if (in.op == plan::Op::kReduceGrad) {

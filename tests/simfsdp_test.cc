@@ -198,9 +198,9 @@ TEST(FsdpSimTest, GradAccumulationWithoutCommSavesTrafficCostsMemory) {
   FsdpSimConfig with;
   with.batch_per_gpu = 2;
   with.microbatches = 4;
-  with.accum_with_comm = true;
+  with.accum = plan::AccumMode::kReduceEveryMicrobatch;
   FsdpSimConfig without = with;
-  without.accum_with_comm = false;
+  without.accum = plan::AccumMode::kReduceLastMicrobatch;
   auto m_with = FsdpSimulator(T5_11B(), topo, Constants(), with).Run();
   auto m_without = FsdpSimulator(T5_11B(), topo, Constants(), without).Run();
   // Parameters are still re-gathered per microbatch (RAF); the saving is the
