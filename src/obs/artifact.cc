@@ -25,10 +25,19 @@ Status ValidateArtifactJson(const JsonValue& doc) {
     return Status::Invalid("artifact missing \"schema_version\"");
   }
   const int version = static_cast<int>(doc["schema_version"].AsNumber());
-  if (version != kArtifactSchemaVersion) {
+  if (version < 1) {
+    return Status::Invalid("artifact schema_version " +
+                           std::to_string(version) + " is not a version");
+  }
+  if (version > kArtifactSchemaVersion) {
+    // A newer writer produced this document; the envelope promises backward
+    // compatibility only, so reading it here would silently misinterpret
+    // fields this reader has never heard of.
     return Status::Invalid(
         "artifact schema_version " + std::to_string(version) +
-        " != expected " + std::to_string(kArtifactSchemaVersion));
+        " is newer than this reader (" +
+        std::to_string(kArtifactSchemaVersion) +
+        "): forward-incompatible document");
   }
   if (!doc.Has("meta") || !doc["meta"].is_object()) {
     return Status::Invalid("artifact missing \"meta\" object");

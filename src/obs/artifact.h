@@ -40,9 +40,12 @@ struct ArtifactMeta {
 ///   "schema_version": 1, "meta": {"world_size": W, "ranks": R, "preset": P}
 std::string ArtifactEnvelopeJson(const ArtifactMeta& meta);
 
-/// Validates the shared envelope on a parsed artifact: top-level
-/// "schema_version" equal to kArtifactSchemaVersion and a "meta" object
-/// carrying world_size / ranks / preset.
+/// Validates the shared envelope on a parsed artifact: a top-level
+/// "schema_version" in [1, kArtifactSchemaVersion] and a "meta" object
+/// carrying world_size / ranks / preset. Documents written by a NEWER
+/// envelope version are rejected as forward-incompatible — this reader
+/// cannot know what their extra/renamed fields mean — while any older
+/// in-range version remains readable (the envelope only grows).
 Status ValidateArtifactJson(const JsonValue& doc);
 
 /// Resolves where a generated artifact (bench JSON, exported trace, profile)

@@ -119,44 +119,6 @@ struct FsdpPlanOptions {
   /// Simulator-shape factory (validated): split root compute, FreeGrad/
   /// FreeAct memory instructions for the virtual-memory substrate.
   static FsdpPlanOptions Sim();
-
-  // ----- deprecated shims (one PR): the pre-enum flag API -----
-  [[deprecated("use Runtime()")]] static FsdpPlanOptions RuntimeShape() {
-    return Runtime();
-  }
-  [[deprecated("use Sim()")]] static FsdpPlanOptions SimShape() {
-    return Sim();
-  }
-  [[deprecated("use reshard = ReshardPolicy::...")]]
-  void set_backward_reshard(bool v) {
-    if (!v) reshard = ReshardPolicy::kNever;
-    else if (reshard == ReshardPolicy::kNever)
-      reshard = ReshardPolicy::kAfterBackward;
-  }
-  [[deprecated("use reshard = ReshardPolicy::kKeepUnsharded")]]
-  void set_backward_reshard_frees(bool v) {
-    if (!v) reshard = ReshardPolicy::kKeepUnsharded;
-    else if (reshard == ReshardPolicy::kKeepUnsharded)
-      reshard = ReshardPolicy::kAfterBackward;
-  }
-  [[deprecated("use reshard = ReshardPolicy::kIfGradSync")]]
-  void set_reshard_requires_sync(bool v) {
-    if (v) reshard = ReshardPolicy::kIfGradSync;
-    else if (reshard == ReshardPolicy::kIfGradSync)
-      reshard = ReshardPolicy::kAfterBackward;
-  }
-  [[deprecated("use accum = AccumMode::kNoSync")]]
-  void set_grad_sync(bool v) {
-    if (!v) accum = AccumMode::kNoSync;
-    else if (accum == AccumMode::kNoSync)
-      accum = AccumMode::kReduceEveryMicrobatch;
-  }
-  [[deprecated("use accum = AccumMode::...")]]
-  void set_accum_with_comm(bool v) {
-    if (accum == AccumMode::kNoSync) return;  // no_sync dominates
-    accum = v ? AccumMode::kReduceEveryMicrobatch
-              : AccumMode::kReduceLastMicrobatch;
-  }
 };
 
 /// Builds the FSDP step plan for units `unit_names` (index 0 = root, rest in

@@ -107,8 +107,9 @@ std::vector<UnitSizes> UnitSizeTable(const Workload& w, int f,
 
 }  // namespace
 
-plan::StepPlan BuildSimStepPlan(const Workload& w, const sim::Topology& topo,
-                                const FsdpSimConfig& cfg) {
+plan::FsdpPlanOptions MakeSimPlanOptions(const Workload& w,
+                                         const sim::Topology& topo,
+                                         const FsdpSimConfig& cfg) {
   const int f = NormalizedShardingFactor(topo, cfg);
   plan::FsdpPlanOptions o = plan::FsdpPlanOptions::Sim();
   o.reshard_after_forward = cfg.reshard_after_forward;
@@ -126,7 +127,13 @@ plan::StepPlan BuildSimStepPlan(const Workload& w, const sim::Topology& topo,
   o.input_exchange = w.sparse_exchange_bytes_per_sample > 0;
   o.microbatches = cfg.microbatches;
   o.accum = cfg.accum;
-  return plan::BuildFsdpStepPlan(SimUnitNames(w), o);
+  return o;
+}
+
+plan::StepPlan BuildSimStepPlan(const Workload& w, const sim::Topology& topo,
+                                const FsdpSimConfig& cfg) {
+  return plan::BuildFsdpStepPlan(SimUnitNames(w),
+                                 MakeSimPlanOptions(w, topo, cfg));
 }
 
 plan::PassOptions MakePassOptions(const Workload& w, const sim::Topology& topo,

@@ -61,11 +61,6 @@ struct FsdpSimConfig {
   /// Gradient accumulation mode (Sec 3.3.4) — the same enum the runtime's
   /// plan derives from, so real and simulated no_sync behave identically.
   plan::AccumMode accum = plan::AccumMode::kReduceEveryMicrobatch;
-  [[deprecated("use accum = plan::AccumMode::...")]]
-  void set_accum_with_comm(bool v) {
-    accum = v ? plan::AccumMode::kReduceEveryMicrobatch
-              : plan::AccumMode::kReduceLastMicrobatch;
-  }
   /// Interpret the plan against a compiled arena layout (plan::BuildArenaPlan)
   /// instead of the caching allocator: O(1) bump allocation, one up-front
   /// reservation, no cudaMalloc retries.
@@ -107,6 +102,16 @@ struct SimMetrics {
 /// gates) over units named "[root]", "unit1", …, "unitN".
 plan::StepPlan BuildSimStepPlan(const Workload& w, const sim::Topology& topo,
                                 const FsdpSimConfig& cfg);
+
+/// The plan-construction options BuildSimStepPlan derives from the simulator
+/// config (prefetch policy, limiter, reshard policy, hybrid replica
+/// AllReduce, microbatching). Exposed so a search over FsdpSimConfig knobs
+/// can call FsdpPlanOptions::Validate() and reject an inconsistent candidate
+/// (e.g. a rate limiter that would never see a free event) instead of
+/// tripping BuildFsdpStepPlan's check abort.
+plan::FsdpPlanOptions MakeSimPlanOptions(const Workload& w,
+                                         const sim::Topology& topo,
+                                         const FsdpSimConfig& cfg);
 
 /// Pass inputs (per-unit shard / reduce payload bytes) for this workload and
 /// config, from the same unit-size table Run() costs instructions with — so

@@ -1,0 +1,49 @@
+// Analytic memory/bandwidth envelope — the pre-simulation pruner.
+//
+// Following "Memory and Bandwidth are All You Need" (PAPERS.md), a candidate
+// schedule is bounded from below by two closed-form quantities long before
+// the event-driven simulator runs:
+//
+//   * memory: the candidate's peak residency is the arena total of
+//     plan::BuildArenaPlan's liveness walk over its compiled plan — the
+//     exact reservation the (static-memory-plan) simulator will make, so
+//     peak_bytes > capacity here IS the simulator's OOM, just 1000x cheaper;
+//   * bandwidth: every collective the steady-state plan issues moves a known
+//     byte count through a known group; moved_bytes / raw_link_bandwidth is
+//     a hard lower bound on comm-stream busy time (the simulator only adds
+//     launch latency, ring hops, saturation and straggler derating on top);
+//   * compute: the matmul FLOPs of the plan's compute instructions at peak
+//     attainable rate bound the compute stream the same way.
+//
+// step_lb = max(comm_lb, compute_lb) never exceeds the simulated iteration
+// time (both streams fit inside one iteration), so the tuner can discard any
+// candidate whose step_lb already exceeds the best *simulated* time without
+// ever simulating it — and provably never discards the true winner.
+#pragma once
+
+#include <cstdint>
+
+#include "tune/search_space.h"
+
+namespace fsdp::tune {
+
+struct Envelope {
+  /// Arena peak (BuildArenaPlan total: persistent + packed transients).
+  int64_t peak_bytes = 0;
+  /// The budget peak_bytes was checked against.
+  int64_t capacity_bytes = 0;
+  bool memory_feasible = true;
+  /// Lower bound on per-iteration comm-stream busy time (us).
+  double comm_lb_us = 0;
+  /// Lower bound on per-iteration compute-stream busy time (us).
+  double compute_lb_us = 0;
+  /// max(comm_lb_us, compute_lb_us) — lower bound on iteration time.
+  double step_lb_us = 0;
+};
+
+/// Computes the envelope for a compiled candidate. Walks the plan twice
+/// (one warm-up pass so retained units reach their steady-state gathered
+/// set, one counting pass) mirroring the simulator's issue guards.
+Envelope ComputeEnvelope(const CompiledCandidate& cc, const TuneInputs& in);
+
+}  // namespace fsdp::tune

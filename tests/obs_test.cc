@@ -349,6 +349,34 @@ TEST(ObsMetricsTest, BenchJsonWriterRoundTrips) {
   std::remove("BENCH_obs_test.json");
 }
 
+// The shared envelope is backward compatible only: a document stamped by a
+// NEWER writer must be rejected (this reader cannot know what its fields
+// mean), anything in [1, current] accepted, and non-versions refused.
+TEST(ObsMetricsTest, ValidateArtifactRejectsForwardIncompatibleVersions) {
+  const std::string body =
+      ", \"meta\": {\"world_size\": 1, \"ranks\": 1, \"preset\": \"p\"}}";
+
+  auto with_version = [&](int v) {
+    auto parsed =
+        obs::ParseJson("{\"schema_version\": " + std::to_string(v) + body);
+    EXPECT_TRUE(parsed.ok());
+    return obs::ValidateArtifactJson(parsed.ValueOrDie());
+  };
+
+  EXPECT_TRUE(with_version(obs::kArtifactSchemaVersion).ok());
+  EXPECT_TRUE(with_version(1).ok());  // oldest envelope stays readable
+
+  const Status newer = with_version(obs::kArtifactSchemaVersion + 1);
+  EXPECT_FALSE(newer.ok());
+  EXPECT_NE(newer.message().find("newer than this reader"),
+            std::string::npos)
+      << newer.ToString();
+  EXPECT_FALSE(with_version(obs::kArtifactSchemaVersion + 1000).ok());
+
+  EXPECT_FALSE(with_version(0).ok());
+  EXPECT_FALSE(with_version(-3).ok());
+}
+
 // ---------------------------------------------------------------------------
 // (d) Clear/reset semantics across all three surfaces.
 
