@@ -107,14 +107,16 @@ class JsonRow {
 /// same run; obs::ValidateArtifactJson checks the envelope and the smoke
 /// tests fail on malformed output. The output parses with obs::ParseJson
 /// (obs_test validates the writers against the parser).
-inline void WriteBenchJson(const std::string& name,
-                           const std::vector<JsonRow>& rows,
-                           const obs::ArtifactMeta& meta = {}) {
+/// Returns the path written (empty when the file could not be opened) so
+/// smoke binaries can parse the artifact back and validate the envelope.
+inline std::string WriteBenchJson(const std::string& name,
+                                  const std::vector<JsonRow>& rows,
+                                  const obs::ArtifactMeta& meta = {}) {
   const std::string path = obs::ArtifactPath("BENCH_" + name + ".json");
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
-    return;
+    return std::string();
   }
   out << "{\"bench\": \"" << obs::JsonEscape(name) << "\", "
       << obs::ArtifactEnvelopeJson(meta) << ", \"rows\": [";
@@ -124,6 +126,7 @@ inline void WriteBenchJson(const std::string& name,
   }
   out << "]}\n";
   std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return path;
 }
 
 }  // namespace fsdp::bench

@@ -1,10 +1,14 @@
 // 2D parallelism: tensor parallelism x FSDP (paper Sec 7.1.2).
 //
-// 4 ranks form a 2x2 mesh. Within a "host" (fast links), the TP pair splits
-// each layer's weight and exchanges ACTIVATIONS; across the mesh's other
-// dimension, FSDP shards each rank's slice and exchanges PARAMETERS —
-// "it is usually efficient to assign more expensive communications to
-// interconnects with higher bandwidth".
+// 4 ranks form a named-axis mesh {dp:2, tp:2}. The last axis varies
+// fastest, so the TP pair is the consecutive "intra-host" ranks (fast
+// links): it splits each layer's weight and exchanges ACTIVATIONS. Across
+// hosts, FSDP shards each rank's slice and exchanges PARAMETERS — "it is
+// usually efficient to assign more expensive communications to
+// interconnects with higher bandwidth". One DeviceMesh::Create call builds
+// every communicator of both axes, cross-linked into a single abort
+// domain; FsdpSubmesh wraps a dp group as the FSDP-shaped mesh FullyShard
+// expects.
 #include <cstdio>
 
 #include "autograd/engine.h"
@@ -18,25 +22,23 @@ int main() {
   const int tp_degree = 2, dp_degree = 2;
   const int64_t dim = 16, hidden = 64;
 
-  // Communicators: one TP pair per data-parallel replica, and one FSDP mesh
-  // per TP index (connecting the ranks holding the same slice).
-  std::vector<std::shared_ptr<comm::Communicator>> tp_comms;
-  for (int d = 0; d < dp_degree; ++d) {
-    tp_comms.push_back(std::make_shared<comm::Communicator>(tp_degree));
-  }
-  std::vector<std::unique_ptr<comm::DeviceMesh>> dp_meshes;
-  for (int t = 0; t < tp_degree; ++t) {
-    dp_meshes.push_back(
-        std::make_unique<comm::DeviceMesh>(dp_degree, dp_degree));
-  }
+  std::shared_ptr<comm::DeviceMesh> mesh;
+  FSDP_CHECK(comm::DeviceMesh::Create(tp_degree * dp_degree,
+                                      {{"dp", dp_degree}, {"tp", tp_degree}},
+                                      &mesh)
+                 .ok());
 
   std::vector<float> first_loss(tp_degree * dp_degree);
   std::vector<float> last_loss(tp_degree * dp_degree);
 
   RunOnRanks(tp_degree * dp_degree, [&](int rank) {
-    const int tp = rank % tp_degree;
-    const int dp = rank / tp_degree;
-    comm::ProcessGroup tp_pg(tp_comms[dp], tp);
+    int tp = 0, dp = 0;
+    FSDP_CHECK(mesh->Coordinate("tp", rank, &tp).ok());
+    FSDP_CHECK(mesh->Coordinate("dp", rank, &dp).ok());
+    comm::ProcessGroup tp_pg;
+    FSDP_CHECK(mesh->Slice("tp", rank, &tp_pg).ok());
+    std::shared_ptr<comm::DeviceMesh> dp_mesh;  // FULL_SHARD over the dp axis
+    FSDP_CHECK(mesh->FsdpSubmesh("dp", rank, dp_degree, &dp_mesh).ok());
 
     // Each TP rank constructs its own slice (same seed per slice index so
     // the two DP replicas of a slice agree).
@@ -55,7 +57,7 @@ int main() {
 
     core::FsdpOptions opts;
     opts.sync_module_states = true;  // DP replicas of a slice synchronize
-    auto state = core::FullyShard(model, *dp_meshes[tp], dp, opts);
+    auto state = core::FullyShard(model, *dp_mesh, dp, opts);
     optim::Adam adam(state->Parameters(), {.lr = 3e-3f});
 
     // Toy regression: map x to rotated x.

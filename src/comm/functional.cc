@@ -22,6 +22,21 @@ struct AllReduceSumFn : GradFn {
   std::vector<Tensor> Backward(const Tensor& g) override { return {g}; }
 };
 
+struct TpInputFn : GradFn {
+  ProcessGroup pg;
+  std::function<void()> on_backward;
+  std::string name() const override { return "TpInputBackward"; }
+  std::vector<Tensor> Backward(const Tensor& g) override {
+    Tensor gi = g.Clone();
+    {
+      NoGradGuard no_grad;
+      pg.AllReduce(gi);
+    }
+    if (on_backward) on_backward();
+    return {gi};
+  }
+};
+
 struct AllGatherColsFn : GradFn {
   ProcessGroup pg;
   int64_t rows = 0, local_cols = 0;
@@ -71,6 +86,16 @@ Tensor AllReduceSum(const Tensor& x, ProcessGroup pg) {
     pg.AllReduce(out);
   }
   auto node = std::make_shared<AllReduceSumFn>();
+  Attach(&out, std::move(node), x);
+  return out;
+}
+
+Tensor TpInput(const Tensor& x, ProcessGroup pg,
+               std::function<void()> on_backward) {
+  Tensor out = x.Clone();
+  auto node = std::make_shared<TpInputFn>();
+  node->pg = pg;
+  node->on_backward = std::move(on_backward);
   Attach(&out, std::move(node), x);
   return out;
 }

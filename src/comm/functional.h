@@ -20,6 +20,8 @@
 // (the engine executes identical graphs in identical order on each rank).
 #pragma once
 
+#include <functional>
+
 #include "comm/process_group.h"
 #include "tensor/tensor.h"
 
@@ -27,6 +29,16 @@ namespace fsdp::comm {
 
 /// y = elementwise sum of x over pg's ranks; gradient passes through.
 Tensor AllReduceSum(const Tensor& x, ProcessGroup pg);
+
+/// Megatron's "f" operator: identity forward, AllReduce-sum backward. Placed
+/// at a tensor-parallel block's input, it makes the stacked column->row pair
+/// produce the full input gradient — each rank's backward contributes only a
+/// partial, and AllReduceSum's identity backward would leave it partial.
+/// `on_backward`, if set, fires right after the backward AllReduce issues;
+/// tensor-parallel layers use it to record the collective into the executed
+/// plan in true engine order.
+Tensor TpInput(const Tensor& x, ProcessGroup pg,
+               std::function<void()> on_backward = nullptr);
 
 /// x: (rows x local_cols) per rank -> (rows x local_cols * pg.size()) with
 /// rank r's block in column slot r. Gradient: each rank receives its slice.

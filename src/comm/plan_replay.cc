@@ -43,6 +43,16 @@ Status ReplayPlan(ProcessGroup pg, const plan::StepPlan& plan,
   std::vector<float> exchange_src(static_cast<size_t>(n) * w, 1.0f);
   std::vector<float> exchange_dst(static_cast<size_t>(n) * w, 0.0f);
 
+  // Composed-axis scratch: TP collectives and pipeline activations are
+  // consumed synchronously by the compute that follows them, so they are
+  // waited at issue — only the dp-axis collectives pipeline asynchronously.
+  ProcessGroup tp = options.tp_group;
+  ProcessGroup pp = options.pp_group;
+  const int tp_w = tp.valid() ? tp.size() : 1;
+  std::vector<float> tp_src(static_cast<size_t>(n), 1.0f);
+  std::vector<float> tp_dst(static_cast<size_t>(n) * tp_w, 0.0f);
+  std::vector<float> act(static_cast<size_t>(n), 1.0f);
+
   // Batched collectives (Instr::batch_units, emitted by the fusion passes)
   // issue ONE call over a concatenated payload. The scratch must stay alive
   // until the drain below; a deque keeps addresses stable.
@@ -59,6 +69,10 @@ Status ReplayPlan(ProcessGroup pg, const plan::StepPlan& plan,
 
   for (int ip = 0; ip < plan.size() && first_error.ok(); ++ip) {
     const plan::Instr& in = plan.instrs[ip];
+    if (options.pp_stage >= 0 && in.stage >= 0 &&
+        in.stage != options.pp_stage) {
+      continue;  // another stage's segment of a composed plan
+    }
     SleepUs(in.delay_us);
     const size_t ui = in.unit >= 0 ? static_cast<size_t>(in.unit) : 0;
     CollectiveOptions opts;
@@ -133,6 +147,27 @@ Status ReplayPlan(ProcessGroup pg, const plan::StepPlan& plan,
       case plan::Op::kWaitReduceGrad:
         for (const Work& work : pending_reduces) note(work.WaitStatus());
         pending_reduces.clear();
+        break;
+      case plan::Op::kTpAllGather:
+        FSDP_CHECK_MSG(tp.valid(),
+                       "composed plan needs ReplayOptions::tp_group");
+        note(tp.AllGatherBase(tp_dst.data(), tp_src.data(), n, opts)
+                 .WaitStatus());
+        break;
+      case plan::Op::kTpAllReduce:
+        FSDP_CHECK_MSG(tp.valid(),
+                       "composed plan needs ReplayOptions::tp_group");
+        note(tp.AllReduce(tp_src.data(), n, opts).WaitStatus());
+        break;
+      case plan::Op::kSendAct:
+        FSDP_CHECK_MSG(pp.valid(),
+                       "composed plan needs ReplayOptions::pp_group");
+        note(pp.Send(act.data(), n, in.peer_stage, opts).WaitStatus());
+        break;
+      case plan::Op::kRecvAct:
+        FSDP_CHECK_MSG(pp.valid(),
+                       "composed plan needs ReplayOptions::pp_group");
+        note(pp.Recv(act.data(), n, in.peer_stage, opts).WaitStatus());
         break;
       case plan::Op::kRateLimitGate:
       case plan::Op::kGradOffloadD2H:

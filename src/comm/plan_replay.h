@@ -30,6 +30,19 @@ struct ReplayOptions {
   double compute_us = 0;
   /// Applied to every issued collective (0 = communicator default).
   double timeout_ms = 0;
+
+  // Composed FSDP×TP×PP plans. The positional `pg` stays the dp-axis group;
+  // axis-scoped instructions route to these mesh slices
+  // (DeviceMesh::Slice). Replaying a composed plan without the matching
+  // group aborts at the first TP/PP instruction — single-axis plans never
+  // reach them.
+  ProcessGroup tp_group;
+  ProcessGroup pp_group;
+  /// This rank's pipeline stage (== its pp_group rank). >= 0 skips
+  /// instructions tagged with a different stage, so the full composed plan
+  /// replays correctly from every stage's ranks without pre-filtering; -1
+  /// replays every instruction (single-stage plans).
+  int pp_stage = -1;
 };
 
 /// Walks `plan` on the calling rank thread, issuing its collectives on `pg`

@@ -348,7 +348,9 @@ void Communicator::ExecuteOp(int comm_rank, CommOp& op) {
   flight_.OnStarted(comm_rank, op.seq, start);
 
   bool ok = true;
-  if (desync_detection_.load(std::memory_order_relaxed)) {
+  // P2p ops skip the all-rank rendezvous: only the two endpoints
+  // participate, so a barrier over every rank would deadlock.
+  if (desync_detection_.load(std::memory_order_relaxed) && !op.p2p) {
     ok = Rendezvous(comm_rank, op);
   }
   if (ok) {
@@ -525,11 +527,20 @@ bool Communicator::ClaimAbort(Status status, WatchdogDiagnosis* diag) {
 
 void Communicator::WakeAllAfterAbort() {
   // Wake everything that can be parked: body barriers, fault-parked workers,
-  // idle workers (so they error-drain), and the watchdog.
+  // idle workers (so they error-drain), blocked receivers, and the watchdog.
   barrier_.Abort();
   for (auto& q : queues_) {
     std::lock_guard<std::mutex> lock(q.mu);
     q.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mu_);
+    for (auto& mb : mailboxes_) {
+      if (mb) {
+        std::lock_guard<std::mutex> mlock(mb->mu);
+        mb->cv.notify_all();
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> lock(watchdog_mu_);
@@ -537,9 +548,41 @@ void Communicator::WakeAllAfterAbort() {
   }
 }
 
+Communicator::Mailbox& Communicator::MailboxFor(int src, int dst) {
+  std::lock_guard<std::mutex> lock(mailbox_mu_);
+  if (mailboxes_.empty()) {
+    mailboxes_.resize(static_cast<size_t>(size_) * size_);
+  }
+  auto& slot = mailboxes_[static_cast<size_t>(src) * size_ + dst];
+  if (!slot) slot = std::make_unique<Mailbox>();
+  return *slot;
+}
+
+void Communicator::LinkAbortPeer(std::weak_ptr<Communicator> peer) {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  abort_peers_.push_back(std::move(peer));
+}
+
+void Communicator::PropagateAbort() {
+  std::vector<std::weak_ptr<Communicator>> peers;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    peers = abort_peers_;
+  }
+  if (peers.empty()) return;
+  const Status st = abort_status();
+  const Status forwarded = Status::Internal(
+      "aborted by linked communicator '" + name_ + "': " +
+      (st.ok() ? std::string("communicator aborted") : st.message()));
+  for (auto& wp : peers) {
+    if (auto p = wp.lock()) p->Abort(forwarded);  // first-abort-wins stops it
+  }
+}
+
 bool Communicator::AbortImpl(Status status, WatchdogDiagnosis* diag) {
   if (!ClaimAbort(std::move(status), diag)) return false;
   WakeAllAfterAbort();
+  PropagateAbort();
   return true;
 }
 
@@ -568,6 +611,7 @@ void Communicator::AbortWithDiagnosis(WatchdogDiagnosis diag,
   // the flight-recorder JSON (and flight_dump_path()) is already on disk.
   DumpFlightRecorder();
   WakeAllAfterAbort();
+  PropagateAbort();
 }
 
 void Communicator::EnsureWatchdogStarted() {
@@ -783,7 +827,7 @@ ProcessGroup::ProcessGroup(std::shared_ptr<Communicator> comm, int rank)
 Work ProcessGroup::Issue(obs::EventKind kind, const CollectiveOptions& opts,
                          const char* default_label, int64_t bytes,
                          std::function<bool()> body,
-                         std::vector<Tensor> keepalive, int root) {
+                         std::vector<Tensor> keepalive, int root, bool p2p) {
   auto state = std::make_shared<WorkState>();
   // Written before Enqueue; the queue mutex publishes it to the worker.
   state->issue_us = MonotonicMicros();
@@ -796,6 +840,7 @@ Work ProcessGroup::Issue(obs::EventKind kind, const CollectiveOptions& opts,
   op.label = opts.tag.empty() ? default_label : opts.tag;
   op.bytes = bytes;
   op.sig = OpSignature{kind, op.label, bytes, root};
+  op.p2p = p2p;
   op.timeout_ms =
       opts.timeout_ms > 0 ? opts.timeout_ms : comm_->default_timeout_ms();
   op.seq = comm_->RegisterIssue(rank_, op.sig, state->issue_us);
@@ -811,6 +856,82 @@ Work ProcessGroup::Barrier(const CollectiveOptions& opts) {
   Communicator* c = comm_.get();
   return Issue(obs::EventKind::kBarrier, opts, "barrier", 0,
                [c] { return c->BodySync(); });
+}
+
+Work ProcessGroup::Send(const float* src, int64_t numel, int dst_rank,
+                        const CollectiveOptions& opts) {
+  FSDP_CHECK_MSG(dst_rank >= 0 && dst_rank < size() && dst_rank != rank_,
+                 "send peer " << dst_rank << " out of range for size "
+                              << size() << " (self-send not supported)");
+  CommStats& s = mutable_stats();
+  ++s.send_ops;
+  s.send_bytes += numel * 4;
+  Communicator* c = comm_.get();
+  const int r = rank_;
+  return Issue(
+      obs::EventKind::kSend, opts, "send", numel * 4,
+      [c, r, src, numel, dst_rank] {
+        return RunSend(c, r, src, numel, dst_rank);
+      },
+      {}, /*root=*/dst_rank, /*p2p=*/true);
+}
+
+Work ProcessGroup::Recv(float* dst, int64_t numel, int src_rank,
+                        const CollectiveOptions& opts) {
+  FSDP_CHECK_MSG(src_rank >= 0 && src_rank < size() && src_rank != rank_,
+                 "recv peer " << src_rank << " out of range for size "
+                              << size() << " (self-recv not supported)");
+  CommStats& s = mutable_stats();
+  ++s.recv_ops;
+  s.recv_bytes += numel * 4;
+  Communicator* c = comm_.get();
+  const int r = rank_;
+  return Issue(
+      obs::EventKind::kRecv, opts, "recv", numel * 4,
+      [c, r, dst, numel, src_rank] {
+        return RunRecv(c, r, dst, numel, src_rank);
+      },
+      {}, /*root=*/src_rank, /*p2p=*/true);
+}
+
+Work ProcessGroup::Send(const Tensor& src, int dst_rank,
+                        const CollectiveOptions& opts) {
+  Communicator* c = comm_.get();
+  const int r = rank_;
+  const float* data = src.data();
+  const int64_t numel = src.numel();
+  FSDP_CHECK_MSG(dst_rank >= 0 && dst_rank < size() && dst_rank != rank_,
+                 "send peer " << dst_rank << " out of range for size "
+                              << size() << " (self-send not supported)");
+  CommStats& s = mutable_stats();
+  ++s.send_ops;
+  s.send_bytes += numel * 4;
+  return Issue(
+      obs::EventKind::kSend, opts, "send", numel * 4,
+      [c, r, data, numel, dst_rank] {
+        return RunSend(c, r, data, numel, dst_rank);
+      },
+      {src}, /*root=*/dst_rank, /*p2p=*/true);
+}
+
+Work ProcessGroup::Recv(Tensor dst, int src_rank,
+                        const CollectiveOptions& opts) {
+  Communicator* c = comm_.get();
+  const int r = rank_;
+  float* data = dst.data();
+  const int64_t numel = dst.numel();
+  FSDP_CHECK_MSG(src_rank >= 0 && src_rank < size() && src_rank != rank_,
+                 "recv peer " << src_rank << " out of range for size "
+                              << size() << " (self-recv not supported)");
+  CommStats& s = mutable_stats();
+  ++s.recv_ops;
+  s.recv_bytes += numel * 4;
+  return Issue(
+      obs::EventKind::kRecv, opts, "recv", numel * 4,
+      [c, r, data, numel, src_rank] {
+        return RunRecv(c, r, data, numel, src_rank);
+      },
+      {dst}, /*root=*/src_rank, /*p2p=*/true);
 }
 
 // -- raw bodies (comm-worker threads only) ----------------------------------
@@ -911,6 +1032,35 @@ bool ProcessGroup::RunAllToAll(Communicator* c, int rank, float* dst,
                 static_cast<size_t>(chunk_numel) * 4);
   }
   return c->BodySync();
+}
+
+bool ProcessGroup::RunSend(Communicator* c, int rank, const float* src,
+                           int64_t numel, int dst_rank) {
+  if (c->aborted()) return false;
+  Communicator::Mailbox& mb = c->MailboxFor(rank, dst_rank);
+  std::vector<float> payload(src, src + numel);
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    mb.msgs.push_back(std::move(payload));
+  }
+  mb.cv.notify_all();
+  return true;
+}
+
+bool ProcessGroup::RunRecv(Communicator* c, int rank, float* dst,
+                           int64_t numel, int src_rank) {
+  Communicator::Mailbox& mb = c->MailboxFor(src_rank, rank);
+  std::unique_lock<std::mutex> lock(mb.mu);
+  mb.cv.wait(lock, [&] { return !mb.msgs.empty() || c->aborted(); });
+  if (mb.msgs.empty()) return false;  // woken by abort, nothing delivered
+  std::vector<float> payload = std::move(mb.msgs.front());
+  mb.msgs.pop_front();
+  lock.unlock();
+  FSDP_CHECK_MSG(static_cast<int64_t>(payload.size()) == numel,
+                 "recv of " << numel << " elements from rank " << src_rank
+                            << " matched a send of " << payload.size());
+  std::memcpy(dst, payload.data(), static_cast<size_t>(numel) * 4);
+  return true;
 }
 
 // -- public collectives -----------------------------------------------------
@@ -1154,6 +1304,195 @@ DeviceMesh::DeviceMesh(int world_size, int sharding_factor)
   }
 }
 
+Status DeviceMesh::Create(int world_size, std::vector<MeshAxis> axes,
+                          std::shared_ptr<DeviceMesh>* out) {
+  if (world_size <= 0) {
+    return Status::Invalid("mesh world size must be positive, got " +
+                           std::to_string(world_size));
+  }
+  if (axes.empty()) return Status::Invalid("mesh needs at least one axis");
+  int64_t prod = 1;
+  for (size_t i = 0; i < axes.size(); ++i) {
+    if (axes[i].name.empty()) {
+      return Status::Invalid("mesh axis " + std::to_string(i) +
+                             " has an empty name");
+    }
+    if (axes[i].size <= 0) {
+      return Status::Invalid("mesh axis '" + axes[i].name +
+                             "' has non-positive size " +
+                             std::to_string(axes[i].size));
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (axes[j].name == axes[i].name) {
+        return Status::Invalid("duplicate mesh axis name '" + axes[i].name +
+                               "'");
+      }
+    }
+    prod *= axes[i].size;
+  }
+  if (prod != world_size) {
+    return Status::Invalid(
+        "axis sizes multiply to " + std::to_string(prod) +
+        ", which does not divide up world size " + std::to_string(world_size));
+  }
+  auto mesh = std::shared_ptr<DeviceMesh>(new DeviceMesh());
+  mesh->world_size_ = world_size;
+  mesh->sharding_factor_ = 1;
+  mesh->axes_ = std::move(axes);
+  mesh->world_ = std::make_shared<Communicator>(world_size);
+  mesh->world_->SetName("world");
+  std::vector<std::shared_ptr<Communicator>> fresh = {mesh->world_};
+  mesh->axis_groups_.resize(mesh->axes_.size());
+  for (size_t a = 0; a < mesh->axes_.size(); ++a) {
+    const int num_groups = world_size / mesh->axes_[a].size;
+    for (int g = 0; g < num_groups; ++g) {
+      auto comm = std::make_shared<Communicator>(mesh->axes_[a].size);
+      comm->SetName(mesh->axes_[a].name + std::to_string(g));
+      mesh->axis_groups_[a].push_back(comm);
+      fresh.push_back(std::move(comm));
+    }
+  }
+  mesh->LinkIntoWeb(fresh);
+  *out = std::move(mesh);
+  return Status::OK();
+}
+
+Status DeviceMesh::AxisIndex(const std::string& name, int* out) const {
+  for (size_t a = 0; a < axes_.size(); ++a) {
+    if (axes_[a].name == name) {
+      *out = static_cast<int>(a);
+      return Status::OK();
+    }
+  }
+  if (axes_.empty()) {
+    return Status::Invalid(
+        "mesh has no named axes (built with the legacy FSDP constructor)");
+  }
+  std::string known;
+  for (const MeshAxis& ax : axes_) {
+    if (!known.empty()) known += ", ";
+    known += ax.name;
+  }
+  return Status::Invalid("unknown mesh axis '" + name + "' (axes: " + known +
+                         ")");
+}
+
+int DeviceMesh::AxisStride(int a) const {
+  int stride = 1;
+  for (size_t k = a + 1; k < axes_.size(); ++k) stride *= axes_[k].size;
+  return stride;
+}
+
+int DeviceMesh::GroupIndex(int a, int rank) const {
+  const int stride = AxisStride(a);
+  return (rank / (stride * axes_[a].size)) * stride + rank % stride;
+}
+
+Status DeviceMesh::Coordinate(const std::string& axis, int rank,
+                              int* out) const {
+  int a = -1;
+  Status st = AxisIndex(axis, &a);
+  if (!st.ok()) return st;
+  if (rank < 0 || rank >= world_size_) {
+    return Status::Invalid("rank " + std::to_string(rank) +
+                           " out of range for world size " +
+                           std::to_string(world_size_));
+  }
+  *out = (rank / AxisStride(a)) % axes_[a].size;
+  return Status::OK();
+}
+
+Status DeviceMesh::AxisSize(const std::string& axis, int* out) const {
+  int a = -1;
+  Status st = AxisIndex(axis, &a);
+  if (!st.ok()) return st;
+  *out = axes_[a].size;
+  return Status::OK();
+}
+
+Status DeviceMesh::Slice(const std::string& axis, int rank,
+                         ProcessGroup* out) {
+  int a = -1;
+  Status st = AxisIndex(axis, &a);
+  if (!st.ok()) return st;
+  if (rank < 0 || rank >= world_size_) {
+    return Status::Invalid("rank " + std::to_string(rank) +
+                           " out of range for world size " +
+                           std::to_string(world_size_));
+  }
+  const int coord = (rank / AxisStride(a)) % axes_[a].size;
+  *out = ProcessGroup(axis_groups_[a][GroupIndex(a, rank)], coord);
+  return Status::OK();
+}
+
+Status DeviceMesh::FsdpSubmesh(const std::string& axis, int rank,
+                               int sharding_factor,
+                               std::shared_ptr<DeviceMesh>* out) {
+  int a = -1;
+  Status st = AxisIndex(axis, &a);
+  if (!st.ok()) return st;
+  if (rank < 0 || rank >= world_size_) {
+    return Status::Invalid("rank " + std::to_string(rank) +
+                           " out of range for world size " +
+                           std::to_string(world_size_));
+  }
+  const int asize = axes_[a].size;
+  if (sharding_factor < 1 || asize % sharding_factor != 0) {
+    return Status::Invalid("sharding factor " +
+                           std::to_string(sharding_factor) +
+                           " does not divide axis '" + axis + "' of size " +
+                           std::to_string(asize));
+  }
+  const int group = GroupIndex(a, rank);
+  std::lock_guard<std::mutex> lock(submesh_mu_);
+  const std::array<int, 3> key = {a, group, sharding_factor};
+  for (auto& entry : submeshes_) {
+    if (entry.first == key) {
+      *out = entry.second;
+      return Status::OK();
+    }
+  }
+  auto sub = std::shared_ptr<DeviceMesh>(new DeviceMesh());
+  sub->world_size_ = asize;
+  sub->sharding_factor_ = sharding_factor;
+  // The submesh's world IS the axis slice: FullyShard's collectives run on
+  // the same comm workers (and the same abort domain) as Slice(axis).
+  sub->world_ = axis_groups_[a][group];
+  const std::string prefix = axes_[a].name + std::to_string(group) + ".";
+  std::vector<std::shared_ptr<Communicator>> fresh;
+  const int num_shard = asize / sharding_factor;
+  for (int g = 0; g < num_shard; ++g) {
+    auto comm = std::make_shared<Communicator>(sharding_factor);
+    comm->SetName(prefix + "shard" + std::to_string(g));
+    sub->shard_groups_.push_back(comm);
+    fresh.push_back(std::move(comm));
+  }
+  for (int g = 0; g < sharding_factor; ++g) {
+    auto comm = std::make_shared<Communicator>(num_shard);
+    comm->SetName(prefix + "replicate" + std::to_string(g));
+    sub->replicate_groups_.push_back(comm);
+    fresh.push_back(std::move(comm));
+  }
+  LinkIntoWeb(fresh);
+  submeshes_.emplace_back(key, sub);
+  *out = std::move(sub);
+  return Status::OK();
+}
+
+void DeviceMesh::LinkIntoWeb(
+    const std::vector<std::shared_ptr<Communicator>>& fresh) {
+  for (const auto& f : fresh) {
+    for (const auto& e : all_comms_) {
+      f->LinkAbortPeer(e);
+      e->LinkAbortPeer(f);
+    }
+    for (const auto& g : fresh) {
+      if (g != f) f->LinkAbortPeer(g);
+    }
+  }
+  all_comms_.insert(all_comms_.end(), fresh.begin(), fresh.end());
+}
+
 ProcessGroup DeviceMesh::WorldGroup(int rank) {
   return ProcessGroup(world_, rank);
 }
@@ -1174,18 +1513,42 @@ void DeviceMesh::SetInjectedLatency(double base_us, double us_per_mib) {
   for (auto& g : replicate_groups_) {
     g->SetInjectedLatency(base_us, us_per_mib);
   }
+  std::lock_guard<std::mutex> lock(submesh_mu_);
+  for (auto& g : all_comms_) g->SetInjectedLatency(base_us, us_per_mib);
+  for (auto& sub : submeshes_) {
+    for (auto& g : sub.second->shard_groups_) {
+      g->SetInjectedLatency(base_us, us_per_mib);
+    }
+    for (auto& g : sub.second->replicate_groups_) {
+      g->SetInjectedLatency(base_us, us_per_mib);
+    }
+  }
 }
 
 void DeviceMesh::SetDefaultTimeout(double timeout_ms) {
   world_->SetDefaultTimeout(timeout_ms);
   for (auto& g : shard_groups_) g->SetDefaultTimeout(timeout_ms);
   for (auto& g : replicate_groups_) g->SetDefaultTimeout(timeout_ms);
+  std::lock_guard<std::mutex> lock(submesh_mu_);
+  for (auto& g : all_comms_) g->SetDefaultTimeout(timeout_ms);
+  for (auto& sub : submeshes_) {
+    for (auto& g : sub.second->shard_groups_) g->SetDefaultTimeout(timeout_ms);
+    for (auto& g : sub.second->replicate_groups_) {
+      g->SetDefaultTimeout(timeout_ms);
+    }
+  }
 }
 
 void DeviceMesh::SetDesyncDetection(bool on) {
   world_->SetDesyncDetection(on);
   for (auto& g : shard_groups_) g->SetDesyncDetection(on);
   for (auto& g : replicate_groups_) g->SetDesyncDetection(on);
+  std::lock_guard<std::mutex> lock(submesh_mu_);
+  for (auto& g : all_comms_) g->SetDesyncDetection(on);
+  for (auto& sub : submeshes_) {
+    for (auto& g : sub.second->shard_groups_) g->SetDesyncDetection(on);
+    for (auto& g : sub.second->replicate_groups_) g->SetDesyncDetection(on);
+  }
 }
 
 }  // namespace fsdp::comm

@@ -58,6 +58,7 @@
 // skipped collective) keyed by (rank, seq | tag) for tests and benches.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -166,6 +167,10 @@ struct CommStats {
   int64_t allreduce_bytes = 0;
   int64_t broadcast_ops = 0;
   int64_t broadcast_bytes = 0;
+  int64_t send_ops = 0;
+  int64_t send_bytes = 0;
+  int64_t recv_ops = 0;
+  int64_t recv_bytes = 0;
 };
 
 /// What the watchdog (or the desync rendezvous) concluded when it aborted a
@@ -259,6 +264,15 @@ class Communicator {
   /// Path of the most recent dump ("" if none). The watchdog dumps
   /// automatically before aborting.
   std::string flight_dump_path() const;
+
+  /// Joins this communicator to `peer`'s failure domain: when THIS
+  /// communicator aborts (watchdog, desync, explicit Abort), the abort is
+  /// propagated to `peer` after local waiters are woken. One direction;
+  /// DeviceMesh cross-links every communicator of a composed mesh so a
+  /// timeout on one axis (a TP AllReduce on `tp0`) tears down the siblings
+  /// (`dp*`, `pp*`) instead of leaving them deadlocked mid-step.
+  /// First-abort-wins terminates the propagation cascade.
+  void LinkAbortPeer(std::weak_ptr<Communicator> peer);
   /// Flight records as "flight"-lane trace events for the Chrome exporter.
   std::vector<obs::TraceEvent> FlightTraceEvents() const {
     return flight_.TraceEvents();
@@ -280,6 +294,20 @@ class Communicator {
     int64_t seq = -1;                 // per-rank dense sequence number
     OpSignature sig;                  // rendezvous identity
     double timeout_ms = 0;            // effective watchdog deadline (0 = off)
+    /// Point-to-point op (Send/Recv): only two ranks participate, so the
+    /// all-rank desync rendezvous is skipped (it would deadlock) — the
+    /// watchdog still covers it via the per-rank progress table.
+    bool p2p = false;
+  };
+
+  /// Point-to-point message channel for one (src, dst) rank pair, created
+  /// lazily on first use. Senders deposit copies; receivers block until a
+  /// message (or an abort) arrives. FIFO per pair, matching NCCL's
+  /// same-order p2p contract.
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<float>> msgs;
   };
 
   struct WorkerQueue {
@@ -336,6 +364,11 @@ class Communicator {
   void Enqueue(int comm_rank, CommOp op);
   /// Emulated transfer stall for `bytes` of payload (no-op when latency 0).
   void TransferDelay(int64_t bytes) const;
+  /// The (src → dst) mailbox, created on first use.
+  Mailbox& MailboxFor(int src, int dst);
+  /// Propagates this communicator's abort Status to every linked peer
+  /// (outside all local locks; first-abort-wins stops the recursion).
+  void PropagateAbort();
 
   /// Issue-side bookkeeping (calling rank thread): assigns the rank's next
   /// seq, records the issue in progress + flight recorder.
@@ -372,6 +405,12 @@ class Communicator {
   std::vector<float> scratch_;  // all_reduce staging
   std::mutex scratch_mu_;
   std::vector<CommStats> rank_stats_;  // shared by all handles of a rank
+
+  std::mutex mailbox_mu_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // [src * size_ + dst]
+
+  std::mutex peers_mu_;
+  std::vector<std::weak_ptr<Communicator>> abort_peers_;
 
   std::vector<WorkerQueue> queues_;
   std::vector<std::thread> workers_;
@@ -450,6 +489,20 @@ class ProcessGroup {
   Work AllToAll(float* dst, const float* src, int64_t chunk_numel,
                 const CollectiveOptions& opts = {});
 
+  /// Point-to-point send of `numel` elements to `dst_rank` (pipeline
+  /// activation/gradient handoff). Buffered: the payload is copied into the
+  /// pair's mailbox, so a send never blocks on its receiver (beyond the
+  /// injected transfer latency). Routed through Issue() — sequence number,
+  /// flight-recorder record, watchdog deadline — but NOT through the
+  /// all-rank desync rendezvous (only two ranks participate).
+  Work Send(const float* src, int64_t numel, int dst_rank,
+            const CollectiveOptions& opts = {});
+  /// Point-to-point receive of `numel` elements from `src_rank`. Blocks the
+  /// comm worker until the matching Send's payload (or an abort) arrives;
+  /// messages from one sender are delivered in send order.
+  Work Recv(float* dst, int64_t numel, int src_rank,
+            const CollectiveOptions& opts = {});
+
   /// Rendezvous of all ranks. Routed through Issue() like every collective:
   /// it runs on the comm worker in FIFO order, carries a sequence number and
   /// a kBarrier trace span, respects injected latency, and is covered by the
@@ -464,6 +517,9 @@ class ProcessGroup {
                      const CollectiveOptions& opts = {});
   Work AllReduce(Tensor buf, const CollectiveOptions& opts = {});
   Work Broadcast(Tensor buf, int root, const CollectiveOptions& opts = {});
+  Work Send(const Tensor& src, int dst_rank,
+            const CollectiveOptions& opts = {});
+  Work Recv(Tensor dst, int src_rank, const CollectiveOptions& opts = {});
 
   /// Per-rank counters, shared by every ProcessGroup handle over the same
   /// (communicator, rank) — so a caller can observe traffic produced by a
@@ -487,7 +543,7 @@ class ProcessGroup {
   Work Issue(obs::EventKind kind, const CollectiveOptions& opts,
              const char* default_label, int64_t bytes,
              std::function<bool()> body, std::vector<Tensor> keepalive = {},
-             int root = -1);
+             int root = -1, bool p2p = false);
 
   // Pointer entry points + tensor conveniences funnel through these so the
   // tensor overloads can pin their operands.
@@ -519,32 +575,85 @@ class ProcessGroup {
                            int64_t numel, int root);
   static bool RunAllToAll(Communicator* c, int rank, float* dst,
                           const float* src, int64_t chunk_numel);
+  static bool RunSend(Communicator* c, int rank, const float* src,
+                      int64_t numel, int dst_rank);
+  static bool RunRecv(Communicator* c, int rank, float* dst, int64_t numel,
+                      int src_rank);
 
   std::shared_ptr<Communicator> comm_;
   int rank_ = -1;
 };
 
-/// Pre-built communicators for a world and its hybrid-sharding subgroups.
+/// One named dimension of an N-d device mesh ("dp", "tp", "pp", ...).
+struct MeshAxis {
+  std::string name;
+  int size = 0;
+};
+
+/// Pre-built communicators for a world and its parallelism subgroups.
 /// Construct once (before spawning rank threads), then hand each rank its
-/// groups. For world size W and sharding factor F (F divides W):
-///   * shard group of rank r: the F consecutive ranks r belongs to
-///     (paper Sec 3.2.2 groups S_1..S_{W/F});
-///   * replicate group of rank r: the W/F ranks with equal index within
-///     their shard group (groups R_1..R_F).
+/// groups. Two construction paths:
+///
+///   * the legacy FSDP constructor `DeviceMesh(W, F)` (F divides W) builds
+///     the hybrid-sharding geometry of paper Sec 3.2.2 — shard group of
+///     rank r: the F consecutive ranks r belongs to (groups S_1..S_{W/F});
+///     replicate group: the W/F ranks with equal index within their shard
+///     group (groups R_1..R_F);
+///
+///   * the N-dimensional factory `Create(W, {{"dp",4},{"tp",2}})` builds a
+///     named-axis mesh for composed FSDP×TP×PP parallelism. Ranks are laid
+///     out row-major with the LAST axis fastest-varying (the PyTorch
+///     DeviceMesh convention — put "tp" last so TP groups are the
+///     consecutive intra-host ranks). `Slice(axis, rank)` returns the
+///     per-axis communicator containing `rank`; `FsdpSubmesh` wraps one
+///     axis group as an FSDP-shaped mesh for FullyShard.
+///
+/// Every communicator of an N-d mesh (world, axis slices, submesh
+/// subgroups) is cross-linked into one failure domain: an abort on any of
+/// them — watchdog timeout, desync, explicit Abort — propagates to all
+/// siblings, so a composed step never deadlocks half-torn-down.
 class DeviceMesh {
  public:
   DeviceMesh(int world_size, int sharding_factor);
 
+  /// N-d named-axis mesh. Returns InvalidArgument (never aborts) when an
+  /// axis has non-positive size, names are empty/duplicated, or the axis
+  /// sizes don't multiply to `world_size` (non-divisible worlds).
+  static Status Create(int world_size, std::vector<MeshAxis> axes,
+                       std::shared_ptr<DeviceMesh>* out);
+
   int world_size() const { return world_size_; }
   int sharding_factor() const { return sharding_factor_; }
   int num_shard_groups() const { return world_size_ / sharding_factor_; }
+  /// Named axes (empty for legacy FSDP meshes).
+  const std::vector<MeshAxis>& axes() const { return axes_; }
 
   ProcessGroup WorldGroup(int rank);
   ProcessGroup ShardGroup(int rank);      // size F
   ProcessGroup ReplicateGroup(int rank);  // size W/F
 
+  /// The `axis` communicator containing global rank `rank` (the group of
+  /// ranks sharing all OTHER coordinates), as a ProcessGroup whose rank is
+  /// `rank`'s coordinate along `axis`. Errors on unknown axes or
+  /// out-of-range ranks; legacy meshes have no named axes.
+  Status Slice(const std::string& axis, int rank, ProcessGroup* out);
+  /// Global rank's coordinate along `axis`.
+  Status Coordinate(const std::string& axis, int rank, int* out) const;
+  /// Size of `axis` (InvalidArgument on unknown names).
+  Status AxisSize(const std::string& axis, int* out) const;
+
+  /// An FSDP-shaped (world = axis size, sharding factor F) submesh over the
+  /// `axis` group containing `rank`, for handing to core::FullyShard in a
+  /// composed run. The submesh's world communicator IS the axis slice —
+  /// same threads, same abort domain — and its shard/replicate subgroups
+  /// are created on first use and cached (one submesh per axis group × F).
+  /// Callers address the submesh with the rank's coordinate along `axis`.
+  Status FsdpSubmesh(const std::string& axis, int rank, int sharding_factor,
+                     std::shared_ptr<DeviceMesh>* out);
+
   /// Applies Communicator::SetInjectedLatency to the world and every
-  /// subgroup communicator of this mesh.
+  /// subgroup communicator of this mesh (axis slices and cached submeshes
+  /// included).
   void SetInjectedLatency(double base_us, double us_per_mib = 0);
 
   /// Arms the watchdog on the world and every subgroup communicator.
@@ -554,11 +663,32 @@ class DeviceMesh {
   void SetDesyncDetection(bool on);
 
  private:
-  int world_size_;
-  int sharding_factor_;
+  DeviceMesh() = default;
+
+  /// Index of `name` in axes_, or an error for unknown/legacy.
+  Status AxisIndex(const std::string& name, int* out) const;
+  /// The group along axis `a` that global rank `rank` belongs to.
+  int GroupIndex(int a, int rank) const;
+  /// Product of axis sizes after `a` (the stride of axis a, row-major).
+  int AxisStride(int a) const;
+  /// Cross-links `fresh` communicators into this mesh's failure domain and
+  /// appends them to all_comms_.
+  void LinkIntoWeb(const std::vector<std::shared_ptr<Communicator>>& fresh);
+
+  int world_size_ = 0;
+  int sharding_factor_ = 1;
   std::shared_ptr<Communicator> world_;
   std::vector<std::shared_ptr<Communicator>> shard_groups_;
   std::vector<std::shared_ptr<Communicator>> replicate_groups_;
+
+  // N-d meshes only.
+  std::vector<MeshAxis> axes_;
+  std::vector<std::vector<std::shared_ptr<Communicator>>> axis_groups_;
+  std::vector<std::shared_ptr<Communicator>> all_comms_;  // the abort web
+  std::mutex submesh_mu_;
+  /// (axis, group, F) -> cached FSDP submesh.
+  std::vector<std::pair<std::array<int, 3>, std::shared_ptr<DeviceMesh>>>
+      submeshes_;
 };
 
 }  // namespace fsdp::comm

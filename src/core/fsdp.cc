@@ -234,6 +234,13 @@ void FsdpState::RecordInstr(plan::Op op, const Unit* unit, plan::Phase phase,
       in.lane = plan::Lane::kHost;
       break;
   }
+  if (composed_log_) {
+    plan::Instr c = in;
+    c.stage = composed_stage_;
+    c.microbatch = composed_mb_;
+    c.unit = unit ? composed_log_->UnitIndex(unit->name) : -1;
+    composed_log_->Record(std::move(c));
+  }
   executed_.push_back(std::move(in));
 }
 

@@ -193,6 +193,19 @@ class FsdpState {
   nn::Module& module() { return *module_; }
   const FsdpOptions& options() const { return options_; }
 
+  /// Composed FSDP×TP×PP runs: mirrors every recorded plan instruction into
+  /// `log` (not owned; nullptr detaches), tagged with pipeline `stage` and
+  /// the current composed microbatch. TP layers and the pipeline handoff
+  /// record into the same log, so one per-rank stream covers all three
+  /// axes and validates/compares against the composed builder plan. Unit
+  /// indices are remapped through the log's own name table.
+  void AttachExecLog(plan::ExecLog* log, int stage) {
+    composed_log_ = log;
+    composed_stage_ = stage;
+  }
+  /// Microbatch tag stamped on mirrored instructions (composed runs).
+  void set_composed_microbatch(int mb) { composed_mb_ = mb; }
+
  private:
   struct Unit {
     std::string name;
@@ -266,6 +279,9 @@ class FsdpState {
   std::vector<obs::TraceEvent> trace_;   // the typed log
   std::vector<std::string> events_;      // thin rendering of trace_
   std::vector<plan::Instr> executed_;    // the executed-plan log
+  plan::ExecLog* composed_log_ = nullptr;  // composed-run mirror (not owned)
+  int composed_stage_ = 0;
+  int composed_mb_ = 0;
 };
 
 /// The functional frontend (`fully_shard`): installs FSDP on `module` via

@@ -2,6 +2,20 @@
 
 namespace fsdp::nn {
 
+void TpRecorder::Record(plan::Op op, plan::Phase phase) {
+  if (!log) return;
+  plan::Instr in;
+  in.op = op;
+  in.lane = plan::Lane::kComm;
+  in.axis = plan::Axis::kTp;
+  in.unit = log->UnitIndex(unit);
+  in.phase = phase;
+  in.stage = stage;
+  in.microbatch = microbatch;
+  in.bytes = bytes;
+  log->Record(std::move(in));
+}
+
 ColumnParallelLinear::ColumnParallelLinear(int64_t in_features,
                                            int64_t out_features,
                                            comm::ProcessGroup tp_pg,
@@ -20,7 +34,9 @@ ColumnParallelLinear::ColumnParallelLinear(int64_t in_features,
 Tensor ColumnParallelLinear::Forward(const Tensor& x) {
   Tensor y_local = ops::Linear(x, weight_, bias_);
   if (!gather_output_) return y_local;
-  return comm::AllGatherCols(y_local, tp_pg_);
+  Tensor y = comm::AllGatherCols(y_local, tp_pg_);
+  if (rec_) rec_->Record(plan::Op::kTpAllGather, plan::Phase::kForward);
+  return y;
 }
 
 RowParallelLinear::RowParallelLinear(int64_t in_features,
@@ -41,6 +57,7 @@ Tensor RowParallelLinear::Forward(const Tensor& x_local) {
                  "RowParallelLinear expects a column-sharded input");
   Tensor partial = ops::Linear(x_local, weight_, Tensor());
   Tensor summed = comm::AllReduceSum(partial, tp_pg_);
+  if (rec_) rec_->Record(plan::Op::kTpAllReduce, plan::Phase::kForward);
   // Bias is replicated and added once, after the reduction; its gradient is
   // the column sum of the output gradient.
   const int64_t rows = summed.numel() / summed.size(-1);
@@ -48,7 +65,8 @@ Tensor RowParallelLinear::Forward(const Tensor& x_local) {
 }
 
 TensorParallelMLP::TensorParallelMLP(int64_t dim, int64_t hidden,
-                                     comm::ProcessGroup tp_pg, InitCtx& ctx) {
+                                     comm::ProcessGroup tp_pg, InitCtx& ctx)
+    : tp_pg_(tp_pg) {
   fc1_ = std::make_shared<ColumnParallelLinear>(dim, hidden, tp_pg,
                                                 /*gather_output=*/false, ctx);
   fc2_ = std::make_shared<RowParallelLinear>(hidden, dim, tp_pg, ctx);
@@ -56,8 +74,23 @@ TensorParallelMLP::TensorParallelMLP(int64_t dim, int64_t hidden,
   RegisterModule("fc2", fc2_);
 }
 
+void TensorParallelMLP::set_recorder(TpRecorder* rec) {
+  rec_ = rec;
+  fc1_->set_recorder(rec);
+  fc2_->set_recorder(rec);
+}
+
 Tensor TensorParallelMLP::Forward(const Tensor& x) {
-  return (*fc2_)(ops::Gelu((*fc1_)(x)));
+  Tensor in = x;
+  if (tp_pg_.size() > 1) {
+    // Megatron's f operator: identity forward, AllReduce backward. Without
+    // it a stack of TP blocks propagates only this rank's partial input
+    // gradient to the block below.
+    in = comm::TpInput(x, tp_pg_, [this] {
+      if (rec_) rec_->Record(plan::Op::kTpAllReduce, plan::Phase::kBackward);
+    });
+  }
+  return (*fc2_)(ops::Gelu((*fc1_)(in)));
 }
 
 }  // namespace fsdp::nn

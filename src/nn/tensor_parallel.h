@@ -15,8 +15,26 @@
 #include "autograd/ops.h"
 #include "comm/functional.h"
 #include "nn/module.h"
+#include "plan/plan.h"
 
 namespace fsdp::nn {
+
+/// Routes tensor-parallel collectives into a shared per-rank executed log
+/// (composed FSDP×TP×PP runs, paper Sec 7.1.2): the TP layers below record
+/// a kTpAllGather/kTpAllReduce instruction at each collective's true issue
+/// point, into the same plan::ExecLog the FSDP hooks mirror into — so one
+/// per-rank stream covers all three axes and the anti-drift test can
+/// compare it against the composed builder plan. One recorder per FSDP
+/// unit; the driver advances `microbatch` between composed microbatches.
+struct TpRecorder {
+  plan::ExecLog* log = nullptr;  // not owned; nullptr = recording off
+  std::string unit;              // owning FSDP unit's name (log unit key)
+  int stage = 0;                 // pipeline stage tag
+  int microbatch = 0;
+  int64_t bytes = 0;             // payload tag for each recorded collective
+
+  void Record(plan::Op op, plan::Phase phase);
+};
 
 /// y_local = x @ W_local^T + b_local, with W sliced by output features.
 /// If `gather_output`, the column blocks are AllGathered so every TP rank
@@ -34,11 +52,14 @@ class ColumnParallelLinear : public Module {
   int64_t local_out_features() const { return local_out_; }
   Tensor& weight() { return weight_; }
   Tensor& bias() { return bias_; }
+  /// Records the gather_output AllGather into `rec` (composed runs).
+  void set_recorder(TpRecorder* rec) { rec_ = rec; }
 
  private:
   comm::ProcessGroup tp_pg_;
   bool gather_output_;
   int64_t local_out_;
+  TpRecorder* rec_ = nullptr;
   Tensor weight_;  // (out/TP x in)
   Tensor bias_;    // (out/TP)
 };
@@ -58,10 +79,13 @@ class RowParallelLinear : public Module {
   int64_t local_in_features() const { return local_in_; }
   Tensor& weight() { return weight_; }
   Tensor& bias() { return bias_; }
+  /// Records the activation AllReduce into `rec` (composed runs).
+  void set_recorder(TpRecorder* rec) { rec_ = rec; }
 
  private:
   comm::ProcessGroup tp_pg_;
   int64_t local_in_;
+  TpRecorder* rec_ = nullptr;
   Tensor weight_;  // (out x in/TP)
   Tensor bias_;    // (out)
 };
@@ -78,8 +102,13 @@ class TensorParallelMLP : public Module {
 
   ColumnParallelLinear& fc1() { return *fc1_; }
   RowParallelLinear& fc2() { return *fc2_; }
+  /// Routes both of this MLP's TP collectives — fc2's forward activation
+  /// AllReduce and the input f-operator's backward AllReduce — into `rec`.
+  void set_recorder(TpRecorder* rec);
 
  private:
+  comm::ProcessGroup tp_pg_;
+  TpRecorder* rec_ = nullptr;
   std::shared_ptr<ColumnParallelLinear> fc1_;
   std::shared_ptr<RowParallelLinear> fc2_;
 };

@@ -23,6 +23,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kAlloc: return "ALLOC";
     case EventKind::kBarrier: return "BARRIER";
     case EventKind::kWait: return "WAIT";
+    case EventKind::kSend: return "SEND";
+    case EventKind::kRecv: return "RECV";
     case EventKind::kMarker: return "MARK";
   }
   return "?";

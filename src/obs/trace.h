@@ -51,6 +51,8 @@ enum class EventKind : int {
   kAlloc,           // allocator events (simulator)
   kBarrier,         // ProcessGroup::Barrier rendezvous (comm lane)
   kWait,            // rank thread blocked on an async collective ("WAIT")
+  kSend,            // pipeline point-to-point send ("SEND")
+  kRecv,            // pipeline point-to-point receive ("RECV")
   kMarker,          // free-form instant
 };
 

@@ -1,5 +1,7 @@
 #include "plan/builder.h"
 
+#include <memory>
+
 #include "common/status.h"
 
 namespace fsdp::plan {
@@ -72,22 +74,48 @@ struct UnitState {
 class Emitter {
  public:
   Emitter(StepPlan& plan, const FsdpPlanOptions& o)
-      : plan_(plan), o_(o), st_(plan.unit_names.size()) {}
+      : Emitter(plan, o, /*stage=*/0, /*unit_base=*/0,
+                static_cast<int>(plan.unit_names.size()),
+                /*tp_units=*/false, /*tp_bytes=*/0) {}
+
+  /// Stage-scoped emitter for composed plans: operates on the `n_units`
+  /// units starting at `unit_base` in the shared plan, tagging every
+  /// instruction with `stage`. With `tp_units`, non-root units carry a
+  /// kTpAllReduce after each forward and backward compute (the Megatron
+  /// g / f-backward operators recorded by the TP layers).
+  Emitter(StepPlan& plan, const FsdpPlanOptions& o, int stage, int unit_base,
+          int n_units, bool tp_units, int64_t tp_bytes)
+      : plan_(plan), o_(o), stage_(stage), base_(unit_base), st_(n_units),
+        tp_(tp_units), tp_bytes_(tp_bytes) {}
 
   int Emit(Op op, int unit, Phase phase, Seg seg, Lane lane, bool prefetch,
            std::vector<int> deps) {
     Instr in;
     in.op = op;
-    in.unit = unit;
+    in.unit = unit < 0 ? -1 : base_ + unit;
     in.phase = phase;
     in.seg = seg;
     in.lane = lane;
     in.prefetch = prefetch;
     in.microbatch = mb_;
+    in.stage = stage_;
     in.deps = std::move(deps);
     plan_.instrs.push_back(std::move(in));
     return plan_.size() - 1;
   }
+
+  /// Tensor-parallel AllReduce on axis kTp, chained into the phase's
+  /// serial order (the layers consume its result before the next compute).
+  int EmitTpAllReduce(int unit, Phase phase, std::vector<int> deps) {
+    int i = Emit(Op::kTpAllReduce, unit, phase, Seg::kMain, Lane::kComm,
+                 false, std::move(deps));
+    plan_.instrs[static_cast<size_t>(i)].axis = Axis::kTp;
+    plan_.instrs[static_cast<size_t>(i)].bytes = tp_bytes_;
+    return i;
+  }
+
+  void set_microbatch(int mb) { mb_ = mb; }
+  std::vector<int>& opt_deps() { return opt_deps_; }
 
   /// Issue-unshard: rate-limiter gate (when modelled) + AllGather. No-op for
   /// an already gathered unit — the execution-layer guard.
@@ -151,14 +179,13 @@ class Emitter {
     if (!retain) st_[u].unsharded = false;
   }
 
-  void BuildMicrobatch() {
+  /// The forward half of one microbatch. `entry_dep` (composed plans: the
+  /// stage's activation kRecvAct) gates the root compute; returns the index
+  /// of the last forward-side instruction (the stage's output point).
+  int ForwardPass(int entry_dep) {
     const int n = static_cast<int>(st_.size());
-    const bool sync_mb = o_.accum != AccumMode::kNoSync &&
-                         (o_.accum == AccumMode::kReduceEveryMicrobatch ||
-                          mb_ + 1 == o_.microbatches);
     for (UnitState& s : st_) s.backward_done = false;
 
-    // ---------- forward ----------
     int input_ex = -1;
     if (o_.input_exchange) {
       input_ex = Emit(Op::kInputExchange, -1, Phase::kForward, Seg::kMain,
@@ -170,6 +197,7 @@ class Emitter {
     std::vector<int> root_deps;
     if (st_[0].last_unshard >= 0) root_deps.push_back(st_[0].last_unshard);
     if (input_ex >= 0) root_deps.push_back(input_ex);
+    if (entry_dep >= 0) root_deps.push_back(entry_dep);
     int prev_fwd = Compute(
         0, Phase::kForward,
         o_.root_compute_split ? Seg::kRootPre : Seg::kMain,
@@ -184,6 +212,12 @@ class Emitter {
       std::vector<int> deps;
       if (st_[i].last_unshard >= 0) deps.push_back(st_[i].last_unshard);
       prev_fwd = Compute(i, Phase::kForward, Seg::kMain, std::move(deps));
+      if (tp_) {
+        // RowParallel output partial sums combine before the next layer
+        // consumes them (Megatron's g operator) — recorded after the
+        // unit's forward compute, which the hooks record at entry.
+        prev_fwd = EmitTpAllReduce(i, Phase::kForward, {prev_fwd});
+      }
       if (o_.reshard_after_forward) {
         Emit(Op::kReshard, i, Phase::kForward, Seg::kMain, Lane::kHost, false,
              {prev_fwd});
@@ -200,11 +234,34 @@ class Emitter {
     } else {
       prev_bwd_ = -1;
     }
+    return prev_fwd;
+  }
 
-    // ---------- backward (reverse unit order) ----------
+  /// The backward half of one microbatch. `entry_dep` (composed plans: the
+  /// stage's gradient kRecvAct) seeds the backward chain; returns the root
+  /// backward compute index (the stage's input-gradient point).
+  int BackwardPass(int entry_dep, bool sync_mb) {
+    const int n = static_cast<int>(st_.size());
+    if (entry_dep >= 0 && prev_bwd_ < 0) prev_bwd_ = entry_dep;
+
     for (int idx = n - 1; idx >= 1; --idx) {
       Unshard(idx, Phase::kBackward, false);  // re-gather under RAF
       MaybeWait(idx, Phase::kBackward);
+      if (tp_) {
+        // The f operator's backward: the unit's partial input gradients
+        // combine via AllReduce (Megatron Sec 3). The engine schedules the
+        // TpInput node ahead of the unit's parameter-gradient tasks, so the
+        // AllReduce issues after the unit's pre-backward unshard/wait and
+        // BEFORE the post-backward hook's records (compute, prefetch,
+        // reduce, reshard) — the TP AllReduce opens the unit's backward
+        // block (verified against the real hook stream in
+        // tests/compose_test.cc).
+        std::vector<int> tdeps;
+        if (st_[idx].last_unshard >= 0) tdeps.push_back(st_[idx].last_unshard);
+        if (prev_bwd_ >= 0) tdeps.push_back(prev_bwd_);
+        prev_bwd_ =
+            EmitTpAllReduce(idx, Phase::kBackward, std::move(tdeps));
+      }
       std::vector<int> deps;
       if (st_[idx].last_unshard >= 0) deps.push_back(st_[idx].last_unshard);
       if (prev_bwd_ >= 0) deps.push_back(prev_bwd_);
@@ -240,13 +297,28 @@ class Emitter {
     opt_deps_.push_back(prev_bwd_);
     if (sync_mb) ReduceChain(0, /*offload_d2h=*/false);
     BackwardReshard(0, sync_mb);
+    return prev_bwd_;
+  }
 
-    // End-of-backward join: the issued reductions complete before the
-    // optimizer may observe gradients (queue_callback, Sec 4.3).
-    if (sync_mb && o_.emit_waits) {
-      Emit(Op::kWaitReduceGrad, -1, Phase::kBackward, Seg::kMain, Lane::kHost,
-           false, {});
-    }
+  /// End-of-backward join: the issued reductions complete before the
+  /// optimizer may observe gradients (queue_callback, Sec 4.3).
+  void EmitWaitReduce() {
+    if (!o_.emit_waits) return;
+    Emit(Op::kWaitReduceGrad, -1, Phase::kBackward, Seg::kMain, Lane::kHost,
+         false, {});
+  }
+
+  bool SyncMicrobatch(int mb, int microbatches) const {
+    return o_.accum != AccumMode::kNoSync &&
+           (o_.accum == AccumMode::kReduceEveryMicrobatch ||
+            mb + 1 == microbatches);
+  }
+
+  void BuildMicrobatch() {
+    const bool sync_mb = SyncMicrobatch(mb_, o_.microbatches);
+    ForwardPass(/*entry_dep=*/-1);
+    BackwardPass(/*entry_dep=*/-1, sync_mb);
+    if (sync_mb) EmitWaitReduce();
   }
 
   void Build() {
@@ -258,7 +330,11 @@ class Emitter {
  private:
   StepPlan& plan_;
   const FsdpPlanOptions& o_;
+  int stage_ = 0;
+  int base_ = 0;
   std::vector<UnitState> st_;
+  bool tp_ = false;
+  int64_t tp_bytes_ = 0;
   int mb_ = 0;
   int prev_bwd_ = -1;
   std::vector<int> opt_deps_;
@@ -330,6 +406,138 @@ StepPlan BuildDdpStepPlan(const std::vector<std::string>& unit_names,
                           Lane::kComm, options.unit_bytes[0], {prev}));
   emit(Op::kOptimStep, -1, Phase::kNone, Seg::kMain, Lane::kCompute, 0,
        std::move(opt_deps));
+  return plan;
+}
+
+Status ComposedPlanOptions::Validate() const {
+  if (pp_stages < 1) {
+    return Status::Invalid("pp_stages must be >= 1, got " +
+                           std::to_string(pp_stages));
+  }
+  if (microbatches < 1) {
+    return Status::Invalid("microbatches must be >= 1, got " +
+                           std::to_string(microbatches));
+  }
+  if (tp_degree < 1) {
+    return Status::Invalid("tp_degree must be >= 1, got " +
+                           std::to_string(tp_degree));
+  }
+  if (fsdp.root_compute_split && pp_stages > 1) {
+    return Status::Invalid(
+        "root_compute_split is a single-stage simulator shape; pipeline "
+        "stages model their boundary with send/recv instead");
+  }
+  return fsdp.Validate();
+}
+
+StepPlan BuildComposedStepPlan(
+    const std::vector<std::vector<std::string>>& stage_units,
+    const ComposedPlanOptions& options) {
+  FSDP_CHECK_MSG(static_cast<int>(stage_units.size()) == options.pp_stages,
+                 "stage_units has " << stage_units.size()
+                                    << " stages, options.pp_stages = "
+                                    << options.pp_stages);
+  const Status vst = options.Validate();
+  FSDP_CHECK_MSG(vst.ok(), vst.message());
+
+  StepPlan plan;
+  const int S = options.pp_stages;
+  std::vector<int> base(static_cast<size_t>(S), 0);
+  for (int s = 0; s < S; ++s) {
+    FSDP_CHECK_MSG(!stage_units[static_cast<size_t>(s)].empty(),
+                   "stage " << s << " needs at least its root unit");
+    base[static_cast<size_t>(s)] = static_cast<int>(plan.unit_names.size());
+    plan.unit_names.insert(plan.unit_names.end(),
+                           stage_units[static_cast<size_t>(s)].begin(),
+                           stage_units[static_cast<size_t>(s)].end());
+  }
+
+  // Every stage runs the same FSDP shape under the composed microbatch loop.
+  FsdpPlanOptions fo = options.fsdp;
+  fo.microbatches = options.microbatches;
+  const bool tp = options.tp_degree > 1;
+  std::vector<std::unique_ptr<Emitter>> em;
+  em.reserve(static_cast<size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    em.push_back(std::make_unique<Emitter>(
+        plan, fo, s, base[static_cast<size_t>(s)],
+        static_cast<int>(stage_units[static_cast<size_t>(s)].size()), tp,
+        options.tp_bytes));
+  }
+
+  auto emit_p2p = [&](Op op, int stage, int peer, Phase phase, int mb,
+                      std::vector<int> deps) {
+    Instr in;
+    in.op = op;
+    in.unit = -1;
+    in.phase = phase;
+    in.seg = Seg::kMain;
+    in.lane = Lane::kComm;
+    in.microbatch = mb;
+    in.axis = Axis::kPp;
+    in.stage = stage;
+    in.peer_stage = peer;
+    in.bytes = options.act_bytes;
+    in.deps = std::move(deps);
+    plan.instrs.push_back(std::move(in));
+    return plan.size() - 1;
+  };
+
+  for (int mb = 0; mb < options.microbatches; ++mb) {
+    for (auto& e : em) e->set_microbatch(mb);
+    const bool sync_mb = em[0]->SyncMicrobatch(mb, options.microbatches);
+
+    // Forward sweep: stage s hands its activation to s+1. The recv's
+    // cross-stage dep edge is the microbatch-indexed send that feeds it.
+    std::vector<int> fwd_send(static_cast<size_t>(S), -1);
+    for (int s = 0; s < S; ++s) {
+      int entry = -1;
+      if (s > 0) {
+        entry = emit_p2p(Op::kRecvAct, s, s - 1, Phase::kForward, mb,
+                         {fwd_send[static_cast<size_t>(s - 1)]});
+      }
+      const int out = em[static_cast<size_t>(s)]->ForwardPass(entry);
+      if (s + 1 < S) {
+        fwd_send[static_cast<size_t>(s)] =
+            emit_p2p(Op::kSendAct, s, s + 1, Phase::kForward, mb, {out});
+      }
+    }
+
+    // Backward sweep: stage s hands the input gradient back to s-1. The
+    // end-of-backward reduction join (WaitReduceGrad) fires inside each
+    // stage's backward before the boundary send, matching the runtime's
+    // end-of-backward callback.
+    std::vector<int> bwd_send(static_cast<size_t>(S), -1);
+    for (int s = S - 1; s >= 0; --s) {
+      int entry = -1;
+      if (s + 1 < S) {
+        entry = emit_p2p(Op::kRecvAct, s, s + 1, Phase::kBackward, mb,
+                         {bwd_send[static_cast<size_t>(s + 1)]});
+      }
+      const int in_grad =
+          em[static_cast<size_t>(s)]->BackwardPass(entry, sync_mb);
+      if (sync_mb) em[static_cast<size_t>(s)]->EmitWaitReduce();
+      if (s > 0) {
+        bwd_send[static_cast<size_t>(s)] =
+            emit_p2p(Op::kSendAct, s, s - 1, Phase::kBackward, mb, {in_grad});
+      }
+    }
+  }
+
+  // One terminal optimizer join across every stage's reductions (stage -1:
+  // all stages execute it).
+  std::vector<int> opt_deps;
+  for (auto& e : em) {
+    opt_deps.insert(opt_deps.end(), e->opt_deps().begin(),
+                    e->opt_deps().end());
+  }
+  Instr opt;
+  opt.op = Op::kOptimStep;
+  opt.unit = -1;
+  opt.lane = Lane::kCompute;
+  opt.stage = -1;
+  opt.deps = std::move(opt_deps);
+  plan.instrs.push_back(std::move(opt));
   return plan;
 }
 

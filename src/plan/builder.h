@@ -139,4 +139,40 @@ struct DdpPlanOptions {
 StepPlan BuildDdpStepPlan(const std::vector<std::string>& unit_names,
                           const DdpPlanOptions& options);
 
+/// Options for a composed FSDP×TP×PP step plan (paper Secs 5.1/7: FSDP as
+/// one layer of a composed stack). Each pipeline stage is an independent
+/// FSDP program (the `fsdp` shape, emitted per stage with a stage tag);
+/// tensor-parallel units carry axis-scoped AllReduce instructions (Megatron
+/// g after the forward compute, f's backward after the backward compute);
+/// stage boundaries are kSendAct/kRecvAct pairs with explicit cross-stage
+/// dependency edges, microbatch-indexed.
+struct ComposedPlanOptions {
+  /// Per-stage FSDP shape. `fsdp.microbatches` is ignored — the composed
+  /// microbatch loop below drives every stage.
+  FsdpPlanOptions fsdp;
+  int pp_stages = 1;
+  int microbatches = 1;
+  /// > 1 marks every non-root unit of every stage tensor-parallel: one
+  /// kTpAllReduce after its forward compute and one after its backward
+  /// compute, on mesh axis kTp.
+  int tp_degree = 1;
+  /// Payload carried by each boundary kSendAct/kRecvAct (simulator cost).
+  int64_t act_bytes = 0;
+  /// Payload carried by each kTpAllReduce (simulator cost).
+  int64_t tp_bytes = 0;
+
+  Status Validate() const;
+};
+
+/// Builds the composed step plan: `stage_units[s]` is stage s's unit list
+/// (index 0 = that stage's root). The schedule is the serial per-microbatch
+/// pipeline the interop tests execute — for each microbatch, forward runs
+/// stage 0..S-1 with activation sends between them, then backward runs
+/// S-1..0 with gradient sends back; one terminal kOptimStep (stage -1)
+/// joins every stage's reductions. FilterStage projects out what one
+/// stage's ranks execute.
+StepPlan BuildComposedStepPlan(
+    const std::vector<std::vector<std::string>>& stage_units,
+    const ComposedPlanOptions& options);
+
 }  // namespace fsdp::plan

@@ -1,9 +1,11 @@
 #include "plan/passes.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 namespace fsdp::plan {
@@ -139,6 +141,10 @@ Status PlanValidator::Check(const StepPlan& plan) const {
   std::vector<char> managed(static_cast<size_t>(nu), 0);
   bool has_unshard = false;
   bool has_compute = false;
+  // Stages with any instruction in this plan. Per-rank executed logs and
+  // FilterStage projections only carry one stage; send/recv matching is
+  // skipped against stages the plan does not contain.
+  std::set<int> stages_present;
   for (int i = 0; i < n; ++i) {
     const Instr& in = plan.instrs[static_cast<size_t>(i)];
     for (int u : CoveredUnits(in)) {
@@ -149,6 +155,7 @@ Status PlanValidator::Check(const StepPlan& plan) const {
       for (int u : CoveredUnits(in)) managed[static_cast<size_t>(u)] = 1;
     }
     if (in.op == Op::kCompute) has_compute = true;
+    if (in.stage >= 0) stages_present.insert(in.stage);
   }
 
   std::vector<char> gathered(static_cast<size_t>(nu), 0);
@@ -160,6 +167,12 @@ Status PlanValidator::Check(const StepPlan& plan) const {
   std::vector<int> last_bwd_mb(static_cast<size_t>(nu), -1);
   // Per-microbatch reduction bookkeeping for duplicate + coverage checks.
   std::map<int, std::set<int>> bwd_units, reduced_units;
+  // Pipeline boundary matching: sends keyed by (sender stage, receiver
+  // stage, phase, microbatch) queue up until the matching recv consumes
+  // them. Plan order is issue order, so a recv whose send appears later
+  // would deadlock the composed run — that is the cross-axis cycle check.
+  using P2pKey = std::tuple<int, int, int, int>;
+  std::map<P2pKey, std::deque<int>> pending_sends;
   bool after_optim = false;
 
   for (int i = 0; i < n; ++i) {
@@ -173,6 +186,29 @@ Status PlanValidator::Check(const StepPlan& plan) const {
       }
     }
     if (after_optim) return fail(i, "instruction after kOptimStep");
+
+    // Axis discipline: the FSDP schedule lives on the dp axis; TP
+    // collectives and pipeline point-to-points carry their own axis tags so
+    // the simulator (and trace lanes) route them onto the right fabric.
+    switch (in.op) {
+      case Op::kTpAllGather:
+      case Op::kTpAllReduce:
+        if (in.axis != Axis::kTp) {
+          return fail(i, "tensor-parallel collective off the tp axis");
+        }
+        break;
+      case Op::kSendAct:
+      case Op::kRecvAct:
+        if (in.axis != Axis::kPp) {
+          return fail(i, "pipeline send/recv off the pp axis");
+        }
+        break;
+      default:
+        if (in.axis != Axis::kDp) {
+          return fail(i, "FSDP instruction tagged off the dp axis");
+        }
+        break;
+    }
 
     switch (in.op) {
       case Op::kUnshard:
@@ -250,6 +286,32 @@ Status PlanValidator::Check(const StepPlan& plan) const {
       case Op::kOptimStep:
         after_optim = true;
         break;
+      case Op::kSendAct:
+        if (in.stage < 0 || in.peer_stage < 0) {
+          return fail(i, "send without stage/peer-stage tags");
+        }
+        pending_sends[{in.stage, in.peer_stage, static_cast<int>(in.phase),
+                       in.microbatch}]
+            .push_back(i);
+        break;
+      case Op::kRecvAct: {
+        if (in.stage < 0 || in.peer_stage < 0) {
+          return fail(i, "recv without stage/peer-stage tags");
+        }
+        if (stages_present.count(in.peer_stage) == 0) break;
+        auto& q = pending_sends[{in.peer_stage, in.stage,
+                                 static_cast<int>(in.phase), in.microbatch}];
+        if (q.empty()) {
+          return fail(i,
+                      "recv with no earlier matching send (unmatched recv, "
+                      "or a send scheduled after its recv — cross-stage "
+                      "cycle)");
+        }
+        q.pop_front();
+        break;
+      }
+      case Op::kTpAllGather:
+      case Op::kTpAllReduce:
       case Op::kRateLimitGate:
       case Op::kInputExchange:
       case Op::kAllReduceReplicas:
@@ -257,6 +319,15 @@ Status PlanValidator::Check(const StepPlan& plan) const {
       case Op::kWaitReduceGrad:
         break;
     }
+  }
+
+  // Every send whose receiving stage is in the plan must have been
+  // consumed; a dangling send is a peer blocked forever at step boundary.
+  for (const auto& [key, q] : pending_sends) {
+    if (q.empty()) continue;
+    if (stages_present.count(std::get<1>(key)) == 0) continue;
+    return fail(q.front(), "send never matched by a recv on stage " +
+                               std::to_string(std::get<1>(key)));
   }
 
   // Coverage: a microbatch that syncs at all must reduce every unit whose
@@ -369,8 +440,11 @@ int FuseAllGathers(StepPlan& plan, const PassOptions& options) {
         ++j;
       }
       const Instr& cand = plan.instrs[static_cast<size_t>(j)];
+      // Composed plans: never batch across a stage or axis boundary — the
+      // members would land on different mesh-sliced communicators.
       if (cand.op != Op::kUnshard || cand.phase != lead.phase ||
-          cand.microbatch != lead.microbatch) {
+          cand.microbatch != lead.microbatch || cand.stage != lead.stage ||
+          cand.axis != lead.axis) {
         break;
       }
       const int64_t cb = CoveredBytes(cand, options.unit_shard_bytes);
@@ -444,10 +518,14 @@ int SinkReduces(StepPlan& plan, const PassOptions& options) {
       // Sinking deliberately crosses comm-lane AllGathers (prefetch issues
       // first — the reordering win) but never another reduction, the
       // end-of-backward join, or anything that consumes the group's result.
+      // Pipeline boundaries pin issue order across stages: a reduce may not
+      // cross a send/recv, nor leave its own stage's segment.
       if (x.op == Op::kReduceGrad || x.op == Op::kWaitReduceGrad ||
-          x.op == Op::kOptimStep) {
+          x.op == Op::kOptimStep || x.op == Op::kSendAct ||
+          x.op == Op::kRecvAct) {
         break;
       }
+      if (x.stage != plan.instrs[static_cast<size_t>(i)].stage) break;
       if (x.microbatch != mb) break;
       if (DependsOnRange(x, i, e)) break;
       if (x.op == Op::kCompute) {
@@ -508,8 +586,10 @@ int FuseReduceScatters(StepPlan& plan, const PassOptions& options) {
       }
       if (j >= n) break;
       const Instr& cand = plan.instrs[static_cast<size_t>(j)];
+      // Same stage/axis only — fused members share one communicator.
       if (cand.op != Op::kReduceGrad || cand.phase != lead.phase ||
-          cand.microbatch != lead.microbatch) {
+          cand.microbatch != lead.microbatch || cand.stage != lead.stage ||
+          cand.axis != lead.axis) {
         break;
       }
       const int64_t cb = CoveredBytes(cand, options.unit_reduce_bytes);

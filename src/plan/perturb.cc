@@ -100,12 +100,13 @@ bool PerturbsCollectives(const StepPlan& base, const Perturbation& p) {
     case PerturbKind::kDropInstr:
       return comm_at;
     case PerturbKind::kSwapAdjacent:
-      // Only a swap of two comm-lane instructions reorders the rank's
-      // collective stream; swapping comm with compute leaves the stream's
-      // own order intact (issue order within the comm lane is what peers
-      // rendezvous against).
+      // Only a swap of two comm-lane instructions *on the same mesh axis*
+      // reorders a collective stream peers rendezvous against; swapping
+      // comm with compute, or a dp collective with a tp/pp one (different
+      // communicators), leaves every per-axis issue order intact.
       return comm_at && p.index + 1 < base.size() &&
-             base.instrs[p.index + 1].lane == Lane::kComm;
+             base.instrs[p.index + 1].lane == Lane::kComm &&
+             base.instrs[p.index + 1].axis == base.instrs[p.index].axis;
     case PerturbKind::kDelay:
       return false;
   }

@@ -46,8 +46,10 @@ StepPlan ApplyPerturbation(const StepPlan& base, const Perturbation& p);
 
 /// True when applying `p` on one rank (while peers run `base`) violates the
 /// cross-rank collective contract: dropping a comm-lane instruction, or
-/// swapping two instructions that are *both* comm-lane (which reorders that
-/// rank's collective stream). Delays and compute-only edits are benign —
+/// swapping two instructions that are *both* comm-lane on the *same mesh
+/// axis* (which reorders that rank's stream on one communicator; a
+/// cross-axis swap leaves every per-axis issue order intact). Delays and
+/// compute-only edits are benign —
 /// they change timing, not the stream. A delay is still benign here even if
 /// it exceeds a watchdog timeout: that is a timeout, not a desync, and the
 /// fault tests account for it separately.

@@ -17,8 +17,28 @@ const char* OpName(Op op) {
     case Op::kFreeGrad: return "FREE_GRAD";
     case Op::kFreeAct: return "FREE_ACT";
     case Op::kOptimStep: return "OPTIM_STEP";
+    case Op::kTpAllGather: return "TP_AG";
+    case Op::kTpAllReduce: return "TP_AR";
+    case Op::kSendAct: return "SEND";
+    case Op::kRecvAct: return "RECV";
   }
   return "?";
+}
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kDp: return "dp";
+    case Axis::kTp: return "tp";
+    case Axis::kPp: return "pp";
+  }
+  return "?";
+}
+
+std::string LaneTrackName(const Instr& instr) {
+  if (instr.lane != Lane::kComm || instr.axis == Axis::kDp) {
+    return LaneName(instr.lane);
+  }
+  return std::string(LaneName(instr.lane)) + "." + AxisName(instr.axis);
 }
 
 const char* LaneName(Lane lane) {
@@ -47,6 +67,10 @@ obs::EventKind ToEventKind(Op op, Phase phase) {
     case Op::kFreeAct: return obs::EventKind::kAlloc;
     case Op::kWaitUnshard:
     case Op::kWaitReduceGrad: return obs::EventKind::kMarker;
+    case Op::kTpAllGather: return obs::EventKind::kAllGather;
+    case Op::kTpAllReduce: return obs::EventKind::kAllReduce;
+    case Op::kSendAct: return obs::EventKind::kSend;
+    case Op::kRecvAct: return obs::EventKind::kRecv;
   }
   return obs::EventKind::kMarker;
 }
@@ -73,6 +97,18 @@ std::string RenderInstr(const Instr& instr,
       }
     }
   }
+  if (instr.op == Op::kSendAct || instr.op == Op::kRecvAct) {
+    // Point-to-point instructions render the stage pair plus direction, not
+    // a unit: "SEND:fwd.s0>s1" is stage 0 handing its activation forward,
+    // "RECV:bwd.s0<s1" is stage 0 taking the gradient back. Stable across
+    // the builder, the executed log, and the replayer — the composed half
+    // of the canonical "OP:unit" contract.
+    const char* dir = instr.op == Op::kSendAct ? ">" : "<";
+    label = std::string(instr.phase == Phase::kBackward ? "bwd" : "fwd") +
+            ".s" + std::to_string(instr.stage) + dir + "s" +
+            std::to_string(instr.peer_stage);
+    return std::string(OpName(instr.op)) + ":" + label;
+  }
   if (instr.op == Op::kCompute) {
     // Computes render by phase. The root prologue (kRootPre) renders as the
     // root unit itself — it is the simulator's half of what the functional
@@ -97,6 +133,10 @@ bool IsCanonicalOp(Op op) {
     case Op::kWaitReduceGrad:
     case Op::kReshard:
     case Op::kInputExchange:
+    case Op::kTpAllGather:
+    case Op::kTpAllReduce:
+    case Op::kSendAct:
+    case Op::kRecvAct:
       return true;
     default:
       return false;
@@ -119,6 +159,57 @@ std::vector<std::string> CanonicalSchedule(
 
 std::vector<std::string> StepPlan::Canonical() const {
   return CanonicalSchedule(instrs, unit_names);
+}
+
+StepPlan FilterStage(const StepPlan& plan, int stage) {
+  StepPlan out;
+  out.unit_names = plan.unit_names;
+  std::vector<int> remap(plan.instrs.size(), -1);
+  for (size_t i = 0; i < plan.instrs.size(); ++i) {
+    const Instr& instr = plan.instrs[i];
+    if (stage >= 0 && instr.stage >= 0 && instr.stage != stage) continue;
+    Instr kept = instr;
+    kept.deps.clear();
+    for (int d : instr.deps) {
+      // Cross-stage edges (a recv depending on the other stage's send) are
+      // carried by the comm layer on the sliced rank's side; the per-stage
+      // projection keeps only in-stage ordering.
+      if (d >= 0 && d < static_cast<int>(remap.size()) && remap[d] >= 0) {
+        kept.deps.push_back(remap[d]);
+      }
+    }
+    remap[i] = static_cast<int>(out.instrs.size());
+    out.instrs.push_back(std::move(kept));
+  }
+  return out;
+}
+
+int ExecLog::UnitIndex(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < unit_names_.size(); ++i) {
+    if (unit_names_[i] == name) return static_cast<int>(i);
+  }
+  unit_names_.push_back(name);
+  return static_cast<int>(unit_names_.size()) - 1;
+}
+
+void ExecLog::Record(Instr instr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  instrs_.push_back(std::move(instr));
+}
+
+StepPlan ExecLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StepPlan plan;
+  plan.unit_names = unit_names_;
+  plan.instrs = instrs_;
+  return plan;
+}
+
+void ExecLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  unit_names_.clear();
+  instrs_.clear();
 }
 
 }  // namespace fsdp::plan

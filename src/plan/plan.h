@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,7 +49,22 @@ enum class Op : int {
   kFreeGrad,           // release the unsharded gradient buffer
   kFreeAct,            // release the unit's persisted activations
   kOptimStep,          // sharded optimizer step
+  kTpAllGather,        // tensor-parallel output AllGather (axis kTp)
+  kTpAllReduce,        // tensor-parallel partial-sum AllReduce (axis kTp) —
+                       //   Megatron's g (forward, RowParallel output) and f
+                       //   (backward, input grad) operators
+  kSendAct,            // pipeline point-to-point send: activation to
+                       //   `peer_stage` (forward) or grad to `peer_stage`
+                       //   (backward). Axis kPp.
+  kRecvAct,            // pipeline point-to-point receive from `peer_stage`
 };
+
+/// Mesh axis an instruction's collective runs on. Data-parallel (FSDP
+/// AllGather/ReduceScatter/replica-AllReduce and everything pre-existing)
+/// is kDp; tensor-parallel collectives are kTp; pipeline send/recv are kPp.
+/// Compute and host bookkeeping stay kDp — the axis only matters for
+/// comm-lane instructions, where it selects the mesh-sliced communicator.
+enum class Axis : int { kDp = 0, kTp, kPp };
 
 enum class Phase : int { kNone = 0, kForward, kBackward };
 
@@ -68,6 +84,14 @@ struct Instr {
   Lane lane = Lane::kCompute;
   bool prefetch = false;  // unshard issued ahead of first use (Secs 3.3.2/3.3.3)
   int microbatch = 0;
+  /// Mesh axis whose communicator executes this instruction (comm lane).
+  Axis axis = Axis::kDp;
+  /// Pipeline stage this instruction belongs to (composed plans). -1 means
+  /// stage-less: the instruction belongs to every stage (the terminal
+  /// kOptimStep of a composed plan). Single-stage plans leave it 0.
+  int stage = 0;
+  /// kSendAct/kRecvAct only: the pipeline stage on the other end.
+  int peer_stage = -1;
   int64_t bytes = 0;      // payload where structural (DDP bucket bytes,
                           //   fused-collective totals)
   /// Additional units a batched collective covers (the fusion pass of
@@ -104,6 +128,14 @@ struct StepPlan {
 
 const char* OpName(Op op);
 const char* LaneName(Lane lane);
+const char* AxisName(Axis axis);
+
+/// Stable trace-track name for an instruction: the plain lane name for
+/// kDp instructions ("comm", "compute", "host"), the axis-suffixed lane for
+/// composed comm instructions ("comm.tp", "comm.pp"). The Chrome-trace
+/// exporter uses this so TP collectives and pipeline sends land on their
+/// own tracks instead of interleaving with FSDP's AllGathers.
+std::string LaneTrackName(const Instr& instr);
 
 /// The obs::TraceEvent kind an instruction maps to when exported (the
 /// plan -> trace-lane contract shared by both layers).
@@ -132,5 +164,33 @@ bool IsCanonicalOp(Op op);
 /// the anti-drift assertion of tests/plan_test.cc.
 std::vector<std::string> CanonicalSchedule(
     const std::vector<Instr>& instrs, const std::vector<std::string>& names);
+
+/// Projects a composed plan onto one pipeline stage: keeps instructions
+/// whose `stage` matches (or is -1, i.e. all-stage), remapping dependency
+/// indices and dropping cross-stage edges (the send/recv pairing carries
+/// that ordering at the comm layer). The result is what ONE rank of that
+/// stage executes — comparable against a per-rank executed log.
+StepPlan FilterStage(const StepPlan& plan, int stage);
+
+/// Thread-safe executed-instruction recorder shared by the FSDP hooks, the
+/// TP layers, and the pipeline-stage handoffs of one rank, so a composed
+/// run's real execution order lands in ONE log in issue order (the
+/// composed half of the anti-drift contract). Unit names are interned on
+/// first use.
+class ExecLog {
+ public:
+  /// Returns the interned unit index for `name` (appending if new).
+  int UnitIndex(const std::string& name);
+  void Record(Instr instr);
+  /// Snapshot as a StepPlan (no dependency edges — executed logs are
+  /// order-only, like FsdpState::executed_plan()).
+  StepPlan Snapshot() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> unit_names_;
+  std::vector<Instr> instrs_;
+};
 
 }  // namespace fsdp::plan

@@ -114,6 +114,18 @@ double CollectiveModel::Broadcast(int64_t bytes, const Group& group) const {
   return RingTime(bytes, group.size - 1, bytes, group);
 }
 
+double CollectiveModel::PointToPoint(int64_t bytes, int hops) const {
+  if (bytes <= 0) return c_.collective_launch_us;
+  // A two-endpoint "group": intra-host when the stages share a host,
+  // NIC-bound with per-hop fabric latency otherwise.
+  Group g;
+  g.size = 2;
+  g.hosts = hops > 0 ? 2 : 1;
+  const double bw = EffectiveBwBytesPerUs(bytes, g);
+  return c_.collective_launch_us + std::max(hops, 0) * c_.hop_latency_us +
+         static_cast<double>(bytes) / bw;
+}
+
 double ComputeModel::MatmulTime(double flops, DType dtype) const {
   double peak_tflops = c_.peak_fp32_tflops;
   if (dtype == DType::kBF16) peak_tflops = c_.peak_bf16_tflops;

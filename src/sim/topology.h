@@ -103,6 +103,10 @@ class CollectiveModel {
   /// Ring AllReduce of `bytes`.
   double AllReduce(int64_t bytes, const Group& group) const;
   double Broadcast(int64_t bytes, const Group& group) const;
+  /// Pipeline stage boundary: one point-to-point transfer of `bytes`
+  /// crossing `hops` inter-host network hops (0 = the peer shares the
+  /// host and the transfer rides NVLink).
+  double PointToPoint(int64_t bytes, int hops) const;
 
   /// Effective ring bandwidth (bytes/us) for a per-step message size.
   double EffectiveBwBytesPerUs(int64_t step_bytes, const Group& group) const;

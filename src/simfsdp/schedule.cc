@@ -61,7 +61,8 @@ std::vector<std::string> SimUnitNames(const Workload& w) {
 
 int NormalizedShardingFactor(const sim::Topology& topo,
                              const FsdpSimConfig& cfg) {
-  return cfg.sharding_factor <= 0 ? topo.world() : cfg.sharding_factor;
+  const int tp = std::max(cfg.tp_degree, 1);
+  return cfg.sharding_factor <= 0 ? topo.world() / tp : cfg.sharding_factor;
 }
 
 // The byte side of the per-unit table, shared by Run()'s cost table, the
@@ -82,6 +83,10 @@ std::vector<UnitSizes> UnitSizeTable(const Workload& w, int f,
   const int64_t psize = SizeOf(cfg.param_dtype);
   const int64_t rsize = SizeOf(cfg.reduce_dtype);
   const int batch = cfg.batch_per_gpu;
+  // Composed 2D runs (tp_degree > 1) slice every non-root unit's weight
+  // 1/tp per rank before FSDP shards it across the dp axis. Activations
+  // stay full-size (the Megatron pair saves the replicated block input).
+  const int64_t tp = std::max(cfg.tp_degree, 1);
   auto fill = [&](int64_t params, int64_t act, int64_t ckpt) {
     UnitSizes s;
     s.padded_numel = (params + f - 1) / f * f;
@@ -99,8 +104,8 @@ std::vector<UnitSizes> UnitSizeTable(const Workload& w, int f,
   table.push_back(fill(w.root_param_numel, w.root_act_bytes_per_sample,
                        w.root_act_bytes_per_sample));
   for (const UnitSpec& u : w.units) {
-    table.push_back(
-        fill(u.param_numel, u.act_bytes_per_sample, u.ckpt_bytes_per_sample));
+    table.push_back(fill(u.param_numel / tp, u.act_bytes_per_sample,
+                         u.ckpt_bytes_per_sample));
   }
   return table;
 }
@@ -116,7 +121,7 @@ plan::FsdpPlanOptions MakeSimPlanOptions(const Workload& w,
   o.backward_prefetch = cfg.backward_prefetch;
   o.forward_prefetch = cfg.forward_prefetch;
   o.limiter = cfg.limit_all_gathers > 0;
-  o.replica_allreduce = topo.world() / f > 1;
+  o.replica_allreduce = topo.world() / (f * std::max(cfg.tp_degree, 1)) > 1;
   // F = 1 resharding is the no-op reshard (the unit stays resident);
   // otherwise the reshard is tied to gradient sync exactly like the
   // runtime's, so no_sync / accumulation microbatches keep parameters
@@ -174,7 +179,7 @@ plan::MemoryPlanOptions MakeMemoryPlanOptions(const Workload& w,
 FsdpSimulator::FsdpSimulator(Workload workload, sim::Topology topo,
                              sim::SimConstants constants, FsdpSimConfig config)
     : w_(std::move(workload)), topo_(topo), c_(constants), cfg_(config) {
-  if (cfg_.sharding_factor <= 0) cfg_.sharding_factor = topo_.world();
+  cfg_.sharding_factor = NormalizedShardingFactor(topo_, cfg_);
   plan_ = BuildSimStepPlan(w_, topo_, cfg_);
 }
 
@@ -183,7 +188,7 @@ FsdpSimulator::FsdpSimulator(Workload workload, sim::Topology topo,
                              plan::StepPlan plan)
     : w_(std::move(workload)), topo_(topo), c_(constants), cfg_(config),
       plan_(std::move(plan)) {
-  if (cfg_.sharding_factor <= 0) cfg_.sharding_factor = topo_.world();
+  cfg_.sharding_factor = NormalizedShardingFactor(topo_, cfg_);
   FSDP_CHECK_MSG(plan_.unit_names.size() == w_.units.size() + 1,
                  "plan unit count must match workload (root + N units)");
 }
@@ -191,11 +196,24 @@ FsdpSimulator::FsdpSimulator(Workload workload, sim::Topology topo,
 SimMetrics FsdpSimulator::Run() {
   SimMetrics m;
   const int f = cfg_.sharding_factor;
-  FSDP_CHECK_MSG(topo_.world() % f == 0, "F must divide world");
-  const int replicas = topo_.world() / f;
-  const sim::Group shard_g = sim::ShardGroup(topo_, f);
-  const sim::Group repl_g = sim::ReplicateGroup(topo_, f);
+  const int tp = std::max(cfg_.tp_degree, 1);
+  FSDP_CHECK_MSG(topo_.world() % (f * tp) == 0, "F x TP must divide world");
+  const int replicas = topo_.world() / (f * tp);
+  sim::Group shard_g = sim::ShardGroup(topo_, f);
+  if (tp > 1) {
+    // dp-axis peers stride across the mesh at tp ranks apart: with the
+    // canonical tp == gpus_per_host placement, every dp hop crosses hosts.
+    const int per_host = std::max(1, topo_.gpus_per_host / tp);
+    shard_g.hosts = std::min((f + per_host - 1) / per_host, topo_.num_hosts);
+  }
+  const sim::Group repl_g = sim::ReplicateGroup(topo_, f * tp);
   const sim::Group world_g = sim::WorldGroup(topo_);
+  // TP collectives ride the intra-host lane whenever tp fits in a host.
+  sim::Group tp_g;
+  tp_g.size = tp;
+  tp_g.hosts = (tp + topo_.gpus_per_host - 1) / topo_.gpus_per_host;
+  // Pipeline stage boundaries: stages land on different hosts at scale.
+  const int pp_hops = topo_.num_hosts > 1 ? 1 : 0;
   sim::CollectiveModel cm(c_, topo_);
   sim::ComputeModel pm(c_);
 
@@ -292,7 +310,8 @@ SimMetrics FsdpSimulator::Run() {
        w_.root_pre_flops_per_sample + w_.root_post_flops_per_sample, 6);
   for (size_t i = 0; i < w_.units.size(); ++i) {
     const UnitSpec& spec = w_.units[i];
-    fill(units[i + 1], sizes[i + 1], spec.fwd_flops_per_sample,
+    // TP slices each non-root unit's dense math 1/tp per rank.
+    fill(units[i + 1], sizes[i + 1], spec.fwd_flops_per_sample / tp,
          spec.n_kernels);
   }
   for (size_t i = 0; i < units.size(); ++i) {
@@ -656,6 +675,53 @@ SimMetrics FsdpSimulator::Run() {
           }
           break;
         }
+
+        case plan::Op::kTpAllGather: {
+          // Axis-scoped activation gather on the tp lane (Megatron
+          // gather_output). Payload comes from the plan instruction.
+          const int64_t bytes = in.bytes > 0 ? in.bytes : units[ui].act_bytes;
+          done[ip] = comm.Launch(cpu, cm.AllGatherBase(bytes / tp, tp_g),
+                                 dep_times(in), obs::EventKind::kAllGather,
+                                 units[ui].label + ".tp", bytes);
+          cpu += c_.cpu_issue_us_per_kernel;
+          if (last_iter && tp_g.hosts > 1) {
+            add_traffic(static_cast<double>(tp_g.size - 1) * (bytes / tp),
+                        tp_g);
+          }
+          break;
+        }
+
+        case plan::Op::kTpAllReduce: {
+          // The Megatron activation AllReduce (g forward / f backward).
+          const int64_t bytes = in.bytes > 0 ? in.bytes : units[ui].act_bytes;
+          done[ip] = comm.Launch(cpu, cm.AllReduce(bytes, tp_g),
+                                 dep_times(in), obs::EventKind::kAllReduce,
+                                 units[ui].label + ".tp", bytes);
+          cpu += c_.cpu_issue_us_per_kernel;
+          if (last_iter && tp_g.hosts > 1) {
+            add_traffic(2.0 * (tp_g.size - 1) / tp_g.size * bytes, tp_g);
+          }
+          break;
+        }
+
+        case plan::Op::kSendAct: {
+          // Pipeline boundary: one point-to-point hop to the peer stage.
+          done[ip] = comm.Launch(cpu, cm.PointToPoint(in.bytes, pp_hops),
+                                 dep_times(in), obs::EventKind::kSend,
+                                 "pp", in.bytes);
+          cpu += c_.cpu_issue_us_per_kernel;
+          if (last_iter && pp_hops > 0) {
+            sim::Group pair{2, 2};
+            add_traffic(static_cast<double>(in.bytes), pair);
+          }
+          break;
+        }
+
+        case plan::Op::kRecvAct:
+          // Free in virtual time: the matching send's completion arrives
+          // through this instruction's cross-stage dependency edge.
+          done[ip] = dep_max(in);
+          break;
 
         case plan::Op::kOptimStep: {
           // Adam over the FP32 shard: memory-bound (read p/g/m/v, write

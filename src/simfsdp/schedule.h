@@ -43,7 +43,15 @@
 namespace fsdp::simfsdp {
 
 struct FsdpSimConfig {
-  int sharding_factor = 0;  // 0 = full shard (F = world)
+  int sharding_factor = 0;  // 0 = full shard (F = world / tp_degree)
+  /// Tensor-parallel degree composed with FSDP (paper Sec 7.1.2): every
+  /// non-root unit's parameters and dense FLOPs are split 1/tp per rank
+  /// (Megatron column/row slicing), so FSDP payloads shrink accordingly,
+  /// and kTpAllGather/kTpAllReduce instructions run on the tp lane —
+  /// intra-host (NVLink) when tp_degree <= gpus_per_host, the canonical
+  /// placement. sharding_factor then counts dp-axis ranks only; the dp
+  /// shard group strides across hosts at tp_degree ranks per hop.
+  int tp_degree = 1;
   bool reshard_after_forward = true;
   bool backward_prefetch = true;
   bool forward_prefetch = false;

@@ -16,17 +16,7 @@
 namespace fsdp {
 namespace {
 
-/// A "pipeline stage": a small MLP stack. Two stages chained sequentially on
-/// every rank emulate the 1F1B-free functional schedule (each rank drives
-/// both stages; real pipelining is a scheduling concern, while FSDP's
-/// interop concern is the per-micro-batch unshard traffic).
-nn::ModulePtr MakeStage(uint64_t seed, int64_t dim) {
-  nn::InitCtx ctx(Device::kCpu, seed);
-  auto seq = std::make_shared<nn::Sequential>();
-  seq->Append(std::make_shared<nn::MLP>(dim, 2 * dim, ctx));
-  seq->Append(std::make_shared<nn::MLP>(dim, 2 * dim, ctx));
-  return seq;
-}
+using testing::MakePipelineStage;
 
 int CountEvents(const std::vector<obs::TraceEvent>& events,
                 obs::EventKind kind) {
@@ -47,7 +37,7 @@ TEST(PipelineInteropTest, ShardGradOpAvoidsPerMicrobatchAllGather) {
   for (auto strategy : {core::ShardingStrategy::kFullShard,
                         core::ShardingStrategy::kShardGradOp}) {
     RunOnRanks(w, [&](int r) {
-      auto stage = MakeStage(3, 8);
+      auto stage = MakePipelineStage(3, 8);
       core::FsdpOptions opts;
       opts.strategy = strategy;
       opts.auto_wrap_policy = core::ModuleTypePolicy({"MLP"});
@@ -100,8 +90,8 @@ TEST(PipelineInteropTest, TwoStagePipelineTrainsCorrectly) {
   // Local reference: stage1 -> stage2 as one graph.
   std::map<std::string, Tensor> ref;
   {
-    auto s1 = MakeStage(11, 8);
-    auto s2 = MakeStage(12, 8);
+    auto s1 = MakePipelineStage(11, 8);
+    auto s2 = MakePipelineStage(12, 8);
     std::vector<Tensor> params;
     for (auto* m : {s1.get(), s2.get()}) {
       for (Tensor* slot : m->ParameterSlots()) params.push_back(*slot);
@@ -122,8 +112,8 @@ TEST(PipelineInteropTest, TwoStagePipelineTrainsCorrectly) {
   }
 
   RunOnRanks(w, [&](int r) {
-    auto s1 = MakeStage(11, 8);
-    auto s2 = MakeStage(12, 8);
+    auto s1 = MakePipelineStage(11, 8);
+    auto s2 = MakePipelineStage(12, 8);
     core::FsdpOptions opts;
     opts.strategy = core::ShardingStrategy::kShardGradOp;  // Sec 7.1.1 advice
     opts.auto_wrap_policy = core::ModuleTypePolicy({"MLP"});

@@ -8,9 +8,23 @@
 #include <gtest/gtest.h>
 
 #include "autograd/engine.h"
+#include "nn/layers.h"
 #include "tensor/tensor.h"
 
 namespace fsdp::testing {
+
+/// A "pipeline stage": a small MLP stack mapping dim -> dim. Stages chained
+/// sequentially on every rank emulate the 1F1B-free functional schedule
+/// (each rank drives both stages; real pipelining is a scheduling concern,
+/// while FSDP's interop concern is the per-micro-batch unshard traffic).
+/// Shared by the pipeline interop tests and the composed FSDP×TP×PP tests.
+inline nn::ModulePtr MakePipelineStage(uint64_t seed, int64_t dim) {
+  nn::InitCtx ctx(Device::kCpu, seed);
+  auto seq = std::make_shared<nn::Sequential>();
+  seq->Append(std::make_shared<nn::MLP>(dim, 2 * dim, ctx));
+  seq->Append(std::make_shared<nn::MLP>(dim, 2 * dim, ctx));
+  return seq;
+}
 
 /// Checks analytic gradients of `fn` w.r.t. every tensor in `inputs` against
 /// central finite differences. `fn` must return a scalar tensor and be pure.
