@@ -19,22 +19,25 @@ const char* FaultKindName(FaultKind kind) {
 
 void FaultInjector::Inject(FaultSpec spec) {
   FSDP_CHECK_MSG(spec.rank >= 0, "fault spec needs a target rank");
-  FSDP_CHECK_MSG(spec.seq >= 0 || !spec.tag.empty(),
-                 "fault spec needs a seq or a tag to match");
+  FSDP_CHECK_MSG(spec.seq >= 0 || !spec.tag.empty() || spec.step >= 0,
+                 "fault spec needs a seq, a tag, or a step to match");
   std::lock_guard<std::mutex> lock(mu_);
   pending_.push_back(std::move(spec));
   armed_.store(true, std::memory_order_relaxed);
 }
 
 bool FaultInjector::Match(int rank, int64_t seq, const std::string& label,
-                          FaultSpec* out) {
+                          obs::EventKind kind, FaultSpec* out) {
+  const int64_t step = train_step_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < pending_.size(); ++i) {
     const FaultSpec& f = pending_[i];
     if (f.rank != rank) continue;
-    const bool seq_match = f.seq >= 0 && f.seq == seq;
-    const bool tag_match = !f.tag.empty() && f.tag == label;
-    if (!seq_match && !tag_match) continue;
+    // Every selector that is set must match.
+    if (f.seq >= 0 && f.seq != seq) continue;
+    if (!f.tag.empty() && f.tag != label) continue;
+    if (f.step >= 0 && f.step != step) continue;
+    if (f.op_kind >= 0 && f.op_kind != static_cast<int>(kind)) continue;
     *out = f;
     if (f.kind != FaultKind::kCrash) {  // a crashed rank stays crashed
       pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));

@@ -40,16 +40,25 @@ enum class FaultKind : int { kDelay = 0, kHang, kCrash, kSkip };
 const char* FaultKindName(FaultKind kind);
 
 /// One scripted fault. `rank` is the communicator-local rank whose worker
-/// misbehaves; the fault arms on the first op matching `seq` (when >= 0) or
-/// `tag` (when non-empty; matched against the op label, i.e.
-/// CollectiveOptions::tag or the collective's default name). Each spec fires
-/// exactly once, except kCrash which is sticky by nature (the rank is dead).
+/// misbehaves; the fault arms on the first op matching every selector that
+/// is set: `seq` (when >= 0), `tag` (when non-empty; matched against the op
+/// label, i.e. CollectiveOptions::tag or the collective's default name),
+/// `step` (when >= 0; matched against the training step last published via
+/// FaultInjector::set_train_step — this is what makes "kill rank 3 in step
+/// 7's backward" robust to plan-compiler reorderings that renumber seqs),
+/// and `op_kind` (when >= 0; the obs::EventKind of the collective, so a
+/// unit-tagged spec can distinguish the backward ReduceScatter from the
+/// forward AllGather sharing the same tag). At least one of seq/tag/step
+/// must be set. Each spec fires exactly once, except kCrash which is sticky
+/// by nature (the rank is dead).
 struct FaultSpec {
   FaultKind kind = FaultKind::kDelay;
   int rank = -1;
   int64_t seq = -1;
   std::string tag;
   double delay_us = 0;  // kDelay only
+  int64_t step = -1;    // training step filter (-1 = any)
+  int op_kind = -1;     // obs::EventKind filter (-1 = any)
 };
 
 /// Thread-safe store of pending faults; consulted by every comm worker
@@ -57,20 +66,31 @@ struct FaultSpec {
 /// fault-free hot path pays one load.
 class FaultInjector {
  public:
-  /// Registers a fault. Specs matching neither a seq nor a tag are invalid.
+  /// Registers a fault. Specs matching no seq, tag, or step are invalid.
   void Inject(FaultSpec spec);
   /// Consumes and returns (into `out`) the first fault matching this op.
   /// kCrash specs are not consumed — a dead rank stays dead.
-  bool Match(int rank, int64_t seq, const std::string& label, FaultSpec* out);
+  bool Match(int rank, int64_t seq, const std::string& label,
+             obs::EventKind kind, FaultSpec* out);
   bool armed() const {
     return armed_.load(std::memory_order_relaxed);
   }
   void Clear();
 
+  /// Publishes the current training step for step-keyed specs. Called by the
+  /// train loop (Communicator/DeviceMesh::SetTrainStep) at step boundaries.
+  void set_train_step(int64_t step) {
+    train_step_.store(step, std::memory_order_relaxed);
+  }
+  int64_t train_step() const {
+    return train_step_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mu_;
   std::vector<FaultSpec> pending_;
   std::atomic<bool> armed_{false};
+  std::atomic<int64_t> train_step_{-1};
 };
 
 /// Identity of one collective op — what every rank must agree on at the

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/artifact.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 
@@ -264,7 +265,7 @@ void Communicator::ExecuteOp(int comm_rank, CommOp& op) {
   // diagnoses correctly read "never entered".
   if (injector_.armed()) {
     FaultSpec fault;
-    if (injector_.Match(comm_rank, op.seq, op.label, &fault)) {
+    if (injector_.Match(comm_rank, op.seq, op.label, op.sig.kind, &fault)) {
       switch (fault.kind) {
         case FaultKind::kDelay: {
           // Straggler: interruptible stall, then the op proceeds normally.
@@ -600,6 +601,17 @@ WatchdogDiagnosis Communicator::last_diagnosis() const {
   return diagnosis_;
 }
 
+std::vector<int> Communicator::UnhealthyRanks() const {
+  std::vector<int> out;
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  for (int r = 0; r < size_; ++r) {
+    if (progress_[static_cast<size_t>(r)].health != RankHealth::kHealthy) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
 void Communicator::AbortWithDiagnosis(WatchdogDiagnosis diag,
                                       bool from_watchdog) {
   const bool desync = diag.desync;
@@ -760,7 +772,11 @@ std::string Communicator::FlightRecorderJson() const {
   const Status st = abort_status();
   const WatchdogDiagnosis diag = last_diagnosis();
   std::ostringstream os;
-  os << "{\"communicator\":\"" << EscapeJson(name_) << "\","
+  // Shared schema envelope (like PROFILE_/TUNE_ artifacts): every rank of
+  // this communicator contributes a ring, and the dump is keyed by the
+  // communicator's name as the "preset".
+  os << "{" << obs::ArtifactEnvelopeJson(obs::ArtifactMeta{size_, size_, name_})
+     << ",\"communicator\":\"" << EscapeJson(name_) << "\","
      << "\"world_size\":" << size_ << ","
      << "\"aborted\":" << (aborted() ? "true" : "false") << ","
      << "\"status\":\"" << EscapeJson(st.ToString()) << "\","
@@ -1537,6 +1553,38 @@ void DeviceMesh::SetDefaultTimeout(double timeout_ms) {
       g->SetDefaultTimeout(timeout_ms);
     }
   }
+}
+
+void DeviceMesh::SetTrainStep(int64_t step) {
+  world_->SetTrainStep(step);
+  for (auto& g : shard_groups_) g->SetTrainStep(step);
+  for (auto& g : replicate_groups_) g->SetTrainStep(step);
+  std::lock_guard<std::mutex> lock(submesh_mu_);
+  for (auto& g : all_comms_) g->SetTrainStep(step);
+  for (auto& sub : submeshes_) {
+    for (auto& g : sub.second->shard_groups_) g->SetTrainStep(step);
+    for (auto& g : sub.second->replicate_groups_) g->SetTrainStep(step);
+  }
+}
+
+void DeviceMesh::LinkFailureDomain() {
+  if (!axes_.empty()) return;  // N-d meshes are already one abort web
+  std::lock_guard<std::mutex> lock(submesh_mu_);
+  if (!all_comms_.empty()) return;  // already linked
+  std::vector<std::shared_ptr<Communicator>> fresh;
+  fresh.push_back(world_);
+  fresh.insert(fresh.end(), shard_groups_.begin(), shard_groups_.end());
+  fresh.insert(fresh.end(), replicate_groups_.begin(),
+               replicate_groups_.end());
+  // Dedup: with F == W the single shard group is a distinct communicator,
+  // but defensive against future aliasing.
+  std::vector<std::shared_ptr<Communicator>> unique;
+  for (auto& c : fresh) {
+    bool seen = false;
+    for (auto& u : unique) seen = seen || u == c;
+    if (!seen) unique.push_back(c);
+  }
+  LinkIntoWeb(unique);
 }
 
 void DeviceMesh::SetDesyncDetection(bool on) {

@@ -240,6 +240,11 @@ class Communicator {
   void InjectFault(FaultSpec spec);
   void ClearFaults() { injector_.Clear(); }
 
+  /// Publishes the current training step to the fault injector so
+  /// step-keyed FaultSpecs (`spec.step >= 0`) can fire; call at each step
+  /// boundary (DeviceMesh::SetTrainStep forwards to every communicator).
+  void SetTrainStep(int64_t step) { injector_.set_train_step(step); }
+
   /// Poisons the communicator: the shared barrier and all worker queues are
   /// aborted, every parked worker and every Work waiter wakes, and all
   /// pending + future ops complete with `status`. First abort wins;
@@ -252,6 +257,13 @@ class Communicator {
   /// Diagnosis of the watchdog/desync abort (default-constructed for manual
   /// Abort() calls or when never aborted).
   WatchdogDiagnosis last_diagnosis() const;
+
+  /// Communicator-local ranks whose worker is known dead: hung or crashed
+  /// (scripted fault fired, or so diagnosed by the watchdog). The watchdog
+  /// diagnosis names ONE culprit; this is the full progress-table view the
+  /// elastic runtime uses to size the survivor set when several ranks died
+  /// in the same step.
+  std::vector<int> UnhealthyRanks() const;
 
   const FlightRecorder& flight_recorder() const { return flight_; }
   /// Flight-recorder records of all ranks (+ diagnosis when aborted) as a
@@ -661,6 +673,17 @@ class DeviceMesh {
   /// Enables the desync rendezvous on the world and every subgroup
   /// communicator.
   void SetDesyncDetection(bool on);
+  /// Publishes the current training step to every communicator's fault
+  /// injector (step-keyed FaultSpecs).
+  void SetTrainStep(int64_t step);
+
+  /// Cross-links the world + shard + replicate communicators of a LEGACY
+  /// `DeviceMesh(W, F)` mesh into one abort/watchdog failure domain, the way
+  /// the N-d `Create` factory always does. Opt-in (idempotent) because some
+  /// fault drills deliberately abort one subgroup in isolation; the elastic
+  /// runtime links its meshes so any rank loss tears down the whole world
+  /// instead of leaving sibling groups deadlocked. No-op on N-d meshes.
+  void LinkFailureDomain();
 
  private:
   DeviceMesh() = default;

@@ -190,6 +190,7 @@ class FsdpState {
   /// after each step; OK means every collective of the step completed.
   const Status& status() const { return status_; }
   int rank() const { return rank_; }
+  int world_size() const { return world_size_; }
   nn::Module& module() { return *module_; }
   const FsdpOptions& options() const { return options_; }
 

@@ -11,104 +11,13 @@ namespace {
 constexpr char kMagic[8] = {'F', 'S', 'D', 'P', 'C', 'K', 'P', 'T'};
 constexpr uint32_t kVersion = 1;
 
-class Writer {
- public:
-  explicit Writer(std::FILE* f) : f_(f) {}
-  bool ok() const { return ok_; }
-
-  void Raw(const void* p, size_t n) {
-    if (ok_ && std::fwrite(p, 1, n, f_) != n) ok_ = false;
-  }
-  void U8(uint8_t v) { Raw(&v, 1); }
-  void U32(uint32_t v) { Raw(&v, 4); }
-  void I64(int64_t v) { Raw(&v, 8); }
-  void Str(const std::string& s) {
-    U32(static_cast<uint32_t>(s.size()));
-    Raw(s.data(), s.size());
-  }
-  void TensorData(const Tensor& t) {
-    U8(static_cast<uint8_t>(t.dtype()));
-    U32(static_cast<uint32_t>(t.shape().size()));
-    for (int64_t d : t.shape()) I64(d);
-    Raw(t.data(), static_cast<size_t>(t.numel()) * 4);
-  }
-
- private:
-  std::FILE* f_;
-  bool ok_ = true;
-};
-
-class Reader {
- public:
-  explicit Reader(std::FILE* f) : f_(f) {}
-  bool ok() const { return ok_; }
-
-  void Raw(void* p, size_t n) {
-    if (ok_ && std::fread(p, 1, n, f_) != n) ok_ = false;
-  }
-  uint8_t U8() {
-    uint8_t v = 0;
-    Raw(&v, 1);
-    return v;
-  }
-  uint32_t U32() {
-    uint32_t v = 0;
-    Raw(&v, 4);
-    return v;
-  }
-  int64_t I64() {
-    int64_t v = 0;
-    Raw(&v, 8);
-    return v;
-  }
-  std::string Str() {
-    const uint32_t n = U32();
-    if (!ok_ || n > (1u << 20)) {
-      ok_ = false;
-      return {};
-    }
-    std::string s(n, '\0');
-    Raw(s.data(), n);
-    return s;
-  }
-  Tensor TensorData() {
-    const DType dtype = static_cast<DType>(U8());
-    const uint32_t ndim = U32();
-    if (!ok_ || ndim > 8) {
-      ok_ = false;
-      return Tensor();
-    }
-    Shape shape;
-    int64_t numel = 1;
-    for (uint32_t d = 0; d < ndim; ++d) {
-      shape.push_back(I64());
-      if (!ok_ || shape.back() < 0) {
-        ok_ = false;
-        return Tensor();
-      }
-      numel *= shape.back();
-    }
-    if (numel > (1LL << 32)) {
-      ok_ = false;
-      return Tensor();
-    }
-    Tensor t = Tensor::Empty(shape, dtype);
-    Raw(t.data(), static_cast<size_t>(numel) * 4);
-    return t;
-  }
-
- private:
-  std::FILE* f_;
-  bool ok_ = true;
-};
-
 }  // namespace
 
 Status SaveCheckpoint(const std::string& path, const Checkpoint& ckpt) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return Status::IOError("cannot open " + tmp + " for writing");
-  Writer w(f);
+  BinaryWriter w(f);
   w.Raw(kMagic, 8);
   w.U32(kVersion);
   w.U32(static_cast<uint32_t>(ckpt.state_dict.size() +
@@ -140,7 +49,7 @@ Status SaveCheckpoint(const std::string& path, const Checkpoint& ckpt) {
 Result<Checkpoint> LoadCheckpoint(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) return Status::IOError("cannot open " + path);
-  Reader r(f);
+  BinaryReader r(f);
   char magic[8];
   r.Raw(magic, 8);
   if (!r.ok() || std::memcmp(magic, kMagic, 8) != 0) {

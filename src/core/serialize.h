@@ -13,6 +13,9 @@
 //     optim : i64 step | two tensors (exp_avg, exp_avg_sq) as above
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -25,6 +28,104 @@ namespace fsdp::core {
 struct Checkpoint {
   std::vector<std::pair<std::string, Tensor>> state_dict;
   std::vector<FullOptimEntry> optim_state;
+};
+
+/// Little-endian binary writer over a stdio FILE — the primitive layer
+/// shared by the full-checkpoint container below and the per-rank sharded
+/// checkpoint files (src/elastic/sharded_ckpt.h). Errors are sticky: the
+/// first short write flips ok() and every later call is a no-op.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  void Raw(const void* p, size_t n) {
+    if (ok_ && std::fwrite(p, 1, n, f_) != n) ok_ = false;
+  }
+  void U8(uint8_t v) { Raw(&v, 1); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void I64(int64_t v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void TensorData(const Tensor& t) {
+    U8(static_cast<uint8_t>(t.dtype()));
+    U32(static_cast<uint32_t>(t.shape().size()));
+    for (int64_t d : t.shape()) I64(d);
+    Raw(t.data(), static_cast<size_t>(t.numel()) * 4);
+  }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+/// Counterpart reader; same sticky-error discipline, plus bounds sanity on
+/// string/tensor sizes so a corrupt file fails cleanly instead of
+/// allocating garbage.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::FILE* f) : f_(f) {}
+  bool ok() const { return ok_; }
+
+  void Raw(void* p, size_t n) {
+    if (ok_ && std::fread(p, 1, n, f_) != n) ok_ = false;
+  }
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, 4);
+    return v;
+  }
+  int64_t I64() {
+    int64_t v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+  std::string Str() {
+    const uint32_t n = U32();
+    if (!ok_ || n > (1u << 20)) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(n, '\0');
+    Raw(s.data(), n);
+    return s;
+  }
+  Tensor TensorData() {
+    const DType dtype = static_cast<DType>(U8());
+    const uint32_t ndim = U32();
+    if (!ok_ || ndim > 8) {
+      ok_ = false;
+      return Tensor();
+    }
+    Shape shape;
+    int64_t numel = 1;
+    for (uint32_t d = 0; d < ndim; ++d) {
+      shape.push_back(I64());
+      if (!ok_ || shape.back() < 0) {
+        ok_ = false;
+        return Tensor();
+      }
+      numel *= shape.back();
+    }
+    if (numel > (1LL << 32)) {
+      ok_ = false;
+      return Tensor();
+    }
+    Tensor t = Tensor::Empty(shape, dtype);
+    Raw(t.data(), static_cast<size_t>(numel) * 4);
+    return t;
+  }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
 };
 
 /// Writes the checkpoint to `path` (atomically via a temp file + rename).

@@ -19,6 +19,7 @@
 #include "core/fsdp.h"
 #include "ddp/ddp.h"
 #include "nn/transformer.h"
+#include "obs/artifact.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "tests/test_util.h"
@@ -176,6 +177,9 @@ TEST(FaultTest, CrashedRankDiagnosed) {
   EXPECT_EQ(diag.culprit_rank, 2);
   EXPECT_EQ(diag.culprit_seq, 1);
   EXPECT_TRUE(Contains(diag.reason, "crashed")) << diag.reason;
+  // The progress table exposes the full dead set (the elastic runtime's
+  // source of truth when several ranks die in one step).
+  EXPECT_EQ(comm->UnhealthyRanks(), std::vector<int>{2});
   for (int r = 0; r < w; ++r) {
     EXPECT_FALSE(final_status[r].ok()) << "rank " << r;
   }
@@ -373,6 +377,51 @@ TEST(FaultTest, FlightRecorderGoldenDump) {
     }
   }
   EXPECT_TRUE(found_flight_span);
+
+  // The dump carries the shared artifact envelope (schema_version + meta),
+  // like every other generated artifact in the repo.
+  ASSERT_TRUE(obs::ValidateArtifactJson(root).ok());
+  EXPECT_EQ(root["schema_version"].AsNumber(), obs::kArtifactSchemaVersion);
+  EXPECT_EQ(root["meta"]["world_size"].AsNumber(), 2);
+  EXPECT_EQ(root["meta"]["preset"].AsString(), "golden");
+}
+
+TEST(FaultTest, StepKeyedFaultFiresOnlyAtItsTrainStep) {
+  UseTempArtifactDir();
+  const int w = 2;
+  auto comm = std::make_shared<comm::Communicator>(w);
+  comm->SetName("steptest");
+  comm->SetDefaultTimeout(80);
+  // The same tag recurs every step; the step selector (AND-ed with the tag)
+  // pins the hang to training step 2 — the elastic drills' way of killing a
+  // rank "at step k" without counting sequence numbers.
+  comm::FaultSpec f;
+  f.kind = FaultKind::kHang;
+  f.rank = 1;
+  f.tag = "grad";
+  f.step = 2;
+  comm->InjectFault(f);
+
+  std::vector<std::vector<Status>> status(4, std::vector<Status>(w));
+  RunOnRanks(w, [&](int r) {
+    comm::ProcessGroup pg(comm, r);
+    std::vector<float> buf(8, 1.f);
+    for (int64_t s = 0; s < 4 && !comm->aborted(); ++s) {
+      comm->SetTrainStep(s);
+      CollectiveOptions opts;
+      opts.tag = "grad";
+      status[s][r] = pg.AllReduce(buf.data(), 8, opts).WaitStatus();
+    }
+  });
+
+  // Steps 0 and 1 passed untouched; step 2 hit the hang and aborted.
+  for (int r = 0; r < w; ++r) {
+    EXPECT_TRUE(status[0][r].ok()) << "rank " << r;
+    EXPECT_TRUE(status[1][r].ok()) << "rank " << r;
+    EXPECT_FALSE(status[2][r].ok()) << "rank " << r;
+  }
+  EXPECT_TRUE(comm->aborted());
+  EXPECT_EQ(comm->last_diagnosis().culprit_rank, 1);
 }
 
 TEST(FaultTest, FsdpStepPropagatesAbortInsteadOfCrashing) {

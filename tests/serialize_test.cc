@@ -8,6 +8,7 @@
 #include "core/fsdp.h"
 #include "core/optim_state.h"
 #include "core/serialize.h"
+#include "elastic/sharded_ckpt.h"
 #include "nn/dhen.h"
 #include "nn/transformer.h"
 #include "optim/optimizer.h"
@@ -258,6 +259,114 @@ TEST(IgnoredModulesTest, IgnoredParamsAbsentFromStateDict) {
     }
   });
 }
+
+// --------------------------------------------- sharded N -> M round trips
+
+/// Reshard-on-load across world sizes: train at world N (so Adam moments
+/// and padded/uneven flat tails are populated), save the per-rank sharded
+/// checkpoint, load at world M with differently-seeded fresh objects, and
+/// require the full state dict AND the full Adam state back bitwise. The
+/// (4,3) case exercises uneven division (per-unit numels not divisible by
+/// 3), so writer padding is dropped at assembly and re-derived at M.
+class ShardedReshardTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShardedReshardTest, SaveAtNLoadAtMBitwise) {
+  const auto [n, m] = GetParam();
+  const std::string stem =
+      TempPath(("reshard" + std::to_string(n) + "to" + std::to_string(m))
+                   .c_str());
+  nn::TransformerConfig cfg;
+  cfg.vocab_size = 13;
+  cfg.max_seq = 4;
+  cfg.dim = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  auto tokens_for = [](int r) {
+    return ops::IndexTensor(
+        {(r * 3 + 1) % 13, (r * 5 + 2) % 13, (r + 3) % 13, (r + 4) % 13},
+        {1, 4});
+  };
+  Tensor targets = ops::IndexTensor({2, 3, 4, 5}, {4});
+  core::FsdpOptions opts;
+  opts.auto_wrap_policy = core::ModuleTypePolicy({"TransformerBlock"});
+
+  // Train 2 steps at world N, capture the full state, save per-rank shards.
+  std::vector<std::pair<std::string, Tensor>> want_params;
+  std::vector<core::FullOptimEntry> want_optim;
+  {
+    comm::DeviceMesh mesh(n, n);
+    RunOnRanks(n, [&](int r) {
+      nn::InitCtx ctx(Device::kCpu, 42);
+      auto model = std::make_shared<nn::TransformerModel>(cfg, ctx);
+      auto state = core::FullyShard(model, mesh, r, opts);
+      optim::Adam adam(state->Parameters(), {.lr = 1e-2f});
+      for (int s = 0; s < 2; ++s) {
+        adam.ZeroGrad();
+        Tensor loss = ops::CrossEntropy((*model)(tokens_for(r)), targets);
+        autograd::RunBackward(loss);
+        adam.Step();
+      }
+      ASSERT_TRUE(
+          elastic::SaveShardedCheckpoint(stem, 1, *state, &adam).ok());
+      // Collective gathers: every rank must enter; rank 0 keeps the result.
+      auto full_params = state->FullStateDict();
+      auto full_optim = core::GatherFullOptimState(*state, adam);
+      if (r == 0) {
+        want_params = std::move(full_params);
+        want_optim = std::move(full_optim);
+      }
+    });
+  }
+  EXPECT_EQ(elastic::LatestShardedStep(stem), 1);
+
+  // The offline assembly already carries the writer world size and step.
+  auto assembled = elastic::AssembleShardedCheckpoint(stem, 1);
+  ASSERT_TRUE(assembled.ok()) << assembled.status().ToString();
+  EXPECT_EQ(assembled->world_size, n);
+  EXPECT_EQ(assembled->train_step, 1);
+
+  // Load at world M into differently-initialized fresh objects.
+  {
+    comm::DeviceMesh mesh(m, m);
+    RunOnRanks(m, [&](int r) {
+      nn::InitCtx ctx(Device::kCpu, 777);  // overwritten by the load
+      auto model = std::make_shared<nn::TransformerModel>(cfg, ctx);
+      auto state = core::FullyShard(model, mesh, r, opts);
+      optim::Adam adam(state->Parameters(), {.lr = 1e-2f});
+      int64_t loaded_step = -1;
+      ASSERT_TRUE(
+          elastic::LoadShardedCheckpoint(stem, 1, *state, &adam, &loaded_step)
+              .ok());
+      EXPECT_EQ(loaded_step, 1);
+      auto got_params = state->FullStateDict();
+      ASSERT_EQ(got_params.size(), want_params.size());
+      for (size_t i = 0; i < want_params.size(); ++i) {
+        EXPECT_EQ(got_params[i].first, want_params[i].first);
+        fsdp::testing::ExpectAllClose(got_params[i].second,
+                                      want_params[i].second, 0, 0);
+      }
+      auto got_optim = core::GatherFullOptimState(*state, adam);
+      ASSERT_EQ(got_optim.size(), want_optim.size());
+      for (size_t i = 0; i < want_optim.size(); ++i) {
+        EXPECT_EQ(got_optim[i].fqn, want_optim[i].fqn);
+        EXPECT_EQ(got_optim[i].step, want_optim[i].step);
+        fsdp::testing::ExpectAllClose(got_optim[i].exp_avg,
+                                      want_optim[i].exp_avg, 0, 0);
+        fsdp::testing::ExpectAllClose(got_optim[i].exp_avg_sq,
+                                      want_optim[i].exp_avg_sq, 0, 0);
+      }
+    });
+  }
+  for (int r = 0; r < n; ++r) {
+    std::remove(elastic::ShardFileName(stem, 1, r, n).c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShrinkGrowUneven, ShardedReshardTest,
+                         ::testing::Values(std::make_pair(4, 2),
+                                           std::make_pair(2, 4),
+                                           std::make_pair(4, 3)));
 
 }  // namespace
 }  // namespace fsdp
